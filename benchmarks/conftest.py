@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§VII) and prints the corresponding rows; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.framework import AnaheimFramework
+from repro.gpu.configs import A100_80GB, RTX_4090
+from repro.params import paper_params
+from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK,
+                               RTX4090_NEAR_BANK)
+
+#: The three evaluated PIM configurations (Table III).
+PIM_SETUPS = [
+    ("A100 near-bank", A100_80GB, A100_NEAR_BANK),
+    ("A100 custom-HBM", A100_80GB, A100_CUSTOM_HBM),
+    ("RTX 4090 near-bank", RTX_4090, RTX4090_NEAR_BANK),
+]
+
+
+@pytest.fixture(scope="session")
+def params():
+    return paper_params()
+
+
+@pytest.fixture(scope="session")
+def a100_framework():
+    return AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+
+
+@pytest.fixture(scope="session")
+def rtx4090_framework():
+    return AnaheimFramework(RTX_4090, RTX4090_NEAR_BANK)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

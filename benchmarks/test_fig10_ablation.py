@@ -1,0 +1,107 @@
+"""Fig. 10: sensitivity study — fusion passes and the data layout.
+
+Incrementally enables BasicFuse / AutFuse on both the GPU-only baseline
+(plus its ExtraFuse pass) and Anaheim, and runs Anaheim without the
+column-partitioning layout (w/o CP), reproducing §VII-D:
+
+* fusion reduces element-wise time more on PIM (ACT/PRE amortization)
+  than on the GPU;
+* automorphism fusion adds a further 1.01-1.15x;
+* dropping column partitioning makes element-wise ops ~2.2x slower,
+  nullifying the benefits.
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_table
+from repro.core.framework import AnaheimFramework
+from repro.core.fusion import (GPU_ALL_FUSE, GPU_BASE, GPU_BASIC_FUSE,
+                               GPU_EXTRA_FUSE, PIM_BASE, PIM_BASIC_FUSE,
+                               PIM_FULL, PIM_NO_CP)
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB
+from repro.params import paper_params
+from repro.pim.configs import A100_NEAR_BANK
+from repro.workloads.bootstrap_trace import bootstrap_blocks
+
+PARAMS = paper_params()
+
+GPU_LEVELS = [("Base", GPU_BASE), ("+BasicFuse", GPU_BASIC_FUSE),
+              ("+ExtraFuse", GPU_EXTRA_FUSE), ("+AutFuse", GPU_ALL_FUSE)]
+PIM_LEVELS = [("PIM-Base", PIM_BASE), ("+BasicFuse", PIM_BASIC_FUSE),
+              ("+AutFuse", PIM_FULL), ("w/o CP", PIM_NO_CP)]
+
+
+def run_ablation():
+    blocks, _ = bootstrap_blocks(PARAMS)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+    results = {}
+    for label, options in GPU_LEVELS:
+        results[("gpu", label)] = framework.run(
+            blocks, PARAMS.degree, options, label=label).report
+    for label, options in PIM_LEVELS:
+        results[("pim", label)] = framework.run(
+            blocks, PARAMS.degree, options, label=label).report
+    # §V-B automorphism reordering ablation: the original op order keeps
+    # per-rotation automorphisms between KeyMult and PMULT.
+    unordered, _ = bootstrap_blocks(PARAMS, reorder=False)
+    results[("pim", "w/o Reorder")] = framework.run(
+        unordered, PARAMS.degree, PIM_FULL, label="w/o Reorder").report
+    return results
+
+
+def _elementwise_time(report):
+    return report.time_by_category.get(OpCategory.ELEMENTWISE, 0.0)
+
+
+def test_fig10_fusion_and_layout_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    banner("Fig. 10 — fusion and data-layout ablation (Boot, A100)")
+    rows = []
+    for (device, label), report in results.items():
+        rows.append([
+            "GPU w/o PIM" if device == "gpu" else "Anaheim", label,
+            f"{report.total_time * 1e3:.1f}ms",
+            f"{_elementwise_time(report) * 1e3:.1f}ms",
+            f"{report.edp:.3f}"])
+    print(format_table(
+        ["configuration", "level", "total", "elem-wise time", "EDP (J*s)"],
+        rows))
+
+    gpu_base = results[("gpu", "Base")]
+    gpu_fused = results[("gpu", "+ExtraFuse")]
+    pim_base = results[("pim", "PIM-Base")]
+    pim_fused = results[("pim", "+BasicFuse")]
+    pim_full = results[("pim", "+AutFuse")]
+    pim_nocp = results[("pim", "w/o CP")]
+
+    gpu_ew_cut = 1 - _elementwise_time(gpu_fused) / _elementwise_time(gpu_base)
+    pim_ew_cut = 1 - _elementwise_time(pim_fused) / _elementwise_time(pim_base)
+    print(f"element-wise time cut by fusion: GPU {gpu_ew_cut * 100:.0f}% "
+          "(paper: 27-37%), "
+          f"Anaheim {pim_ew_cut * 100:.0f}% (paper: 40-57%)")
+    # §VII-D: fusion helps Anaheim more (it also amortizes ACT/PRE).
+    assert pim_ew_cut > gpu_ew_cut
+    assert 0.10 < gpu_ew_cut < 0.60
+    assert 0.25 < pim_ew_cut < 0.70
+
+    aut_gain = results[("pim", "+BasicFuse")].total_time / pim_full.total_time
+    print(f"automorphism fusion gain: {aut_gain:.3f}x (paper: 1.01-1.09x)")
+    assert 1.0 <= aut_gain < 1.2
+
+    # Without column partitioning, element-wise times inflate ~2.2x and
+    # the benefits largely disappear.
+    nocp_ratio = _elementwise_time(pim_nocp) / _elementwise_time(pim_full)
+    print(f"w/o CP element-wise slowdown: {nocp_ratio:.2f}x (paper: 2.24x)")
+    assert 1.6 < nocp_ratio < 3.5
+    assert pim_nocp.total_time > pim_full.total_time
+
+    # §V-B: the automorphism reordering removes the per-rotation
+    # extended-modulus permutations (2K extra reads and writes each).
+    pim_noreorder = results[("pim", "w/o Reorder")]
+    aut = lambda r: r.time_by_category.get(OpCategory.AUTOMORPHISM, 0.0)
+    reorder_gain = pim_noreorder.total_time / pim_full.total_time
+    print(f"automorphism reordering gain: {reorder_gain:.3f}x total, "
+          f"{aut(pim_noreorder) / aut(pim_full):.2f}x automorphism time")
+    assert aut(pim_noreorder) > aut(pim_full)
+    assert reorder_gain > 1.0

@@ -1,0 +1,72 @@
+"""Fig. 1 (table): linear-transform algorithm comparison for CoeffToSlot.
+
+Reproduces the evk/plaintext footprints and the (I)NTT op counts of the
+Base / Hoisting / MinKS strategies for the CoeffToSlot transform
+collection, including hoisting's 2-3x (I)NTT reduction and MinKS's 4x
+evk reduction.
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_bytes, format_table
+from repro.params import paper_params
+from repro.workloads.bootstrap_trace import factor_diagonals
+from repro.workloads.linear_transform_trace import (count_ntt_limbs,
+                                                    transform_blocks)
+
+PARAMS = paper_params()
+FFT_ITER = 3.5
+FACTORS = 4
+
+
+def coeff_to_slot_stats():
+    """Per-method totals for the CoeffToSlot transform collection."""
+    diagonals = factor_diagonals(PARAMS.slot_count, FACTORS)
+    rows = {}
+    limbs = PARAMS.level_count
+    for method in ("base", "hoist", "minks"):
+        evk_bytes = 0
+        pt_bytes = 0
+        ntt = 0
+        evk_counts = 0
+        level = limbs
+        for _ in range(FACTORS):
+            blocks, stats = transform_blocks(
+                level, PARAMS.aux_count, PARAMS.dnum, diagonals,
+                method=method)
+            ntt += count_ntt_limbs(blocks, PARAMS.degree)
+            evk_bytes += stats.evk_bytes(PARAMS.degree, level,
+                                         PARAMS.aux_count, PARAMS.dnum)
+            pt_bytes += stats.plaintext_bytes(PARAMS.degree)
+            evk_counts += stats.evk_count
+            level -= 2
+        rows[method] = {
+            "evk_count": evk_counts,
+            "evk_bytes": evk_bytes,
+            "pt_bytes": pt_bytes,
+            "ntt_limbs": ntt,
+        }
+    return rows
+
+
+def test_fig1_linear_transform_table(benchmark):
+    rows = benchmark(coeff_to_slot_stats)
+    banner("Fig. 1 (table) — CoeffToSlot: Base vs Hoisting vs MinKS")
+    table = []
+    for method in ("base", "hoist", "minks"):
+        r = rows[method]
+        table.append([method, r["evk_count"], format_bytes(r["evk_bytes"]),
+                      format_bytes(r["pt_bytes"]), r["ntt_limbs"]])
+    print(format_table(
+        ["method", "#evk", "evk bytes", "plaintext bytes", "(I)NTT limbs"],
+        table))
+    ntt_reduction = rows["base"]["ntt_limbs"] / rows["hoist"]["ntt_limbs"]
+    evk_reduction = rows["base"]["evk_count"] / rows["minks"]["evk_count"]
+    print(f"hoisting (I)NTT reduction: {ntt_reduction:.2f}x "
+          "(paper: 2.47x)")
+    print(f"MinKS evk reduction: {evk_reduction:.0f}x (paper: 4x)")
+    # Shape assertions.
+    assert 1.5 < ntt_reduction < 4.0
+    assert 3 <= evk_reduction <= 8
+    assert rows["hoist"]["pt_bytes"] > rows["base"]["pt_bytes"]
+    assert rows["minks"]["ntt_limbs"] == rows["base"]["ntt_limbs"]

@@ -1,0 +1,73 @@
+"""Fig. 2a: execution-time breakdown of the basic CKKS functions.
+
+HADD / PMULT / HMULT / HROT on the A100 80GB model under three GPU
+library profiles (Phantom, 100x, Cheddar), reproducing Cheddar's
+1.5-1.8x HMULT/HROT advantage and the library-insensitive element-wise
+functions.
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_table
+from repro.core.framework import AnaheimFramework
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB, LIBRARIES
+from repro.params import paper_params
+from repro.workloads.basic_functions import BASIC_FUNCTIONS
+
+PARAMS = paper_params()
+
+
+def run_breakdowns():
+    results = {}
+    for lib_name, library in LIBRARIES.items():
+        framework = AnaheimFramework(A100_80GB, library=library)
+        for fn_name, factory in BASIC_FUNCTIONS.items():
+            blocks = factory(PARAMS.level_count, PARAMS.aux_count,
+                             PARAMS.dnum)
+            report = framework.run(blocks, PARAMS.degree,
+                                   label=f"{fn_name}/{lib_name}").report
+            results[(fn_name, lib_name)] = report
+    return results
+
+
+def test_fig2a_basic_function_breakdown(benchmark):
+    results = benchmark(run_breakdowns)
+    banner("Fig. 2a — basic CKKS functions on A100 80GB, three libraries")
+    rows = []
+    for fn_name in BASIC_FUNCTIONS:
+        for lib_name in LIBRARIES:
+            r = results[(fn_name, lib_name)]
+            rows.append([
+                fn_name, lib_name, f"{r.total_time * 1e6:.1f}",
+                f"{r.category_share(OpCategory.NTT) * 100:.0f}%",
+                f"{r.category_share(OpCategory.BCONV) * 100:.0f}%",
+                f"{r.category_share(OpCategory.ELEMENTWISE) * 100:.0f}%",
+                f"{r.category_share(OpCategory.AUTOMORPHISM) * 100:.0f}%",
+            ])
+    print(format_table(
+        ["function", "library", "time (us)", "(I)NTT", "BConv",
+         "elem-wise", "autom."], rows))
+
+    def t(fn, lib):
+        return results[(fn, lib)].total_time
+
+    hmult_vs_phantom = t("HMULT", "Phantom") / t("HMULT", "Cheddar")
+    hmult_vs_100x = t("HMULT", "100x") / t("HMULT", "Cheddar")
+    hrot_vs_phantom = t("HROT", "Phantom") / t("HROT", "Cheddar")
+    print(f"Cheddar HMULT speedup vs Phantom: {hmult_vs_phantom:.2f}x "
+          "(paper: 1.79x)")
+    print(f"Cheddar HMULT speedup vs 100x:    {hmult_vs_100x:.2f}x "
+          "(paper: 1.54x)")
+    print(f"Cheddar HROT speedup vs Phantom:  {hrot_vs_phantom:.2f}x "
+          "(paper: 1.73x)")
+    # Shape: Cheddar wins on key-switching functions ...
+    assert 1.2 < hmult_vs_phantom < 2.2
+    assert 1.2 < hmult_vs_100x < 2.0
+    # ... but element-wise functions are library-insensitive (Fig. 2a).
+    assert t("HADD", "Phantom") / t("HADD", "Cheddar") < 1.15
+    assert t("PMULT", "Phantom") / t("PMULT", "Cheddar") < 1.15
+    # HMULT/HROT are dominated by ModSwitch, not element-wise ops.
+    hrot = results[("HROT", "Cheddar")]
+    assert (hrot.category_share(OpCategory.NTT)
+            + hrot.category_share(OpCategory.BCONV)) > 0.4

@@ -1,0 +1,90 @@
+"""Fig. 2b: T_boot,eff breakdown vs decomposition number D.
+
+Sweeps D over {2, 3, 4, 6} at N = 2^16 and log PQ < 1623 on both GPU
+models, reproducing the dominance of element-wise ops (45-48% on A100,
+68-69% on RTX 4090) and the out-of-memory failure of large D on the
+RTX 4090's 24GB.
+"""
+
+import pytest
+from conftest import banner
+
+from repro.analysis.reporting import format_table
+from repro.core.allocator import plan_memory
+from repro.core.framework import AnaheimFramework
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB, RTX_4090
+from repro.params import params_for_dnum
+from repro.workloads.bootstrap_trace import bootstrap_blocks, t_boot_eff
+
+DNUMS = (2, 3, 4, 6)
+
+
+def sweep():
+    results = {}
+    for gpu in (A100_80GB, RTX_4090):
+        framework = AnaheimFramework(gpu)
+        for dnum in DNUMS:
+            params = params_for_dnum(dnum)
+            blocks, meta = bootstrap_blocks(params)
+            memory = plan_memory(params, evk_count=meta.evk_count,
+                                 plaintext_limbs=meta.plaintext_limbs)
+            if not memory.fits(gpu.dram_capacity):
+                results[(gpu.name, dnum)] = ("OoM", meta, memory)
+                continue
+            report = framework.run(blocks, params.degree,
+                                   label=f"D={dnum}").report
+            results[(gpu.name, dnum)] = (report, meta, memory)
+    return results
+
+
+def test_fig2b_tboot_vs_dnum(benchmark):
+    results = benchmark(sweep)
+    banner("Fig. 2b — T_boot,eff breakdown vs decomposition number D")
+    rows = []
+    for gpu_name in (A100_80GB.name, RTX_4090.name):
+        for dnum in DNUMS:
+            report, meta, memory = results[(gpu_name, dnum)]
+            if report == "OoM":
+                rows.append([gpu_name, dnum, "OoM", "-", "-", "-",
+                             f"{memory.total_bytes / 1e9:.0f}GB"])
+                continue
+            tbe = t_boot_eff(report.total_time, meta)
+            rows.append([
+                gpu_name, dnum, f"{tbe * 1e3:.2f}ms",
+                f"{meta.l_eff}",
+                f"{report.category_share(OpCategory.ELEMENTWISE) * 100:.0f}%",
+                f"{(report.category_share(OpCategory.NTT) + report.category_share(OpCategory.BCONV)) * 100:.0f}%",
+                f"{memory.total_bytes / 1e9:.0f}GB"])
+    print(format_table(
+        ["GPU", "D", "T_boot,eff", "L_eff", "elem-wise", "ModSwitch",
+         "memory"], rows))
+
+    # Shape assertions: element-wise dominates on both GPUs, more on 4090.
+    a100_d4 = results[(A100_80GB.name, 4)][0]
+    rtx_share = None
+    for dnum in DNUMS:
+        report, _, _ = results[(RTX_4090.name, dnum)]
+        if report != "OoM":
+            rtx_share = report.category_share(OpCategory.ELEMENTWISE)
+            a100_share = results[(A100_80GB.name, dnum)][0].category_share(
+                OpCategory.ELEMENTWISE)
+            assert rtx_share > a100_share
+    a100_share_d4 = a100_d4.category_share(OpCategory.ELEMENTWISE)
+    print(f"A100 D=4 element-wise share: {a100_share_d4 * 100:.1f}% "
+          "(paper: 45-48%)")
+    assert 0.38 <= a100_share_d4 <= 0.58
+    assert rtx_share is not None and 0.58 <= rtx_share <= 0.80
+
+    # Large D runs out of memory on the 24GB RTX 4090 (paper: OoM bars).
+    assert results[(RTX_4090.name, 6)][0] == "OoM"
+    assert results[(A100_80GB.name, 6)][0] != "OoM"
+
+    # T_boot,eff has an interior optimum in D on the A100 (paper: D=3-4).
+    tbes = {}
+    for dnum in DNUMS:
+        report, meta, _ = results[(A100_80GB.name, dnum)]
+        tbes[dnum] = t_boot_eff(report.total_time, meta)
+    best = min(tbes, key=tbes.get)
+    print(f"best D on A100: {best} (paper default: 4)")
+    assert best in (3, 4)

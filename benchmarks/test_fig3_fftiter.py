@@ -1,0 +1,63 @@
+"""Fig. 3: T_boot,eff vs fftIter (the linear-transform decomposition depth).
+
+Higher fftIter shrinks each DFT factor (fewer diagonals per factor,
+lower element-wise share) but burns more levels, dropping L_eff; the
+default mix of three and four achieves the best T_boot,eff, and
+fftIter > 4 degrades it (§IV-C).
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_table
+from repro.core.framework import AnaheimFramework
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB
+from repro.params import paper_params
+from repro.workloads.bootstrap_trace import bootstrap_blocks, t_boot_eff
+
+PARAMS = paper_params()
+FFT_ITERS = (3.0, 3.5, 4.0, 5.0, 6.0)
+
+
+def sweep():
+    framework = AnaheimFramework(A100_80GB)
+    results = {}
+    for fft in FFT_ITERS:
+        blocks, meta = bootstrap_blocks(PARAMS, fft_iter_cts=fft,
+                                        fft_iter_stc=fft)
+        report = framework.run(blocks, PARAMS.degree,
+                               label=f"fftIter={fft}").report
+        results[fft] = (report, meta)
+    return results
+
+
+def test_fig3_fftiter_tradeoff(benchmark):
+    results = benchmark(sweep)
+    banner("Fig. 3 — T_boot,eff vs fftIter (A100, D=4)")
+    rows = []
+    for fft in FFT_ITERS:
+        report, meta = results[fft]
+        label = "3/4 mix (default)" if fft == 3.5 else f"{fft:g}"
+        rows.append([
+            label, f"{report.total_time * 1e3:.1f}ms", meta.l_eff,
+            f"{t_boot_eff(report.total_time, meta) * 1e3:.2f}ms",
+            f"{report.category_share(OpCategory.ELEMENTWISE) * 100:.0f}%"])
+    print(format_table(
+        ["fftIter", "boot time", "L_eff", "T_boot,eff", "elem-wise"],
+        rows))
+
+    tbe = {fft: t_boot_eff(r.total_time, m)
+           for fft, (r, m) in results.items()}
+    # Each fftIter increase drops L_eff (§IV-C).
+    effs = [results[f][1].l_eff for f in FFT_ITERS]
+    assert effs == sorted(effs, reverse=True)
+    # Raising fftIter reduces the element-wise share slightly...
+    ew3 = results[3.0][0].category_share(OpCategory.ELEMENTWISE)
+    ew6 = results[6.0][0].category_share(OpCategory.ELEMENTWISE)
+    assert ew6 < ew3
+    # ...but degrades T_boot,eff beyond fftIter = 4 (Fig. 3).
+    assert tbe[5.0] > tbe[4.0] or tbe[5.0] > tbe[3.5]
+    assert tbe[6.0] > tbe[3.5]
+    best = min(tbe, key=tbe.get)
+    print(f"best fftIter: {best:g} (paper: 3/4 mix)")
+    assert best in (3.0, 3.5, 4.0)

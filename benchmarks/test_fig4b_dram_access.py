@@ -1,0 +1,95 @@
+"""Fig. 4b: bootstrapping DRAM access volume and energy, with/without PIM.
+
+Reproduces the §V-D analysis: element-wise ops account for the large
+majority of baseline GPU DRAM accesses; PIM converts them into internal
+accesses, cutting GPU-side traffic by several x (6.15x in the paper)
+and total DRAM access energy by ~2.9x.  The "ideal" bar assumes
+unlimited cache with MinKS (compulsory evk/plaintext misses only).
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_bytes, format_table
+from repro.core.framework import AnaheimFramework
+from repro.core.trace import OpCategory
+from repro.dram.energy import DEFAULT_ENERGY
+from repro.gpu.configs import A100_80GB
+from repro.gpu.model import GpuModel
+from repro.params import paper_params
+from repro.pim.configs import A100_NEAR_BANK
+from repro.workloads.bootstrap_trace import bootstrap_blocks
+
+PARAMS = paper_params()
+
+
+def measure():
+    blocks, meta = bootstrap_blocks(PARAMS)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+    runs = framework.compare(blocks, PARAMS.degree, label="boot")
+    base = runs["gpu"].report
+    pim = runs["pim"].report
+
+    # Element-wise share of baseline DRAM accesses.
+    model = GpuModel(A100_80GB)
+    cache = framework.cache
+    from repro.core.fusion import GPU_ALL_FUSE, lower
+    trace = lower(blocks, PARAMS.degree, GPU_ALL_FUSE)
+    ew_dram = sum(cache.dram_bytes(k) for k in trace.gpu_kernels()
+                  if k.category == OpCategory.ELEMENTWISE)
+
+    # Ideal: unlimited cache, MinKS evks, compulsory misses only.
+    _, minks_meta = bootstrap_blocks(PARAMS, method="minks")
+    minks_evks = max(1, minks_meta.evk_count // 4)
+    ideal_bytes = (minks_evks * PARAMS.evk_bytes()
+                   + minks_meta.plaintext_limbs * PARAMS.degree * 4)
+
+    # Per-bit access-energy accounting, as the paper does for this
+    # figure ("derived DRAM access energy using per-bit access energy
+    # values estimated based on [62]").
+    pj = DEFAULT_ENERGY
+    energy = {
+        "w/o PIM": base.gpu_dram_bytes * 8 * pj.gpu_access_pj_per_bit * 1e-12,
+        "PIM": (pim.gpu_dram_bytes * 8 * pj.gpu_access_pj_per_bit
+                + pim.pim_internal_bytes * 8 * pj.near_bank_pj_per_bit
+                ) * 1e-12,
+    }
+    return base, pim, ew_dram, ideal_bytes, energy
+
+
+def test_fig4b_dram_access_and_energy(benchmark):
+    base, pim, ew_dram, ideal_bytes, energy = benchmark(measure)
+    banner("Fig. 4b — bootstrapping DRAM access and energy (A100)")
+    rows = [
+        ["w/o PIM (GPU-side)", format_bytes(base.gpu_dram_bytes),
+         f"{energy['w/o PIM']:.3f}J"],
+        ["PIM (GPU-side)", format_bytes(pim.gpu_dram_bytes), "-"],
+        ["PIM (PIM-side internal)", format_bytes(pim.pim_internal_bytes),
+         "-"],
+        ["PIM (total energy)", "-", f"{energy['PIM']:.3f}J"],
+        ["ideal (unlimited cache + MinKS)", format_bytes(ideal_bytes), "-"],
+    ]
+    print(format_table(["configuration", "DRAM access", "energy"], rows))
+    ew_share = ew_dram / base.gpu_dram_bytes
+    traffic_gain = base.gpu_dram_bytes / pim.gpu_dram_bytes
+    energy_gain = energy["w/o PIM"] / energy["PIM"]
+    print(f"element-wise share of baseline DRAM access: "
+          f"{ew_share * 100:.1f}% (paper: 83.7%)")
+    print(f"GPU-side DRAM access reduction: {traffic_gain:.2f}x "
+          f"(paper: 6.15x)")
+    print(f"vs ideal: {pim.gpu_dram_bytes / ideal_bytes:.2f}x "
+          f"(paper: 1.86x)")
+    print(f"DRAM access energy reduction: {energy_gain:.2f}x "
+          f"(paper: 2.87x)")
+
+    # Shape assertions.  The energy reduction is directionally right but
+    # smaller than the paper's 2.87x: our L2 model credits the GPU
+    # baseline with element-wise operand reuse that the paper's
+    # simulation does not, while PIM always re-reads full operand
+    # footprints from the banks (see EXPERIMENTS.md).
+    assert ew_share > 0.6
+    assert traffic_gain > 2.0
+    assert pim.gpu_dram_bytes > ideal_bytes          # ideal is a floor
+    assert 1.05 < energy_gain < 5.0
+    # PIM-side access grows slightly over what the GPU did for the same
+    # ops (§V-D: "converted into PIM-side access and slightly increases").
+    assert pim.pim_internal_bytes > 0.5 * ew_dram

@@ -1,0 +1,114 @@
+"""Fig. 9: PIM instruction microbenchmark vs data buffer size B.
+
+Sweeps B from 4 to 64 for every Table II instruction on the three PIM
+configurations, reproducing: compound instructions unsupported at small
+B, performance saturating with growing B (faster for custom-HBM), and
+PAccum/CAccum achieving the largest speedups (1.65-10.33x range at the
+default B).
+"""
+
+from conftest import PIM_SETUPS, banner
+
+from repro.analysis.reporting import format_table
+from repro.core.trace import PimKernel
+from repro.gpu.kernels import elementwise_kernel
+from repro.gpu.model import GpuModel
+from repro.params import paper_params
+from repro.pim import isa
+from repro.pim.configs import with_buffer
+from repro.pim.executor import PimExecutor
+
+PARAMS = paper_params()
+LIMBS = PARAMS.level_count + PARAMS.aux_count
+BUFFERS = (4, 8, 16, 32, 64)
+INSTRUCTIONS = ("Move", "Add", "Mult", "MAC", "PMult", "PMAC", "CMult",
+                "Tensor", "ModDownEp", "PAccum", "CAccum")
+
+
+def _gpu_baseline_time(gpu, instruction, fan_in):
+    """Fused GPU kernel moving the same operand set."""
+    inst = isa.instruction(instruction)
+    polys = inst.total_polys(fan_in)
+    kernel = elementwise_kernel(
+        instruction, LIMBS, PARAMS.degree, reads=polys - inst.writes,
+        writes=inst.writes, streaming_reads=polys - inst.writes)
+    model = GpuModel(gpu)
+    cost = model.kernel_cost(kernel)
+    return cost.time, model.kernel_energy(kernel, cost)
+
+
+def sweep():
+    results = {}
+    for setup_name, gpu, pim in PIM_SETUPS:
+        for name in INSTRUCTIONS:
+            inst = isa.instruction(name)
+            fan_in = 4 if inst.compound else 1
+            gpu_time, gpu_energy = _gpu_baseline_time(gpu, name, fan_in)
+            for b in BUFFERS:
+                executor = PimExecutor(with_buffer(pim, b))
+                if not executor.supports(name, fan_in):
+                    results[(setup_name, name, b)] = None
+                    continue
+                kernel = PimKernel(name=name, instruction=name,
+                                   limbs=LIMBS, degree=PARAMS.degree,
+                                   fan_in=fan_in)
+                cost = executor.cost(kernel)
+                results[(setup_name, name, b)] = (
+                    gpu_time / cost.time, gpu_energy / cost.energy)
+    return results
+
+
+def test_fig9_pim_instruction_microbenchmark(benchmark):
+    results = benchmark(sweep)
+    banner("Fig. 9 — PIM instruction speedups vs buffer size B")
+    for setup_name, _, pim in PIM_SETUPS:
+        rows = []
+        for name in INSTRUCTIONS:
+            cells = []
+            for b in BUFFERS:
+                cell = results[(setup_name, name, b)]
+                cells.append("n/a" if cell is None else f"{cell[0]:.2f}x")
+            rows.append([name] + cells)
+        print()
+        print(format_table(
+            ["instruction"] + [f"B={b}" for b in BUFFERS], rows,
+            title=f"{setup_name} (default B={pim.buffer_entries})"))
+
+    # --- Shape assertions. ---
+    # Compound instructions unsupported at B=4.
+    assert results[("A100 near-bank", "PAccum", 4)] is None
+    assert results[("A100 near-bank", "Tensor", 4)] is None
+    assert results[("A100 near-bank", "CAccum", 4)] is not None
+    # Speedups increase with B and saturate.
+    for setup_name, _, _ in PIM_SETUPS:
+        series = [results[(setup_name, "PAccum", b)][0]
+                  for b in (8, 16, 32, 64)]
+        assert series == sorted(series)
+        early = series[1] / series[0]
+        late = series[3] / series[2]
+        assert late < early          # saturation
+    # Defaults: speedups and energy gains in the paper's reported range.
+    default_b = {"A100 near-bank": 16, "A100 custom-HBM": 16,
+                 "RTX 4090 near-bank": 32}
+    speedups = []
+    energies = []
+    for setup_name, _, _ in PIM_SETUPS:
+        for name in INSTRUCTIONS:
+            cell = results[(setup_name, name, default_b[setup_name])]
+            if cell is not None:
+                speedups.append(cell[0])
+                energies.append(cell[1])
+    print(f"\ndefault-B speedup range: {min(speedups):.2f}-"
+          f"{max(speedups):.2f}x (paper: 1.65-10.33x)")
+    print(f"default-B energy-efficiency range: {min(energies):.2f}-"
+          f"{max(energies):.2f}x (paper: 2.63-17.39x)")
+    assert 1.3 < min(speedups) < 4.5
+    assert 6.0 < max(speedups) < 16.0
+    assert max(energies) < 25.0
+    # PAccum/CAccum achieve the largest speedups per configuration.
+    for setup_name, _, _ in PIM_SETUPS:
+        b = default_b[setup_name]
+        best = max(INSTRUCTIONS,
+                   key=lambda n: (results[(setup_name, n, b)][0]
+                                  if results[(setup_name, n, b)] else 0.0))
+        assert best in ("PAccum", "CAccum")

@@ -1,0 +1,53 @@
+"""Table III: the tested GPU and Anaheim PIM configurations.
+
+Regenerates the derived rows of Table III (bandwidth-increase factors,
+MMAC throughput, area fractions) from the config objects, so any drift
+between the model and the paper's configuration table is caught here.
+"""
+
+from conftest import banner
+
+from repro.analysis.reporting import format_table
+from repro.gpu.configs import A100_80GB, RTX_4090
+from repro.pim.configs import PIM_CONFIGS
+
+
+def gather():
+    rows = []
+    gpus = {"A100 near-bank": A100_80GB, "A100 custom-HBM": A100_80GB,
+            "RTX 4090 near-bank": RTX_4090}
+    for name, config in PIM_CONFIGS.items():
+        gpu = gpus[name]
+        rows.append({
+            "name": name,
+            "compute_tops": gpu.int_mult_tops,
+            "bandwidth": gpu.dram_bandwidth,
+            "capacity": gpu.dram_capacity,
+            "banks": config.geometry.total_banks,
+            "units": config.units,
+            "bw_mult": config.bandwidth_multiplier,
+            "buffer": config.buffer_entries,
+            "area_pct": config.area_fraction * 100,
+        })
+    return rows
+
+
+def test_table3_configurations(benchmark):
+    rows = benchmark(gather)
+    banner("Table III — tested GPUs and Anaheim configurations")
+    print(format_table(
+        ["PIM config", "GPU TOPS", "DRAM BW", "capacity", "banks",
+         "PIM units", "BW incr.", "B", "area %"],
+        [[r["name"], r["compute_tops"], f"{r['bandwidth'] / 1e9:.0f}GB/s",
+          f"{r['capacity'] / 1e9:.0f}GB", r["banks"], r["units"],
+          f"{r['bw_mult']:.1f}x", r["buffer"], f"{r['area_pct']:.1f}%"]
+         for r in rows]))
+    by_name = {r["name"]: r for r in rows}
+    # Paper Table III values.
+    assert abs(by_name["A100 near-bank"]["bw_mult"] - 16) < 2.5
+    assert abs(by_name["A100 custom-HBM"]["bw_mult"] - 4) < 1.0
+    assert abs(by_name["RTX 4090 near-bank"]["bw_mult"] - 8) < 1.5
+    assert by_name["A100 near-bank"]["banks"] == 2560
+    assert by_name["RTX 4090 near-bank"]["banks"] == 384
+    for r in rows:
+        assert r["area_pct"] < 10.0   # "within 10% of the DRAM dies"

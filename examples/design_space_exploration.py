@@ -1,0 +1,95 @@
+"""Design-space exploration with the Anaheim performance models.
+
+Sweeps the PIM data-buffer size and compares the three Table III PIM
+configurations on full bootstrapping, then prints the hybrid execution
+Gantt chart of a hoisted linear transform (the paper's Fig. 4a view).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import (A100_80GB, A100_CUSTOM_HBM, A100_NEAR_BANK,
+                   AnaheimFramework, RTX4090_NEAR_BANK, RTX_4090,
+                   paper_params)
+from repro.analysis.reporting import format_table
+from repro.core.gantt import render_gantt
+from repro.pim.configs import with_buffer
+from repro.workloads.bootstrap_trace import bootstrap_blocks
+from repro.workloads.linear_transform_trace import hoisted_block
+
+PARAMS = paper_params()
+
+
+def buffer_sweep():
+    print("=== Data-buffer sweep: bootstrapping on A100 near-bank PIM ===")
+    blocks, _ = bootstrap_blocks(PARAMS)
+    rows = []
+    for b in (8, 16, 32, 64):
+        framework = AnaheimFramework(A100_80GB, with_buffer(A100_NEAR_BANK, b))
+        report = framework.run(blocks, PARAMS.degree, label=f"B={b}").report
+        rows.append([b, f"{report.total_time * 1e3:.2f}ms",
+                     f"{report.pim_time * 1e3:.2f}ms",
+                     f"{report.energy:.2f}J"])
+    print(format_table(["B", "boot time", "PIM time", "energy"], rows))
+
+
+def config_comparison():
+    print()
+    print("=== PIM variants on bootstrapping ===")
+    blocks, _ = bootstrap_blocks(PARAMS)
+    rows = []
+    for label, gpu, pim in (
+            ("A100 near-bank", A100_80GB, A100_NEAR_BANK),
+            ("A100 custom-HBM", A100_80GB, A100_CUSTOM_HBM),
+            ("RTX 4090 near-bank", RTX_4090, RTX4090_NEAR_BANK)):
+        framework = AnaheimFramework(gpu, pim)
+        runs = framework.compare(blocks, PARAMS.degree, label=label)
+        gpu_r, pim_r = runs["gpu"].report, runs["pim"].report
+        rows.append([label, f"{gpu_r.total_time * 1e3:.1f}ms",
+                     f"{pim_r.total_time * 1e3:.1f}ms",
+                     f"{gpu_r.total_time / pim_r.total_time:.2f}x",
+                     f"{(gpu_r.energy * gpu_r.total_time) / (pim_r.energy * pim_r.total_time):.2f}x"])
+    print(format_table(
+        ["configuration", "GPU only", "Anaheim", "speedup", "EDP gain"],
+        rows))
+
+
+def other_memories():
+    print()
+    print("=== §VI-D: Anaheim on other DRAM technologies ===")
+    from repro.core.trace import PimKernel
+    from repro.pim.executor import PimExecutor
+    from repro.pim.other_memories import (DDR5_NEAR_BANK, LPDDR5_NEAR_BANK,
+                                          general_purpose_pim)
+    kernel = PimKernel(name="PAccum", instruction="PAccum",
+                       limbs=PARAMS.level_count + PARAMS.aux_count,
+                       degree=PARAMS.degree, fan_in=4)
+    rows = []
+    for config in (A100_NEAR_BANK, DDR5_NEAR_BANK, LPDDR5_NEAR_BANK,
+                   general_purpose_pim(A100_NEAR_BANK)):
+        cost = PimExecutor(config).cost(kernel)
+        rows.append([config.name, f"{config.bandwidth_multiplier:.1f}x",
+                     f"{cost.time * 1e6:.1f}us",
+                     f"{cost.energy * 1e3:.2f}mJ"])
+    print(format_table(
+        ["configuration", "BW incr.", "PAccum<4> time", "energy"], rows))
+
+
+def gantt_view():
+    print()
+    print("=== Hybrid schedule of a hoisted linear transform (K=8) ===")
+    blocks = hoisted_block(PARAMS.level_count, PARAMS.aux_count,
+                           PARAMS.dnum, rotations=8)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                 keep_segments=True)
+    report = framework.run(blocks, PARAMS.degree,
+                           label="hoisted transform").report
+    print(render_gantt(report, width=90))
+    print("  [N=(I)NTT  B=BConv  e=element-wise  A=automorphism "
+          "w=write-back  P=PIM kernel]")
+
+
+if __name__ == "__main__":
+    buffer_sweep()
+    config_comparison()
+    other_memories()
+    gantt_view()

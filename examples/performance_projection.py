@@ -1,0 +1,70 @@
+"""Write an FHE program once, project its Anaheim performance for free.
+
+Uses the RecordingEvaluator: an encrypted variance computation runs
+*functionally* at a toy ring degree (real encryption, real math), while
+every homomorphic op is journaled as a block program.  The journal is
+then re-scaled to the paper's N=2^16 parameters and costed on the
+A100 + near-bank-PIM model — the §V-C "high-level code -> GPU kernels +
+PIM kernels" pipeline end to end.
+
+Run:  python examples/performance_projection.py
+"""
+
+import numpy as np
+
+from repro import A100_80GB, A100_NEAR_BANK, AnaheimFramework, paper_params
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.linalg import rotations_for_block_sum
+from repro.core.recorder import RecordingEvaluator, scale_blocks
+from repro.params import toy_params
+
+
+def encrypted_variance(ctx, ct, n_slots):
+    """Var(x) = E[x^2] - E[x]^2 over all packed slots, homomorphically."""
+    sum_x = ct
+    sum_x2 = ctx.multiply(ct, ct)
+    for shift in rotations_for_block_sum(n_slots):
+        sum_x = ctx.add(sum_x, ctx.rotate(sum_x, shift))
+        sum_x2 = ctx.add(sum_x2, ctx.rotate(sum_x2, shift))
+    mean = ctx.mul_scalar(sum_x, 1.0 / n_slots)
+    mean_sq = ctx.multiply(mean, mean)
+    ex2 = ctx.mul_scalar(sum_x2, 1.0 / n_slots)
+    return ctx.sub(ex2, mean_sq)
+
+
+def main():
+    # --- Functional execution at a toy ring degree. ---
+    params = toy_params(degree=2 ** 8, level_count=8, aux_count=3)
+    n = params.slot_count
+    keygen = KeyGenerator(params, seed=3)
+    keys = keygen.generate(rotations=rotations_for_block_sum(n))
+    ctx = RecordingEvaluator(params, keys)
+
+    rng = np.random.default_rng(0)
+    data = rng.normal(loc=0.3, scale=0.8, size=n)
+    ct = ctx.encrypt_message(data)
+    result = encrypted_variance(ctx, ct, n)
+    decrypted = ctx.decrypt_message(result).real[0]
+    print(f"encrypted variance : {decrypted:.5f}")
+    print(f"cleartext variance : {data.var():.5f}")
+    print(f"ops recorded       : {len(ctx.recorded)} blocks")
+
+    # --- Performance projection at paper scale. ---
+    target = paper_params()
+    blocks = scale_blocks(ctx.recorded, params, target)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+    runs = framework.compare(blocks, target.degree,
+                             label="encrypted variance")
+    gpu, pim = runs["gpu"].report, runs["pim"].report
+    print()
+    print(f"projected at N=2^16, L={target.level_count} on A100 80GB:")
+    print(f"  GPU only      : {gpu.total_time * 1e3:.2f} ms")
+    print(f"  GPU + PIM     : {pim.total_time * 1e3:.2f} ms  "
+          f"({gpu.total_time / pim.total_time:.2f}x speedup, "
+          f"{(gpu.energy * gpu.total_time) / (pim.energy * pim.total_time):.2f}x EDP)")
+    print(f"  DRAM traffic  : {gpu.gpu_dram_bytes / 1e9:.2f} GB -> "
+          f"{pim.gpu_dram_bytes / 1e9:.2f} GB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Run Alg. 1 (PAccum<4>) on the functional PIM model, bit for bit.
+
+Stores real polynomial residues inside simulated DRAM banks under the
+column-partitioning layout, executes the fused PAccum<4> instruction
+through the Montgomery MMAC lanes, and compares both the numerical
+result (vs numpy) and the ACT/PRE command counts of the CP layout vs
+the naive contiguous layout (§VI-B/C).
+
+Run:  python examples/pim_functional_demo.py
+"""
+
+import numpy as np
+
+from repro.ckks import modmath
+from repro.dram.bank import Bank
+from repro.dram.configs import HBM2_A100
+from repro.pim.layout import BankLayout
+from repro.pim.unit import PimUnit, load_poly, store_poly
+
+CHUNKS = 16          # Fig. 7: 16 chunks (128 elements) per bank per limb
+ELEMENTS = CHUNKS * 8
+
+
+def run(layout_kind):
+    q = modmath.generate_primes(1, 64, bits=27)[0]
+    bank = Bank(HBM2_A100, rows=64)
+    layout = BankLayout(HBM2_A100, chunks_per_poly=CHUNKS, width=2)
+    unit = PimUnit(bank, q, buffer_entries=16)
+    allocate = (layout.allocate_naive if layout_kind == "naive"
+                else layout.allocate)
+
+    rng = np.random.default_rng(1)
+    plaintexts = [rng.integers(0, q, ELEMENTS) for _ in range(4)]
+    inputs = [rng.integers(0, q, ELEMENTS) for _ in range(8)]
+
+    group_p = allocate(4)
+    group_ab = allocate(8)
+    group_out = allocate(2)
+    for placement, value in zip(group_p.placements, plaintexts):
+        store_poly(bank, placement, value)
+    for placement, value in zip(group_ab.placements, inputs):
+        store_poly(bank, placement, value)
+
+    bank.stats.reset()
+    unit.execute("PAccum", dsts=group_out.placements,
+                 src_groups=[group_p.placements, group_ab.placements],
+                 fan_in=4)
+    stats = bank.stats
+
+    x = load_poly(bank, group_out[0]) if True else None
+    y = load_poly(bank, group_out[1])
+    x_ref = sum(a * p % q for a, p in zip(inputs[0::2], plaintexts)) % q
+    y_ref = sum(b * p % q for b, p in zip(inputs[1::2], plaintexts)) % q
+    assert np.array_equal(x, x_ref), "PAccum x mismatch!"
+    assert np.array_equal(y, y_ref), "PAccum y mismatch!"
+    return stats
+
+
+def main():
+    print("PAccum<4> over 14 polynomial slices "
+          f"({CHUNKS} chunks each), B = 16, G = B/6 = 2")
+    print()
+    cp = run("column-partitioned")
+    naive = run("naive")
+    print(f"{'layout':>20s} {'ACT':>6s} {'RD':>6s} {'WR':>6s}")
+    print(f"{'column-partitioned':>20s} {cp.activates:6d} "
+          f"{cp.chunk_reads:6d} {cp.chunk_writes:6d}")
+    print(f"{'naive contiguous':>20s} {naive.activates:6d} "
+          f"{naive.chunk_reads:6d} {naive.chunk_writes:6d}")
+    print()
+    print(f"results verified against numpy for both layouts.")
+    print(f"column partitioning saves "
+          f"{naive.activates / cp.activates:.1f}x row activations "
+          "(paper §VI-C: 14 vs 3 per loop iteration).")
+
+
+if __name__ == "__main__":
+    main()

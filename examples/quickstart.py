@@ -1,0 +1,69 @@
+"""Quickstart: encrypted arithmetic + Anaheim performance modeling.
+
+Part 1 uses the executable CKKS library at a small ring degree:
+encrypt two vectors, add/multiply/rotate them homomorphically, decrypt.
+
+Part 2 models the paper's headline experiment: full-slot bootstrapping
+on an A100, with and without Anaheim's PIM offloading.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import A100_80GB, A100_NEAR_BANK, AnaheimFramework, paper_params
+from repro.ckks import make_context
+from repro.params import toy_params
+from repro.workloads.applications import build
+from repro.workloads.bootstrap_trace import t_boot_eff
+
+
+def encrypted_arithmetic():
+    print("=== Part 1: executable CKKS (N = 2^10) ===")
+    params = toy_params(degree=2 ** 10, level_count=5, aux_count=2)
+    context = make_context(params, rotations=[1, 4])
+
+    rng = np.random.default_rng(0)
+    u = rng.normal(size=params.slot_count)
+    v = rng.normal(size=params.slot_count)
+
+    ct_u = context.encrypt_message(u)
+    ct_v = context.encrypt_message(v)
+
+    total = context.add(ct_u, ct_v)
+    product = context.multiply(ct_u, ct_v)
+    rotated = context.rotate(ct_u, 4)
+
+    for label, ct, expected in [
+            ("u + v", total, u + v),
+            ("u * v", product, u * v),
+            ("u << 4", rotated, np.roll(u, -4))]:
+        decrypted = context.decrypt_message(ct).real
+        err = np.abs(decrypted - expected).max()
+        print(f"  {label:8s} max error = {err:.2e}")
+
+
+def anaheim_performance_model():
+    print()
+    print("=== Part 2: Anaheim performance model (N = 2^16, Table IV) ===")
+    params = paper_params()
+    workload = build("Boot", params)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+    runs = framework.compare(workload.blocks, params.degree, label="Boot")
+    gpu = runs["gpu"].report
+    pim = runs["pim"].report
+    print(f"  baseline GPU bootstrap : {gpu.total_time * 1e3:6.1f} ms "
+          f"(T_boot,eff {t_boot_eff(gpu.total_time, workload.boot_meta) * 1e3:.2f} ms)")
+    print(f"  Anaheim (GPU + PIM)    : {pim.total_time * 1e3:6.1f} ms "
+          f"(T_boot,eff {t_boot_eff(pim.total_time, workload.boot_meta) * 1e3:.2f} ms)")
+    print(f"  speedup                : {gpu.total_time / pim.total_time:.2f}x")
+    print(f"  energy efficiency gain : {gpu.energy / pim.energy:.2f}x")
+    print(f"  EDP improvement        : "
+          f"{(gpu.energy * gpu.total_time) / (pim.energy * pim.total_time):.2f}x")
+    print(f"  GPU-side DRAM traffic  : {gpu.gpu_dram_bytes / 1e9:.1f} GB "
+          f"-> {pim.gpu_dram_bytes / 1e9:.1f} GB")
+
+
+if __name__ == "__main__":
+    encrypted_arithmetic()
+    anaheim_performance_model()

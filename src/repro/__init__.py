@@ -1,0 +1,56 @@
+"""Anaheim (HPCA 2025) reproduction: PIM architecture and algorithms for FHE.
+
+A from-scratch Python implementation of the systems the paper builds on
+and contributes:
+
+* :mod:`repro.ckks` — a complete, executable RNS-CKKS library
+  (NTT, key switching, linear transforms, bootstrapping);
+* :mod:`repro.gpu` — a calibrated roofline model of the evaluated GPUs;
+* :mod:`repro.dram` / :mod:`repro.pim` — the DRAM substrate and the
+  Anaheim PIM microarchitecture (functional + analytic);
+* :mod:`repro.core` — the Anaheim software framework: block IR, kernel
+  fusion, automorphism reordering, PIM offloading, hybrid scheduling;
+* :mod:`repro.workloads` — the six evaluation workloads and metrics.
+
+Quickstart::
+
+    from repro import AnaheimFramework, A100_80GB, A100_NEAR_BANK
+    from repro.workloads.applications import build
+    from repro.params import paper_params
+
+    params = paper_params()
+    workload = build("Boot", params)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+    result = framework.compare(workload.blocks, params.degree)
+    print(result["gpu"].report.total_time, result["pim"].report.total_time)
+"""
+
+from repro.core.framework import AnaheimFramework
+from repro.core.fusion import LoweringOptions
+from repro.core.scheduler import ScheduleReport, Scheduler
+from repro.gpu.configs import A100_80GB, CHEDDAR, GPUS, LIBRARIES, RTX_4090
+from repro.params import CkksParams, PaperParams, paper_params, toy_params
+from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK, PIM_CONFIGS,
+                               RTX4090_NEAR_BANK)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_80GB",
+    "A100_CUSTOM_HBM",
+    "A100_NEAR_BANK",
+    "AnaheimFramework",
+    "CHEDDAR",
+    "CkksParams",
+    "GPUS",
+    "LIBRARIES",
+    "LoweringOptions",
+    "PIM_CONFIGS",
+    "PaperParams",
+    "RTX4090_NEAR_BANK",
+    "RTX_4090",
+    "ScheduleReport",
+    "Scheduler",
+    "paper_params",
+    "toy_params",
+]

@@ -1,0 +1,58 @@
+"""Execution-time breakdown analysis (the Figs. 2-3 presentation layer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import ScheduleReport
+from repro.core.trace import CATEGORY_LABELS, OpCategory
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One bar of a stacked-breakdown figure."""
+
+    label: str
+    total_time: float
+    shares: dict            # category label -> fraction of total
+
+    def share(self, category: OpCategory) -> float:
+        return self.shares.get(CATEGORY_LABELS[category], 0.0)
+
+
+def breakdown_row(label: str, report: ScheduleReport) -> BreakdownRow:
+    total = report.total_time or 1.0
+    shares = {name: seconds / total
+              for name, seconds in report.breakdown().items()}
+    return BreakdownRow(label=label, total_time=report.total_time,
+                        shares=shares)
+
+
+def merge_reports(reports, label: str = "") -> ScheduleReport:
+    """Sum several schedule reports into one (sequential composition)."""
+    reports = list(reports)
+    merged = reports[0].scaled(1.0)
+    merged.label = label or merged.label
+    for report in reports[1:]:
+        merged = merged.merged(report, label=merged.label)
+    return merged
+
+
+def stacked_bars(rows, width: int = 60) -> str:
+    """ASCII stacked bars, normalized to the slowest row."""
+    if not rows:
+        return ""
+    glyphs = {"(I)NTT": "N", "BConv": "B", "Element-wise": "e",
+              "Automorphism": "A", "Transfer": "w"}
+    longest = max(r.total_time for r in rows) or 1.0
+    name_width = max(len(r.label) for r in rows) + 2
+    lines = []
+    for row in rows:
+        bar_len = int(row.total_time / longest * width)
+        bar = []
+        for name, share in row.shares.items():
+            bar.extend(glyphs.get(name, "?") * int(round(share * bar_len)))
+        lines.append(f"{row.label:<{name_width}s}|" + "".join(bar[:width]))
+    legend = ", ".join(f"{g}={n}" for n, g in glyphs.items())
+    lines.append(f"  [{legend}]")
+    return "\n".join(lines)

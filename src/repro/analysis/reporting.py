@@ -1,0 +1,42 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render a simple aligned text table."""
+    columns = [len(str(h)) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            columns[i] = max(columns[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, columns))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in columns))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration with paper-style units."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def format_bytes(value: float) -> str:
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}GB"
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}MB"
+    return f"{value / 1e3:.1f}KB"

@@ -1,0 +1,56 @@
+"""Executable RNS-CKKS: the FHE substrate Anaheim accelerates.
+
+This subpackage implements the full CKKS scheme from scratch — modular
+arithmetic, negacyclic NTT, RNS polynomials, canonical-embedding
+encoding, key generation, the basic homomorphic functions (HADD, PMULT,
+HMULT, HROT), hybrid key switching (ModUp/KeyMult/ModDown), linear
+transforms (baseline / hoisting / MinKS / BSGS), Chebyshev polynomial
+evaluation, and bootstrapping.
+
+It runs real math at reduced ring degrees for correctness validation;
+the paper-scale performance modelling lives in :mod:`repro.gpu`,
+:mod:`repro.pim`, and :mod:`repro.workloads`.
+"""
+
+from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.evaluator import CkksEvaluator, make_context
+from repro.ckks.keys import (EvaluationKey, KeyGenerator, KeySet, PublicKey,
+                             SecretKey)
+from repro.ckks.linalg import EncryptedLinalg, embed_operator
+from repro.ckks.linear_transform import (LinearTransform,
+                                         generate_hoisting_keys,
+                                         matrix_diagonals)
+from repro.ckks.nn import Activation, DenseLayer, EncryptedMlp
+from repro.ckks.noise import NoiseEstimator, measure_noise_bits
+from repro.ckks.polyeval import ChebyshevEvaluator, chebyshev_coefficients
+from repro.ckks.rns import RnsPolynomial
+
+__all__ = [
+    "Activation",
+    "BootstrapConfig",
+    "Bootstrapper",
+    "ChebyshevEvaluator",
+    "Ciphertext",
+    "CkksEncoder",
+    "CkksEvaluator",
+    "DenseLayer",
+    "EncryptedLinalg",
+    "EncryptedMlp",
+    "EvaluationKey",
+    "KeyGenerator",
+    "KeySet",
+    "LinearTransform",
+    "NoiseEstimator",
+    "Plaintext",
+    "PublicKey",
+    "RnsPolynomial",
+    "SecretKey",
+    "chebyshev_coefficients",
+    "embed_operator",
+    "generate_hoisting_keys",
+    "measure_noise_bits",
+    "make_context",
+    "matrix_diagonals",
+]

@@ -1,0 +1,68 @@
+"""Galois automorphisms of the cyclotomic ring (HROT's permutation).
+
+The automorphism ``φ_g : a(X) -> a(X^g)`` for odd ``g`` permutes the
+coefficients of each limb with sign flips (§II-B); the pattern is the
+same for every limb and depends only on the Galois element ``g``.
+Rotation by ``r`` slots corresponds to ``g = 5^r mod 2N``; complex
+conjugation corresponds to ``g = 2N - 1``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks.rns import RnsPolynomial
+from repro.errors import ParameterError
+
+
+def galois_element(rotation: int, degree: int) -> int:
+    """Galois element ``5^rotation mod 2N`` for a slot rotation."""
+    two_n = 2 * degree
+    return pow(5, rotation % (degree // 2), two_n)
+
+
+def conjugation_element(degree: int) -> int:
+    """Galois element for complex conjugation."""
+    return 2 * degree - 1
+
+
+@lru_cache(maxsize=None)
+def _permutation(degree: int, galois: int):
+    """(target indices, sign) for the coefficient permutation of φ_g.
+
+    Coefficient ``i`` of the input lands at index ``i*g mod 2N``; if that
+    index is ≥ N it wraps to ``i*g - N`` with a sign flip (because
+    ``X^N = -1``).
+    """
+    if galois % 2 == 0:
+        raise ParameterError("Galois element must be odd")
+    two_n = 2 * degree
+    src = np.arange(degree, dtype=np.int64)
+    dest = src * galois % two_n
+    flip = dest >= degree
+    dest = np.where(flip, dest - degree, dest)
+    return dest, flip
+
+
+def apply_automorphism(poly: RnsPolynomial, galois: int) -> RnsPolynomial:
+    """Apply ``φ_g`` to a polynomial (any domain; returns same domain).
+
+    Functionally we permute in coefficient form; evaluation-domain input
+    is round-tripped through the (I)NTT.  The performance models account
+    for the real cost separately — on hardware this is a pure
+    permutation in either domain.
+    """
+    was_ntt = poly.is_ntt
+    coeff_poly = poly.from_ntt()
+    dest, flip = _permutation(poly.degree, galois)
+    out = np.empty_like(coeff_poly.coeffs)
+    for i, q in enumerate(poly.basis):
+        limb = coeff_poly.coeffs[i]
+        permuted = np.zeros(poly.degree, dtype=np.int64)
+        values = np.where(flip & (limb != 0), q - limb, limb)
+        permuted[dest] = values
+        out[i] = permuted
+    result = RnsPolynomial(out, poly.basis, is_ntt=False)
+    return result.to_ntt() if was_ntt else result

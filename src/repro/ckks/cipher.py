@@ -1,0 +1,81 @@
+"""Plaintext and ciphertext containers with scale/level bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.rns import RnsPolynomial
+from repro.errors import ParameterError, ScaleMismatchError
+
+#: Relative tolerance when comparing the floating-point scales of two
+#: operands.  Scales drift because rescaling divides by primes that only
+#: approximate Δ, and the drift roughly doubles per multiplicative
+#: level; operands reaching the same level along different paths can
+#: disagree by ~1e-3 in deep circuits (e.g. the EvalMod Chebyshev
+#: chain).  Mismatches below this bound are absorbed as noise
+#: (HEAAN-style approximate scale management); genuinely wrong operand
+#: pairings differ by a full prime factor (~2^25) and are still caught.
+SCALE_RTOL = 5e-2
+
+
+@dataclass
+class Plaintext:
+    """An encoded (but not encrypted) message ⟨u⟩: one polynomial."""
+
+    poly: RnsPolynomial
+    scale: float
+
+    @property
+    def basis(self) -> tuple:
+        return self.poly.basis
+
+    @property
+    def level_count(self) -> int:
+        return self.poly.limb_count
+
+
+@dataclass
+class Ciphertext:
+    """An encryption [⟨u⟩] = (b, a) of a message under secret ``s``.
+
+    Decryption computes ``b + a*s``.  ``scale`` is the current encoding
+    scale Δ'; ``basis`` (from the polynomials) tracks the remaining
+    level budget.
+    """
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+    scale: float
+
+    def __post_init__(self):
+        if self.b.basis != self.a.basis:
+            raise ParameterError("ciphertext halves have different bases")
+
+    @property
+    def basis(self) -> tuple:
+        return self.b.basis
+
+    @property
+    def level_count(self) -> int:
+        return self.b.limb_count
+
+    @property
+    def degree(self) -> int:
+        return self.b.degree
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.b.copy(), self.a.copy(), self.scale)
+
+
+def check_same_scale(x, y) -> None:
+    """Raise unless the two operands carry (numerically) equal scales."""
+    if abs(x.scale - y.scale) > SCALE_RTOL * max(abs(x.scale), abs(y.scale)):
+        raise ScaleMismatchError(
+            f"scales differ: {x.scale:.6g} vs {y.scale:.6g}")
+
+
+def check_same_basis(x, y) -> None:
+    """Raise unless the two operands share the same RNS basis."""
+    if x.basis != y.basis:
+        raise ParameterError(
+            f"bases differ: {len(x.basis)} vs {len(y.basis)} limbs")

@@ -1,0 +1,101 @@
+"""CKKS encoding: complex vectors <-> integer polynomials.
+
+A message ``u ∈ C^{N/2}`` is embedded into ``R = Z[X]/(X^N+1)`` through
+the canonical embedding: slot ``t`` is the evaluation of the polynomial
+at ``ζ^{5^t}`` where ``ζ = exp(iπ/N)`` is a primitive 2N-th root of
+unity.  Both directions are computed with a single length-2N FFT rather
+than the O(N^2) Vandermonde product.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks.rns import RnsPolynomial
+from repro.errors import ParameterError
+
+
+@lru_cache(maxsize=None)
+def _slot_exponents(degree: int) -> np.ndarray:
+    """Exponents ``5^t mod 2N`` for t = 0..N/2-1."""
+    two_n = 2 * degree
+    exps = np.empty(degree // 2, dtype=np.int64)
+    acc = 1
+    for t in range(degree // 2):
+        exps[t] = acc
+        acc = acc * 5 % two_n
+    return exps
+
+
+def embed(coeffs: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate real/int coefficients at the slot roots (decode core).
+
+    ``coeffs`` is a length-N real (float) array; returns the length-N/2
+    complex slot values.
+    """
+    two_n = 2 * degree
+    padded = np.zeros(two_n, dtype=np.complex128)
+    padded[:degree] = coeffs
+    # E[j] = sum_k coeffs[k] * exp(+2*pi*i*j*k / 2N)
+    evaluations = np.fft.ifft(padded) * two_n
+    return evaluations[_slot_exponents(degree)]
+
+
+def unembed(slots: np.ndarray, degree: int) -> np.ndarray:
+    """Inverse of :func:`embed` — real coefficients hitting the slots.
+
+    Returns the unique real length-N coefficient vector ``c`` with
+    ``embed(c)[t] = slots[t]`` for every slot.
+    """
+    two_n = 2 * degree
+    scattered = np.zeros(two_n, dtype=np.complex128)
+    scattered[_slot_exponents(degree)] = slots
+    # c_k = (2/N) * Re( sum_t u_t * exp(-2*pi*i*(5^t)*k / 2N) )
+    spectrum = np.fft.fft(scattered)
+    return (2.0 / degree) * spectrum[:degree].real
+
+
+class CkksEncoder:
+    """Encode/decode messages against a fixed parameter set.
+
+    Messages shorter than N/2 slots are zero-padded; sparse packing
+    (fewer slots with repetition) is exposed via ``slots`` for the
+    bootstrapping tests.
+    """
+
+    def __init__(self, params):
+        self.params = params
+
+    def encode(self, message, scale: float | None = None,
+               basis: tuple | None = None) -> "Plaintext":
+        """Encode a complex vector into a plaintext at scale Δ."""
+        from repro.ckks.cipher import Plaintext
+
+        degree = self.params.degree
+        if scale is None:
+            scale = self.params.scale
+        if basis is None:
+            basis = tuple(self.params.moduli)
+        message = np.asarray(message, dtype=np.complex128)
+        if message.size > degree // 2:
+            raise ParameterError(
+                f"message has {message.size} slots; max {degree // 2}")
+        slots = np.zeros(degree // 2, dtype=np.complex128)
+        slots[:message.size] = message
+        coeffs = unembed(slots, degree) * scale
+        rounded = np.round(coeffs).astype(object)
+        ints = [int(v) for v in rounded]
+        poly = RnsPolynomial.from_int_coeffs(ints, basis).to_ntt()
+        return Plaintext(poly=poly, scale=float(scale))
+
+    def decode(self, plaintext, slots: int | None = None) -> np.ndarray:
+        """Decode a plaintext back into complex slot values."""
+        degree = self.params.degree
+        ints = plaintext.poly.to_int_coeffs(centered=True)
+        coeffs = ints.astype(np.float64)
+        values = embed(coeffs, degree) / plaintext.scale
+        if slots is not None:
+            values = values[:slots]
+        return values

@@ -1,0 +1,160 @@
+"""Serialization of CKKS objects to ``.npz`` archives.
+
+Ciphertexts, plaintexts, keys, and parameter sets round-trip through
+single-file numpy archives, so encrypted state can persist across
+processes — the operational plumbing an adoptable library needs.
+
+Security note: :func:`save_secret_key` exists for test/checkpoint
+workflows; in a deployment the secret never leaves the client.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.keys import EvaluationKey, PublicKey, SecretKey
+from repro.ckks.rns import RnsPolynomial
+from repro.errors import ParameterError
+from repro.params import CkksParams
+
+FORMAT_VERSION = 1
+
+
+def _meta(kind: str, **extra) -> np.ndarray:
+    payload = {"format": FORMAT_VERSION, "kind": kind, **extra}
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+def _read_meta(archive, expected_kind: str) -> dict:
+    if "meta" not in archive:
+        raise ParameterError("not a repro.ckks archive (missing meta)")
+    payload = json.loads(bytes(archive["meta"].tobytes()).decode())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported archive format {payload.get('format')}")
+    if payload.get("kind") != expected_kind:
+        raise ParameterError(
+            f"archive holds a {payload.get('kind')!r}, expected "
+            f"{expected_kind!r}")
+    return payload
+
+
+def _poly_arrays(prefix: str, poly: RnsPolynomial) -> dict:
+    return {
+        f"{prefix}_coeffs": poly.coeffs,
+        f"{prefix}_basis": np.array(poly.basis, dtype=np.int64),
+        f"{prefix}_ntt": np.array([poly.is_ntt]),
+    }
+
+
+def _poly_from(archive, prefix: str) -> RnsPolynomial:
+    return RnsPolynomial(
+        archive[f"{prefix}_coeffs"],
+        tuple(int(q) for q in archive[f"{prefix}_basis"]),
+        is_ntt=bool(archive[f"{prefix}_ntt"][0]))
+
+
+# -- Parameters ----------------------------------------------------------------
+
+
+def save_params(path, params: CkksParams) -> None:
+    np.savez_compressed(
+        path,
+        meta=_meta("params", degree=params.degree,
+                   scale_bits=params.scale_bits,
+                   dense_hamming_weight=params.dense_hamming_weight,
+                   sparse_hamming_weight=params.sparse_hamming_weight,
+                   error_std=params.error_std,
+                   primes_per_level=params.primes_per_level),
+        moduli=np.array(params.moduli, dtype=np.int64),
+        aux_moduli=np.array(params.aux_moduli, dtype=np.int64))
+
+
+def load_params(path) -> CkksParams:
+    with np.load(path) as archive:
+        meta = _read_meta(archive, "params")
+        return CkksParams(
+            degree=meta["degree"],
+            moduli=tuple(int(q) for q in archive["moduli"]),
+            aux_moduli=tuple(int(q) for q in archive["aux_moduli"]),
+            scale_bits=meta["scale_bits"],
+            dense_hamming_weight=meta["dense_hamming_weight"],
+            sparse_hamming_weight=meta["sparse_hamming_weight"],
+            error_std=meta["error_std"],
+            primes_per_level=meta["primes_per_level"])
+
+
+# -- Ciphertexts and plaintexts ---------------------------------------------------
+
+
+def save_ciphertext(path, ct: Ciphertext) -> None:
+    np.savez_compressed(path, meta=_meta("ciphertext", scale=ct.scale),
+                        **_poly_arrays("b", ct.b), **_poly_arrays("a", ct.a))
+
+
+def load_ciphertext(path) -> Ciphertext:
+    with np.load(path) as archive:
+        meta = _read_meta(archive, "ciphertext")
+        return Ciphertext(b=_poly_from(archive, "b"),
+                          a=_poly_from(archive, "a"),
+                          scale=float(meta["scale"]))
+
+
+def save_plaintext(path, pt: Plaintext) -> None:
+    np.savez_compressed(path, meta=_meta("plaintext", scale=pt.scale),
+                        **_poly_arrays("p", pt.poly))
+
+
+def load_plaintext(path) -> Plaintext:
+    with np.load(path) as archive:
+        meta = _read_meta(archive, "plaintext")
+        return Plaintext(poly=_poly_from(archive, "p"),
+                         scale=float(meta["scale"]))
+
+
+# -- Keys -----------------------------------------------------------------------
+
+
+def save_secret_key(path, key: SecretKey) -> None:
+    np.savez_compressed(
+        path, meta=_meta("secret", hamming_weight=key.hamming_weight),
+        **_poly_arrays("s", key.poly))
+
+
+def load_secret_key(path) -> SecretKey:
+    with np.load(path) as archive:
+        meta = _read_meta(archive, "secret")
+        return SecretKey(poly=_poly_from(archive, "s"),
+                         hamming_weight=meta["hamming_weight"])
+
+
+def save_public_key(path, key: PublicKey) -> None:
+    np.savez_compressed(path, meta=_meta("public"),
+                        **_poly_arrays("b", key.b), **_poly_arrays("a", key.a))
+
+
+def load_public_key(path) -> PublicKey:
+    with np.load(path) as archive:
+        _read_meta(archive, "public")
+        return PublicKey(b=_poly_from(archive, "b"),
+                         a=_poly_from(archive, "a"))
+
+
+def save_evaluation_key(path, key: EvaluationKey) -> None:
+    arrays = {}
+    for j, (b, a) in enumerate(zip(key.b_polys, key.a_polys)):
+        arrays.update(_poly_arrays(f"b{j}", b))
+        arrays.update(_poly_arrays(f"a{j}", a))
+    np.savez_compressed(path, meta=_meta("evk", dnum=key.dnum), **arrays)
+
+
+def load_evaluation_key(path) -> EvaluationKey:
+    with np.load(path) as archive:
+        meta = _read_meta(archive, "evk")
+        dnum = meta["dnum"]
+        return EvaluationKey(
+            b_polys=[_poly_from(archive, f"b{j}") for j in range(dnum)],
+            a_polys=[_poly_from(archive, f"a{j}") for j in range(dnum)])

@@ -1,0 +1,191 @@
+"""Key generation: secret, public, and evaluation keys.
+
+Evaluation keys follow Table I: each evk comprises ``2·D`` polynomials
+over the extended modulus PQ, one ``(b_j, a_j)`` pair per decomposition
+digit, carrying the gadget-encoded source secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks import automorphism
+from repro.ckks.keyswitch import DigitDecomposition
+from repro.ckks.rns import RnsPolynomial
+from repro.errors import KeyError_, ParameterError
+
+
+@dataclass
+class SecretKey:
+    """Ternary secret with a fixed Hamming weight, over the full PQ basis."""
+
+    poly: RnsPolynomial          # NTT form, basis Q ∪ P
+    hamming_weight: int
+
+    def restricted(self, basis: tuple) -> RnsPolynomial:
+        return self.poly.restrict(basis)
+
+
+@dataclass
+class PublicKey:
+    """Encryption key (b, a) = (-a·s + e, a) over basis Q."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+
+@dataclass
+class EvaluationKey:
+    """Key-switching key from secret ``s_from`` to ``s``: 2·D polynomials."""
+
+    b_polys: list
+    a_polys: list
+
+    @property
+    def dnum(self) -> int:
+        return len(self.b_polys)
+
+    def byte_size(self) -> int:
+        """Device bytes of this key (32-bit words per residue)."""
+        total_limbs = sum(p.limb_count for p in self.b_polys) + sum(
+            p.limb_count for p in self.a_polys)
+        return total_limbs * self.b_polys[0].degree * 4
+
+
+@dataclass
+class KeySet:
+    """All key material a computation needs.
+
+    Rotation keys are stored by rotation distance; the conjugation key
+    under the key ``"conj"``.
+    """
+
+    secret: SecretKey
+    public: PublicKey
+    relin: EvaluationKey | None = None
+    rotations: dict = field(default_factory=dict)
+    conjugation: EvaluationKey | None = None
+    #: Modified evks for the hoisted linear transform ([8], §V-B),
+    #: keyed by rotation distance.
+    hoisting_rotations: dict = field(default_factory=dict)
+
+    def rotation_key(self, distance: int) -> EvaluationKey:
+        key = self.rotations.get(distance)
+        if key is None:
+            raise KeyError_(f"no rotation key for distance {distance}")
+        return key
+
+
+class KeyGenerator:
+    """Generates keys for a parameter set, with a seeded RNG."""
+
+    def __init__(self, params, seed: int = 2025):
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.decomp = DigitDecomposition(
+            moduli=tuple(params.moduli),
+            aux_moduli=tuple(params.aux_moduli),
+            aux_count=params.aux_count)
+
+    @property
+    def full_basis(self) -> tuple:
+        return self.decomp.full_basis
+
+    # -- Random ring elements --------------------------------------------------
+
+    def _ternary_secret(self, hamming_weight: int) -> np.ndarray:
+        degree = self.params.degree
+        if hamming_weight > degree:
+            raise ParameterError("Hamming weight exceeds ring degree")
+        coeffs = np.zeros(degree, dtype=np.int64)
+        positions = self.rng.choice(degree, size=hamming_weight, replace=False)
+        signs = self.rng.integers(0, 2, size=hamming_weight) * 2 - 1
+        coeffs[positions] = signs
+        return coeffs
+
+    def gaussian_error(self, basis: tuple) -> RnsPolynomial:
+        """Discrete-Gaussian error polynomial (NTT form)."""
+        values = np.round(self.rng.normal(
+            0.0, self.params.error_std, self.params.degree)).astype(np.int64)
+        return RnsPolynomial.from_int_coeffs(
+            [int(v) for v in values], basis).to_ntt()
+
+    def uniform(self, basis: tuple) -> RnsPolynomial:
+        return RnsPolynomial.random_uniform(
+            self.params.degree, basis, self.rng, is_ntt=True)
+
+    # -- Keys ------------------------------------------------------------------
+
+    def secret_key(self, sparse: bool = False) -> SecretKey:
+        weight = (self.params.sparse_hamming_weight if sparse
+                  else self.params.dense_hamming_weight)
+        # Toy ring degrees can be smaller than the paper's production
+        # Hamming weights (Table IV); cap at N/4 to stay meaningful.
+        weight = min(weight, self.params.degree // 4)
+        coeffs = self._ternary_secret(weight)
+        poly = RnsPolynomial.from_int_coeffs(
+            [int(v) for v in coeffs], self.full_basis).to_ntt()
+        return SecretKey(poly=poly, hamming_weight=weight)
+
+    def public_key(self, secret: SecretKey) -> PublicKey:
+        basis = tuple(self.params.moduli)
+        a = self.uniform(basis)
+        e = self.gaussian_error(basis)
+        s = secret.restricted(basis)
+        b = -(a * s) + e
+        return PublicKey(b=b, a=a)
+
+    def _switching_key(self, source_poly: RnsPolynomial,
+                       secret: SecretKey) -> EvaluationKey:
+        """evk encoding ``source_poly`` (e.g. s², φ_g(s)) toward ``secret``."""
+        basis = self.full_basis
+        s = secret.restricted(basis)
+        src = source_poly.restrict(basis)
+        b_polys = []
+        a_polys = []
+        for j in range(self.decomp.dnum):
+            gadget = self.decomp.gadget_values(j)
+            a_j = self.uniform(basis)
+            e_j = self.gaussian_error(basis)
+            b_j = -(a_j * s) + e_j + src.scalar_mul(gadget)
+            b_polys.append(b_j)
+            a_polys.append(a_j)
+        return EvaluationKey(b_polys=b_polys, a_polys=a_polys)
+
+    def relinearization_key(self, secret: SecretKey) -> EvaluationKey:
+        s = secret.poly
+        return self._switching_key(s * s, secret)
+
+    def rotation_key(self, secret: SecretKey, distance: int) -> EvaluationKey:
+        galois = automorphism.galois_element(distance, self.params.degree)
+        rotated = automorphism.apply_automorphism(secret.poly, galois)
+        return self._switching_key(rotated, secret)
+
+    def conjugation_key(self, secret: SecretKey) -> EvaluationKey:
+        galois = automorphism.conjugation_element(self.params.degree)
+        conj = automorphism.apply_automorphism(secret.poly, galois)
+        return self._switching_key(conj, secret)
+
+    def hoisting_rotation_key(self, secret: SecretKey,
+                              distance: int) -> EvaluationKey:
+        """Modified evk for the hoisted linear transform ([8], §V-B)."""
+        from repro.ckks.linear_transform import generate_hoisting_keys
+        return generate_hoisting_keys(self, secret, [distance])[distance]
+
+    def generate(self, rotations=(), include_conjugation: bool = False,
+                 sparse_secret: bool = False,
+                 hoisting_rotations=()) -> KeySet:
+        """Generate a complete key set for the given rotation distances."""
+        secret = self.secret_key(sparse=sparse_secret)
+        keys = KeySet(secret=secret, public=self.public_key(secret),
+                      relin=self.relinearization_key(secret))
+        for distance in rotations:
+            keys.rotations[distance] = self.rotation_key(secret, distance)
+        for distance in hoisting_rotations:
+            keys.hoisting_rotations[distance] = self.hoisting_rotation_key(
+                secret, distance)
+        if include_conjugation:
+            keys.conjugation = self.conjugation_key(secret)
+        return keys

@@ -1,0 +1,214 @@
+"""Basis conversion, ModUp/ModDown, rescaling, and key switching.
+
+These are the paper's primary polynomial ops (§II-B): ``ModSwitch``
+decomposes into INTT → BConv → NTT, with variants ``ModUp`` (extend a
+decomposition digit from its group basis to the full PQ basis) and
+``ModDown`` (divide by P and return to basis Q).  ``KeyMult`` is the
+inner-product with the evaluation key digits that both HMULT and HROT
+share (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks import modmath
+from repro.ckks.rns import RnsPolynomial, basis_product
+from repro.errors import ParameterError
+
+
+@lru_cache(maxsize=None)
+def _bconv_tables(src_basis: tuple, dst_basis: tuple):
+    """Precompute fast-basis-conversion constants (HPS / full-RNS [16]).
+
+    Returns ``(q_hat_inv, q_hat_mod_dst, src_prod_mod_dst)`` where
+    ``q_hat_inv[i] = (Q̂_i)^{-1} mod q_i`` and
+    ``q_hat_mod_dst[i][j] = Q̂_i mod p_j`` with ``Q̂_i = Q_src / q_i``.
+    """
+    src_prod = basis_product(src_basis)
+    q_hat_inv = np.empty(len(src_basis), dtype=np.int64)
+    q_hat_mod = np.empty((len(src_basis), len(dst_basis)), dtype=np.int64)
+    for i, q in enumerate(src_basis):
+        q_hat = src_prod // q
+        q_hat_inv[i] = modmath.mod_inverse(q_hat % q, q)
+        for j, p in enumerate(dst_basis):
+            q_hat_mod[i, j] = q_hat % p
+    src_prod_mod = np.array([src_prod % p for p in dst_basis], dtype=np.int64)
+    return q_hat_inv, q_hat_mod, src_prod_mod
+
+
+def basis_convert(poly: RnsPolynomial, dst_basis: tuple) -> RnsPolynomial:
+    """Fast basis conversion (BConv) — coefficient domain only.
+
+    Structurally a ``(|dst| × |src|) @ (|src| × N)`` matrix product, as
+    the paper notes (§II-B).  A floating-point correction recovers the
+    centered representative, so inputs with centered magnitude below
+    ``Q_src / 2`` convert exactly.
+    """
+    if poly.is_ntt:
+        raise ParameterError("BConv requires coefficient-domain input")
+    src_basis = poly.basis
+    q_hat_inv, q_hat_mod, src_prod_mod = _bconv_tables(
+        src_basis, tuple(dst_basis))
+    # y_i = x_i * (Q̂_i)^{-1} mod q_i
+    y = np.empty_like(poly.coeffs)
+    frac = np.zeros(poly.degree, dtype=np.float64)
+    for i, q in enumerate(src_basis):
+        y[i] = modmath.mod_mul_scalar(poly.coeffs[i], int(q_hat_inv[i]), q)
+        frac += y[i] / q
+    # The uncorrected sum equals x + u * Q_src with u = round(sum y_i/q_i)
+    # for centered x; subtract u * Q_src to recenter.
+    u = np.round(frac).astype(np.int64)
+    out = np.empty((len(dst_basis), poly.degree), dtype=np.int64)
+    for j, p in enumerate(dst_basis):
+        acc = np.zeros(poly.degree, dtype=np.int64)
+        for i in range(len(src_basis)):
+            acc = (acc + y[i] * q_hat_mod[i, j]) % p
+        acc = (acc - u % p * src_prod_mod[j]) % p
+        out[j] = acc
+    return RnsPolynomial(out, tuple(dst_basis), is_ntt=False)
+
+
+@dataclass(frozen=True)
+class DigitDecomposition:
+    """Gadget decomposition of basis Q into D groups of ≤ α primes."""
+
+    moduli: tuple
+    aux_moduli: tuple
+    aux_count: int
+
+    @property
+    def dnum(self) -> int:
+        return -(-len(self.moduli) // self.aux_count)
+
+    def group(self, j: int) -> tuple:
+        """Primes of decomposition digit j."""
+        return self.moduli[j * self.aux_count:(j + 1) * self.aux_count]
+
+    def groups(self):
+        return [self.group(j) for j in range(self.dnum)]
+
+    @property
+    def full_basis(self) -> tuple:
+        """Basis PQ ordered as Q-part then P-part."""
+        return self.moduli + self.aux_moduli
+
+    def gadget_values(self, j: int) -> list:
+        """``g_j = P · Q̂_j · [Q̂_j^{-1}]_{Q_j}`` reduced mod each PQ prime."""
+        q_prod = basis_product(self.moduli)
+        p_prod = basis_product(self.aux_moduli)
+        group_prod = basis_product(self.group(j))
+        q_hat = q_prod // group_prod
+        q_hat_inv = modmath.mod_inverse(q_hat % group_prod, group_prod)
+        g = p_prod * q_hat * q_hat_inv
+        return [g % q for q in self.full_basis]
+
+
+def mod_up(poly: RnsPolynomial, group: tuple,
+           target_basis: tuple) -> RnsPolynomial:
+    """ModUp: extend one decomposition digit to ``target_basis``.
+
+    ``group`` are the digit's primes (a subset of both ``poly.basis``
+    and ``target_basis``).  Input must be NTT-applied; output is
+    NTT-applied over ``target_basis``.  Internally: INTT → BConv → NTT —
+    exactly the paper's ModSwitch structure.
+    """
+    limbs = poly.restrict(group)
+    coeff = limbs.from_ntt()
+    rest = tuple(q for q in target_basis if q not in group)
+    extended = basis_convert(coeff, rest).to_ntt()
+    combined = limbs.to_ntt().concat(extended)
+    return combined.restrict(target_basis)
+
+
+def mod_down(poly: RnsPolynomial, moduli: tuple,
+             aux_moduli: tuple) -> RnsPolynomial:
+    """ModDown: divide a PQ-basis polynomial by P, returning basis Q.
+
+    The final per-limb step ``x = P^{-1} · (a - b)`` is the PIM
+    ``ModDownEp`` instruction (Table II).
+    """
+    q_part = poly.restrict(moduli)
+    p_part = poly.restrict(aux_moduli)
+    p_in_q = basis_convert(p_part.from_ntt(), moduli).to_ntt()
+    p_prod = basis_product(aux_moduli)
+    inv_p = [modmath.mod_inverse(p_prod % q, q) for q in moduli]
+    return (q_part - p_in_q).scalar_mul(inv_p)
+
+
+def rescale_poly(poly: RnsPolynomial) -> RnsPolynomial:
+    """Divide by the last prime of the basis and drop its limb."""
+    if poly.limb_count < 2:
+        raise ParameterError("cannot rescale a single-limb polynomial")
+    last = poly.basis[-1]
+    kept = poly.basis[:-1]
+    last_limb = poly.restrict((last,))
+    last_in_kept = basis_convert(last_limb.from_ntt(), kept)
+    if poly.is_ntt:
+        last_in_kept = last_in_kept.to_ntt()
+    inv = [modmath.mod_inverse(last % q, q) for q in kept]
+    return (poly.restrict(kept) - last_in_kept).scalar_mul(inv)
+
+
+def key_mult(digits: list, evk) -> tuple:
+    """KeyMult: ``(Σ_j d̃_j · evk_j.b, Σ_j d̃_j · evk_j.a)`` over PQ.
+
+    ``digits[j]`` is the ModUp-extended digit ``d̃_j`` (NTT, basis PQ);
+    ``evk`` holds ``2·D`` polynomials (Table I).  On Anaheim this entire
+    loop maps to PAccum⟨D⟩ PIM instructions (Alg. 1).
+    """
+    if len(digits) != len(evk.b_polys):
+        raise ParameterError(
+            f"{len(digits)} digits but evk has {len(evk.b_polys)}")
+    acc_b = digits[0] * evk.b_polys[0]
+    acc_a = digits[0] * evk.a_polys[0]
+    for j in range(1, len(digits)):
+        acc_b = acc_b + digits[j] * evk.b_polys[j]
+        acc_a = acc_a + digits[j] * evk.a_polys[j]
+    return acc_b, acc_a
+
+
+def decompose_digits(poly: RnsPolynomial, decomp: DigitDecomposition):
+    """ModUp every decomposition digit of ``poly`` (possibly leveled).
+
+    ``poly`` may live on any prefix of the full Q basis; empty digits
+    (all of whose primes were already dropped) are skipped.  Returns
+    ``(digits, digit_indices, target_basis)``.
+    """
+    current = poly.basis
+    target = current + decomp.aux_moduli
+    digits = []
+    indices = []
+    for j in range(decomp.dnum):
+        group = tuple(q for q in decomp.group(j) if q in current)
+        if not group:
+            continue
+        digits.append(mod_up(poly, group, target))
+        indices.append(j)
+    return digits, indices, target
+
+
+def key_switch(poly: RnsPolynomial, evk, decomp: DigitDecomposition) -> tuple:
+    """Full key switch of ``poly`` (NTT): ModUp → KeyMult → ModDown.
+
+    ``poly`` may be leveled (a prefix of the full Q basis); the evk —
+    generated once over the full PQ basis — is restricted to the current
+    basis.  Returns ``(b, a)`` over the current Q basis whose decryption
+    adds ``poly · s_from`` under the target secret.
+    """
+    digits, indices, target = decompose_digits(poly, decomp)
+    acc_b = None
+    acc_a = None
+    for digit, j in zip(digits, indices):
+        evk_b = evk.b_polys[j].restrict(target)
+        evk_a = evk.a_polys[j].restrict(target)
+        term_b = digit * evk_b
+        term_a = digit * evk_a
+        acc_b = term_b if acc_b is None else acc_b + term_b
+        acc_a = term_a if acc_a is None else acc_a + term_a
+    b = mod_down(acc_b, poly.basis, decomp.aux_moduli)
+    a = mod_down(acc_a, poly.basis, decomp.aux_moduli)
+    return b, a

@@ -1,0 +1,131 @@
+"""Negacyclic number-theoretic transform (NTT) over ``Z_q[X]/(X^N+1)``.
+
+The forward transform uses Cooley-Tukey butterflies (natural input order,
+bit-reversed output) and the inverse uses Gentleman-Sande butterflies
+(bit-reversed input, natural output), with the 2N-th root-of-unity powers
+merged into the butterflies so no separate pre/post scaling by ``psi^i``
+is needed (the Longa-Naehrig formulation).
+
+All transforms are vectorized with numpy over arbitrary leading axes, so
+an ``(L, N)`` RNS polynomial is transformed limb-by-limb with one context
+per prime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks import modmath
+from repro.errors import ParameterError
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation for length ``n`` (a power of 2)."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+class NttContext:
+    """Precomputed NTT tables for one prime ``q`` and ring degree ``N``.
+
+    Requires ``q ≡ 1 (mod 2N)`` so that a primitive 2N-th root of unity
+    ``psi`` exists — the same condition the paper exploits for its
+    Montgomery reduction circuit (§VI-A).
+    """
+
+    def __init__(self, degree: int, q: int):
+        if degree & (degree - 1) != 0:
+            raise ParameterError("ring degree must be a power of two")
+        if (q - 1) % (2 * degree) != 0:
+            raise ParameterError(f"prime {q} is not NTT-friendly for N={degree}")
+        self.degree = degree
+        self.q = q
+        psi = modmath.root_of_unity(2 * degree, q)
+        rev = bit_reverse_indices(degree)
+        powers = np.empty(degree, dtype=np.int64)
+        inv_powers = np.empty(degree, dtype=np.int64)
+        psi_inv = modmath.mod_inverse(psi, q)
+        acc = 1
+        acc_inv = 1
+        plain = np.empty(degree, dtype=np.int64)
+        plain_inv = np.empty(degree, dtype=np.int64)
+        for i in range(degree):
+            plain[i] = acc
+            plain_inv[i] = acc_inv
+            acc = acc * psi % q
+            acc_inv = acc_inv * psi_inv % q
+        powers[:] = plain[rev]
+        inv_powers[:] = plain_inv[rev]
+        self.psi = psi
+        self.psis = powers          # psi^bitrev(i)
+        self.inv_psis = inv_powers  # psi^{-bitrev(i)}
+        self.n_inv = modmath.mod_inverse(degree, q)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT along the last axis (values in ``[0, q)``)."""
+        n = self.degree
+        if coeffs.shape[-1] != n:
+            raise ParameterError("last axis must equal the ring degree")
+        a = np.ascontiguousarray(coeffs, dtype=np.int64).copy()
+        q = self.q
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            b = a.reshape(a.shape[:-1] + (m, 2, t))
+            s = self.psis[m:2 * m].reshape((m, 1))
+            u = b[..., 0, :].copy()
+            v = b[..., 1, :] * s % q
+            b[..., 0, :] = modmath.mod_add(u, v, q)
+            b[..., 1, :] = modmath.mod_sub(u, v, q)
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT along the last axis."""
+        n = self.degree
+        if values.shape[-1] != n:
+            raise ParameterError("last axis must equal the ring degree")
+        a = np.ascontiguousarray(values, dtype=np.int64).copy()
+        q = self.q
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            b = a.reshape(a.shape[:-1] + (h, 2, t))
+            s = self.inv_psis[h:2 * h].reshape((h, 1))
+            u = b[..., 0, :].copy()
+            v = b[..., 1, :].copy()
+            b[..., 0, :] = modmath.mod_add(u, v, q)
+            b[..., 1, :] = modmath.mod_sub(u, v, q) * s % q
+            t *= 2
+            m = h
+        return a * self.n_inv % q
+
+
+def negacyclic_convolution(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Schoolbook negacyclic convolution — O(N^2) reference for tests."""
+    n = a.shape[-1]
+    out = np.zeros(n, dtype=np.int64)
+    a = a.astype(object)
+    b = b.astype(object)
+    result = [0] * n
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k >= n:
+                result[k - n] -= term
+            else:
+                result[k] += term
+    for k in range(n):
+        out[k] = result[k] % q
+    return out

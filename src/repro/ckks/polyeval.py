@@ -1,0 +1,146 @@
+"""Homomorphic polynomial evaluation in the Chebyshev basis.
+
+Used by bootstrapping's EvalMod step (§II-C) and exposed as a public
+"arbitrary polynomial evaluation" routine, one of the advanced features
+the Anaheim high-level programming interface promises (§V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.errors import ParameterError
+
+
+def chebyshev_coefficients(fn, degree: int, interval: tuple) -> np.ndarray:
+    """Chebyshev interpolation coefficients of ``fn`` on ``interval``.
+
+    Returns ``c`` such that ``fn(x) ≈ Σ_k c_k T_k(t)`` with
+    ``t = (2x - a - b) / (b - a)`` mapping the interval onto [-1, 1].
+    """
+    a, b = interval
+    if not b > a:
+        raise ParameterError("interval must be increasing")
+
+    def scaled(t):
+        return fn((b - a) * (np.asarray(t) + 1.0) / 2.0 + a)
+
+    return np.polynomial.chebyshev.chebinterpolate(scaled, degree)
+
+
+def chebyshev_reference(coeffs: np.ndarray, x: np.ndarray,
+                        interval: tuple) -> np.ndarray:
+    """Plain (unencrypted) evaluation of a Chebyshev expansion."""
+    a, b = interval
+    t = (2.0 * np.asarray(x) - a - b) / (b - a)
+    return np.polynomial.chebyshev.chebval(t, coeffs)
+
+
+class ChebyshevEvaluator:
+    """Evaluates Chebyshev expansions on ciphertexts.
+
+    The Chebyshev basis is built by index-halving products
+    (``T_{2k} = 2T_k^2 - 1``, ``T_{a+b} = 2T_aT_b - T_{a-b}``), so
+    computing ``T_d`` consumes only ``ceil(log2 d)`` multiplicative
+    levels, plus one level for the final linear combination.
+    """
+
+    def __init__(self, evaluator):
+        self.evaluator = evaluator
+
+    #: Levels the high-precision interval normalization consumes.
+    NORMALIZE_DEPTH = 2
+
+    def depth(self, degree: int, normalized: bool = True) -> int:
+        """Multiplicative depth consumed for a degree-``degree`` expansion.
+
+        ``normalized`` adds the cost of the affine map onto [-1, 1];
+        pass ``False`` when evaluating directly on the unit interval.
+        """
+        base = 1 if degree < 1 else int(np.ceil(np.log2(max(degree, 2)))) + 1
+        return base + (self.NORMALIZE_DEPTH if normalized else 0)
+
+    def _normalize(self, ct: Ciphertext, interval: tuple) -> Ciphertext:
+        """Affine map of the slot values onto [-1, 1].
+
+        Uses the precise scalar multiply: the factor ``2/(b-a)`` can be
+        ~1e-6 in EvalMod, far below one prime's encoding precision.
+        """
+        ev = self.evaluator
+        a, b = interval
+        scaled = ev.mul_scalar_precise(ct, 2.0 / (b - a),
+                                       depth=self.NORMALIZE_DEPTH)
+        if abs(a + b) < 1e-300:
+            return scaled
+        return ev.add_scalar(scaled, -(a + b) / (b - a))
+
+    def _basis(self, t1: Ciphertext, degree: int) -> dict:
+        """All Chebyshev basis ciphertexts T_1..T_degree.
+
+        Operand scales are re-aligned exactly (``adjust_scale_to``)
+        before the ``T_{a+b} = 2·T_a·T_b - T_{a-b}`` subtraction, so the
+        basis accumulates no scale-drift error even at high degree.
+        """
+        ev = self.evaluator
+        basis = {1: t1}
+
+        def build(k: int) -> Ciphertext:
+            if k in basis:
+                return basis[k]
+            half = k // 2
+            lo = build(half)
+            hi = build(k - half)
+            prod = ev.multiply(lo, hi)
+            doubled = ev.add(prod, prod)
+            if k % 2 == 0:
+                term = ev.add_scalar(doubled, -1.0)
+            else:
+                t_diff = build((k - half) - half)  # T_{a+b} needs T_{a-b}
+                steps = getattr(ev.params, "primes_per_level", 1)
+                aligned = ev.drop_to_basis(
+                    t_diff, t_diff.basis[:doubled.level_count + steps])
+                aligned = ev.adjust_scale_to(aligned, doubled.scale)
+                term = ev.sub(doubled, aligned)
+            basis[k] = term
+            return term
+
+        for k in range(2, degree + 1):
+            build(k)
+        return basis
+
+    def evaluate(self, ct: Ciphertext, coeffs: np.ndarray,
+                 interval: tuple = (-1.0, 1.0)) -> Ciphertext:
+        """Evaluate ``Σ_k coeffs[k]·T_k`` on the slot values of ``ct``."""
+        ev = self.evaluator
+        coeffs = np.asarray(coeffs, dtype=np.complex128)
+        degree = len(coeffs) - 1
+        while degree > 0 and abs(coeffs[degree]) < 1e-14:
+            degree -= 1
+        if degree == 0:
+            zero = ev.mul_scalar(ct, 0.0)
+            return ev.add_scalar(zero, complex(coeffs[0]))
+        t1 = ct if interval == (-1.0, 1.0) else self._normalize(ct, interval)
+        basis = self._basis(t1, degree)
+        # Linear combination: drop every term to the deepest level and
+        # pick per-term plaintext scales that land all products on one
+        # common scale, so the accumulation is drift-free.
+        deepest = min(basis.values(), key=lambda c: c.level_count)
+        target_basis = deepest.basis[:deepest.level_count]
+        steps = getattr(ev.params, "primes_per_level", 1)
+        dropped = 1.0
+        for q in target_basis[-steps:]:
+            dropped *= q
+        common_scale = deepest.scale
+        acc = None
+        for k in range(1, degree + 1):
+            if abs(coeffs[k]) < 1e-14:
+                continue
+            term = ev.drop_to_basis(basis[k],
+                                    basis[k].basis[:len(target_basis)])
+            enc_scale = dropped * common_scale / term.scale
+            term = ev.mul_scalar(term, complex(coeffs[k]), scale=enc_scale)
+            term.scale = common_scale
+            acc = term if acc is None else ev.add(acc, term)
+        acc = ev.add_scalar(acc, complex(coeffs[0]))
+        return acc

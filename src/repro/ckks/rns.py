@@ -1,0 +1,208 @@
+"""RNS polynomial representation.
+
+A polynomial ``a ∈ R_Q`` is stored as an ``(L, N)`` ``int64`` matrix of
+residues — one row (limb) per prime of the RNS basis, exactly the view
+the paper uses (§II-A).  Polynomials can live in coefficient or NTT
+(evaluation) form; most CKKS ops keep them NTT-applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.ckks import modmath
+from repro.ckks.ntt import NttContext
+from repro.errors import ParameterError
+
+
+@lru_cache(maxsize=None)
+def ntt_context(degree: int, q: int) -> NttContext:
+    """Shared, cached NTT tables per (degree, prime)."""
+    return NttContext(degree, q)
+
+
+def basis_product(basis: tuple) -> int:
+    """Product of all primes in a basis (an exact Python int)."""
+    prod = 1
+    for q in basis:
+        prod *= q
+    return prod
+
+
+@dataclass
+class RnsPolynomial:
+    """A polynomial in RNS form over an explicit prime basis.
+
+    ``coeffs`` has shape ``(len(basis), degree)``; ``coeffs[i]`` is the
+    limb modulo ``basis[i]``.  ``is_ntt`` tracks whether limbs hold
+    evaluation-domain values.
+    """
+
+    coeffs: np.ndarray
+    basis: tuple
+    is_ntt: bool = False
+
+    def __post_init__(self):
+        if self.coeffs.ndim != 2:
+            raise ParameterError("RNS coefficients must be a 2-D matrix")
+        if self.coeffs.shape[0] != len(self.basis):
+            raise ParameterError(
+                f"{self.coeffs.shape[0]} limbs but {len(self.basis)} primes")
+        if self.coeffs.dtype != np.int64:
+            self.coeffs = self.coeffs.astype(np.int64)
+
+    # -- Constructors --------------------------------------------------------
+
+    @staticmethod
+    def zero(degree: int, basis: tuple, is_ntt: bool = True) -> "RnsPolynomial":
+        """The zero polynomial (zero in both domains)."""
+        return RnsPolynomial(
+            np.zeros((len(basis), degree), dtype=np.int64), basis, is_ntt)
+
+    @staticmethod
+    def from_int_coeffs(values, basis: tuple) -> "RnsPolynomial":
+        """Reduce arbitrary (possibly signed / big) integer coefficients.
+
+        ``values`` may be a Python-int sequence or an object-dtype array;
+        residues are taken per prime, so values larger than 63 bits are
+        handled exactly.
+        """
+        arr = np.asarray(values, dtype=object)
+        limbs = np.empty((len(basis), arr.shape[0]), dtype=np.int64)
+        for i, q in enumerate(basis):
+            limbs[i] = (arr % q).astype(np.int64)
+        return RnsPolynomial(limbs, tuple(basis), is_ntt=False)
+
+    @staticmethod
+    def random_uniform(degree: int, basis: tuple,
+                       rng: np.random.Generator,
+                       is_ntt: bool = True) -> "RnsPolynomial":
+        """Uniformly random polynomial (fresh randomness per limb)."""
+        limbs = np.empty((len(basis), degree), dtype=np.int64)
+        for i, q in enumerate(basis):
+            limbs[i] = rng.integers(0, q, size=degree, dtype=np.int64)
+        return RnsPolynomial(limbs, tuple(basis), is_ntt)
+
+    # -- Domain changes -------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return self.coeffs.shape[1]
+
+    @property
+    def limb_count(self) -> int:
+        return self.coeffs.shape[0]
+
+    def to_ntt(self) -> "RnsPolynomial":
+        """Return the NTT-applied copy (no-op if already applied)."""
+        if self.is_ntt:
+            return self.copy()
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = ntt_context(self.degree, q).forward(self.coeffs[i])
+        return RnsPolynomial(out, self.basis, is_ntt=True)
+
+    def from_ntt(self) -> "RnsPolynomial":
+        """Return the coefficient-domain copy (no-op if already there)."""
+        if not self.is_ntt:
+            return self.copy()
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = ntt_context(self.degree, q).inverse(self.coeffs[i])
+        return RnsPolynomial(out, self.basis, is_ntt=False)
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.coeffs.copy(), self.basis, self.is_ntt)
+
+    # -- Element-wise arithmetic ----------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ParameterError("RNS bases differ")
+        if self.is_ntt != other.is_ntt:
+            raise ParameterError("operands are in different domains")
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = modmath.mod_add(self.coeffs[i], other.coeffs[i], q)
+        return RnsPolynomial(out, self.basis, self.is_ntt)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = modmath.mod_sub(self.coeffs[i], other.coeffs[i], q)
+        return RnsPolynomial(out, self.basis, self.is_ntt)
+
+    def __neg__(self) -> "RnsPolynomial":
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = modmath.mod_neg(self.coeffs[i], q)
+        return RnsPolynomial(out, self.basis, self.is_ntt)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Polynomial product — requires both operands NTT-applied."""
+        self._check_compatible(other)
+        if not self.is_ntt:
+            raise ParameterError("polynomial mult requires NTT form")
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = modmath.mod_mul(self.coeffs[i], other.coeffs[i], q)
+        return RnsPolynomial(out, self.basis, self.is_ntt)
+
+    def scalar_mul(self, constants) -> "RnsPolynomial":
+        """Multiply by per-limb scalar constants (or one shared int)."""
+        if isinstance(constants, int):
+            constants = [constants] * self.limb_count
+        if len(constants) != self.limb_count:
+            raise ParameterError("need one constant per limb")
+        out = np.empty_like(self.coeffs)
+        for i, q in enumerate(self.basis):
+            out[i] = modmath.mod_mul_scalar(self.coeffs[i], int(constants[i]), q)
+        return RnsPolynomial(out, self.basis, self.is_ntt)
+
+    # -- Basis manipulation -----------------------------------------------------
+
+    def restrict(self, basis: tuple) -> "RnsPolynomial":
+        """Keep only the limbs whose primes appear in ``basis`` (in order)."""
+        index = {q: i for i, q in enumerate(self.basis)}
+        try:
+            rows = [index[q] for q in basis]
+        except KeyError as exc:
+            raise ParameterError(f"prime {exc} not in source basis") from exc
+        return RnsPolynomial(self.coeffs[rows].copy(), tuple(basis), self.is_ntt)
+
+    def concat(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Stack limbs of two polynomials over disjoint bases."""
+        if self.is_ntt != other.is_ntt:
+            raise ParameterError("operands are in different domains")
+        if set(self.basis) & set(other.basis):
+            raise ParameterError("bases overlap")
+        return RnsPolynomial(
+            np.vstack([self.coeffs, other.coeffs]),
+            self.basis + other.basis, self.is_ntt)
+
+    # -- Exact reconstruction ----------------------------------------------------
+
+    def to_int_coeffs(self, centered: bool = True) -> np.ndarray:
+        """CRT-recompose to exact big-int coefficients (object dtype).
+
+        With ``centered`` the result lies in ``(-Q/2, Q/2]``, the signed
+        representative used when decoding.
+        """
+        poly = self.from_ntt()
+        big_q = basis_product(self.basis)
+        out = np.zeros(self.degree, dtype=object)
+        for i, q in enumerate(self.basis):
+            q_hat = big_q // q
+            q_hat_inv = modmath.mod_inverse(q_hat % q, q)
+            weight = q_hat * q_hat_inv
+            out = (out + poly.coeffs[i].astype(object) * weight) % big_q
+        if centered:
+            out = np.where(out > big_q // 2, out - big_q, out)
+        return out

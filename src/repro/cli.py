@@ -1,0 +1,179 @@
+"""Command-line interface to the Anaheim reproduction.
+
+Usage examples::
+
+    anaheim-repro list
+    anaheim-repro run --workload Boot --gpu a100 --pim near-bank
+    anaheim-repro run --workload HELR --gpu rtx4090 --breakdown
+    anaheim-repro gantt --rotations 8
+    anaheim-repro microbench --buffer 16
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import (format_ratio, format_seconds,
+                                      format_table)
+from repro.core.framework import AnaheimFramework
+from repro.core.gantt import render_breakdown, render_gantt
+from repro.core.trace import PimKernel
+from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
+from repro.params import paper_params
+from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK,
+                               RTX4090_NEAR_BANK, with_buffer)
+from repro.pim.executor import PimExecutor
+from repro.workloads import applications as apps
+from repro.workloads.linear_transform_trace import hoisted_block
+from repro.workloads.metrics import edp_improvement
+
+GPUS = {"a100": A100_80GB, "rtx4090": RTX_4090}
+
+
+def _pim_for(gpu_name: str, pim_name: str):
+    table = {
+        ("a100", "near-bank"): A100_NEAR_BANK,
+        ("a100", "custom-hbm"): A100_CUSTOM_HBM,
+        ("rtx4090", "near-bank"): RTX4090_NEAR_BANK,
+    }
+    key = (gpu_name, pim_name)
+    if key not in table:
+        raise SystemExit(f"no PIM config for gpu={gpu_name} pim={pim_name}")
+    return table[key]
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    params = paper_params()
+    for name in apps.WORKLOADS:
+        workload = apps.build(name, params)
+        rows.append([name, workload.l_eff,
+                     f"{workload.memory.total_bytes / 1e9:.0f}GB",
+                     workload.description])
+    print(format_table(["workload", "L_eff", "memory", "description"],
+                       rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    gpu = GPUS[args.gpu]
+    params = paper_params()
+    workload = apps.build(args.workload, params)
+    if not workload.memory.fits(gpu.dram_capacity):
+        print(f"{args.workload} needs {workload.memory.describe()} but "
+              f"{gpu.name} has {gpu.dram_capacity / 1e9:.0f}GB: OoM")
+        return 1
+    library = LIBRARIES[args.library]
+    if args.pim == "none":
+        framework = AnaheimFramework(gpu, library=library)
+        report = framework.run(workload.blocks, params.degree,
+                               label=args.workload).report
+        print(f"{args.workload} on {gpu.name} ({args.library}): "
+              f"{format_seconds(report.total_time)}, "
+              f"{report.energy:.2f}J")
+        if args.breakdown:
+            print(render_breakdown({args.workload: report}))
+        return 0
+    pim = _pim_for(args.gpu, args.pim)
+    framework = AnaheimFramework(gpu, pim, library=library)
+    runs = framework.compare(workload.blocks, params.degree,
+                             label=args.workload)
+    base, anaheim = runs["gpu"].report, runs["pim"].report
+    rows = [
+        ["baseline GPU", format_seconds(base.total_time),
+         f"{base.energy:.2f}J", "-"],
+        ["Anaheim", format_seconds(anaheim.total_time),
+         f"{anaheim.energy:.2f}J",
+         format_ratio(edp_improvement(base, anaheim))],
+    ]
+    print(format_table(["configuration", "time", "energy", "EDP gain"],
+                       rows, title=f"{args.workload} on {gpu.name} + "
+                                   f"{pim.name}"))
+    if args.breakdown:
+        print()
+        print(render_breakdown({"GPU": base, "Anaheim": anaheim}))
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    params = paper_params()
+    blocks = hoisted_block(params.level_count, params.aux_count,
+                           params.dnum, rotations=args.rotations)
+    framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                 keep_segments=True)
+    report = framework.run(blocks, params.degree,
+                           label=f"hoisted transform K={args.rotations}"
+                           ).report
+    print(render_gantt(report, width=args.width))
+    print("  [N=(I)NTT  B=BConv  e=element-wise  A=automorphism  "
+          "w=write-back  P=PIM]")
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    params = paper_params()
+    limbs = params.level_count + params.aux_count
+    config = with_buffer(A100_NEAR_BANK, args.buffer)
+    executor = PimExecutor(config)
+    rows = []
+    from repro.pim import isa
+    for name in sorted(isa.INSTRUCTIONS):
+        inst = isa.instruction(name)
+        fan_in = 4 if inst.compound else 1
+        if not executor.supports(name, fan_in):
+            rows.append([name, "unsupported", "-", "-"])
+            continue
+        kernel = PimKernel(name=name, instruction=name, limbs=limbs,
+                           degree=params.degree, fan_in=fan_in)
+        cost = executor.cost(kernel)
+        rows.append([name, format_seconds(cost.time),
+                     f"{cost.energy * 1e3:.2f}mJ",
+                     f"{cost.activations}"])
+    print(format_table(["instruction", "time", "energy", "ACT pairs"],
+                       rows, title=f"{config.name}, B={args.buffer}, "
+                                   f"{limbs} limbs"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="anaheim-repro",
+        description="Anaheim (HPCA 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the evaluation workloads")
+
+    run = sub.add_parser("run", help="model a workload on a configuration")
+    run.add_argument("--workload", required=True,
+                     choices=sorted(apps.WORKLOADS))
+    run.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    run.add_argument("--pim", default="near-bank",
+                     choices=["near-bank", "custom-hbm", "none"])
+    run.add_argument("--library", default="Cheddar",
+                     choices=sorted(LIBRARIES))
+    run.add_argument("--breakdown", action="store_true",
+                     help="print the per-category time breakdown")
+
+    gantt = sub.add_parser("gantt",
+                           help="Gantt chart of a hoisted linear transform")
+    gantt.add_argument("--rotations", type=int, default=8)
+    gantt.add_argument("--width", type=int, default=100)
+
+    micro = sub.add_parser("microbench",
+                           help="per-instruction PIM cost table")
+    micro.add_argument("--buffer", type=int, default=16)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
+                "microbench": cmd_microbench}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The Anaheim software framework: IR, fusion, offload, scheduling."""
+
+from repro.core.allocator import MemoryPlan, plan_memory
+from repro.core.framework import AnaheimFramework, ExecutionResult
+from repro.core.fusion import (GPU_ALL_FUSE, GPU_BASE, GPU_BASIC_FUSE,
+                               GPU_EXTRA_FUSE, PIM_BASE, PIM_BASIC_FUSE,
+                               PIM_FULL, PIM_NO_CP, LoweringOptions, lower)
+from repro.core.gantt import render_breakdown, render_gantt
+from repro.core.scheduler import ScheduleReport, Scheduler, Segment
+from repro.core.trace import (CATEGORY_LABELS, GpuKernel, OpCategory,
+                              PimKernel, Trace)
+
+__all__ = [
+    "AnaheimFramework", "CATEGORY_LABELS", "ExecutionResult", "GPU_ALL_FUSE",
+    "GPU_BASE", "GPU_BASIC_FUSE", "GPU_EXTRA_FUSE", "GpuKernel",
+    "LoweringOptions", "MemoryPlan", "OpCategory", "PIM_BASE",
+    "PIM_BASIC_FUSE", "PIM_FULL", "PIM_NO_CP", "PimKernel",
+    "ScheduleReport", "Scheduler", "Segment", "Trace", "lower",
+    "plan_memory", "render_breakdown", "render_gantt",
+]

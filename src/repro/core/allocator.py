@@ -1,0 +1,61 @@
+"""Static memory planning: PolyGroup preallocation and capacity checks.
+
+FHE dataflow is static (§V-C), so the framework can place every
+polynomial before execution.  This module provides the device-level
+accounting used to reproduce the paper's out-of-memory results
+(Fig. 2b: D ≥ 6 on RTX 4090; Fig. 8: ResNet20/ResNet18 on RTX 4090;
+§VIII-B: ResNet18-AESPA needs over 40 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import WORD_BYTES
+
+#: Fragmentation + scratch multiplier over the raw resident footprint
+#: (double buffers for ModUp digits, temporaries, framework overheads).
+SCRATCH_FACTOR = 1.3
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Resident device memory of one workload."""
+
+    evk_bytes: float
+    plaintext_bytes: float
+    ciphertext_bytes: float
+    scratch_factor: float = SCRATCH_FACTOR
+
+    @property
+    def raw_bytes(self) -> float:
+        return self.evk_bytes + self.plaintext_bytes + self.ciphertext_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.raw_bytes * self.scratch_factor
+
+    def fits(self, capacity_bytes: float) -> bool:
+        return self.total_bytes <= capacity_bytes
+
+    def describe(self) -> str:
+        return (f"evk {self.evk_bytes / 1e9:.1f}GB + "
+                f"pt {self.plaintext_bytes / 1e9:.1f}GB + "
+                f"ct {self.ciphertext_bytes / 1e9:.1f}GB "
+                f"(x{self.scratch_factor:.1f} scratch) = "
+                f"{self.total_bytes / 1e9:.1f}GB")
+
+
+def plan_memory(params, evk_count: int, plaintext_limbs: int,
+                live_ciphertexts: int = 16) -> MemoryPlan:
+    """Build a :class:`MemoryPlan` from workload metadata.
+
+    ``params`` may be :class:`repro.params.PaperParams` or
+    :class:`repro.params.CkksParams` (both expose the size helpers).
+    """
+    evk_bytes = evk_count * params.evk_bytes()
+    plaintext_bytes = plaintext_limbs * params.degree * WORD_BYTES
+    ciphertext_bytes = live_ciphertexts * params.ciphertext_bytes()
+    return MemoryPlan(evk_bytes=float(evk_bytes),
+                      plaintext_bytes=float(plaintext_bytes),
+                      ciphertext_bytes=float(ciphertext_bytes))

@@ -1,0 +1,63 @@
+"""ASCII Gantt chart rendering of schedules (Fig. 4a)."""
+
+from __future__ import annotations
+
+from repro.core.scheduler import ScheduleReport
+
+#: Glyph per (device, category) for the chart body.
+_GLYPHS = {
+    ("gpu", "ntt"): "N",
+    ("gpu", "bconv"): "B",
+    ("gpu", "elementwise"): "e",
+    ("gpu", "automorphism"): "A",
+    ("gpu", "transfer"): "w",
+    ("pim", "elementwise"): "P",
+}
+
+
+def render_gantt(report: ScheduleReport, width: int = 100) -> str:
+    """One line per device, proportional glyphs per kernel category.
+
+    GPU rows show N=(I)NTT, B=BConv, e=element-wise, A=automorphism,
+    w=write-back; the PIM row shows P for PIM kernels.
+    """
+    if not report.segments:
+        return "(no segments recorded — construct the framework with "\
+               "keep_segments=True)"
+    total = report.total_time or 1.0
+    rows = {"gpu": [" "] * width, "pim": [" "] * width}
+    for segment in report.segments:
+        glyph = _GLYPHS.get((segment.device, segment.category.value), "?")
+        start = int(segment.start / total * (width - 1))
+        end = max(start + 1, int(segment.end / total * width))
+        for i in range(start, min(end, width)):
+            rows[segment.device][i] = glyph
+    header = (f"{report.label}  total={total * 1e6:.0f}us  "
+              f"(gpu {report.gpu_time * 1e6:.0f}us, "
+              f"pim {report.pim_time * 1e6:.0f}us, "
+              f"{report.transitions} transitions)")
+    lines = [header,
+             "GPU |" + "".join(rows["gpu"]) + "|",
+             "PIM |" + "".join(rows["pim"]) + "|"]
+    return "\n".join(lines)
+
+
+def render_breakdown(reports: dict, unit: float = 1e-3,
+                     unit_label: str = "ms") -> str:
+    """Tabular per-category time breakdown for several reports."""
+    categories = []
+    for report in reports.values():
+        for label in report.breakdown():
+            if label not in categories:
+                categories.append(label)
+    name_width = max(len(n) for n in reports) + 2
+    header = "".join(f"{c:>14s}" for c in categories) + f"{'total':>14s}"
+    lines = [" " * name_width + header]
+    for name, report in reports.items():
+        cells = "".join(
+            f"{report.breakdown().get(c, 0.0) / unit:14.3f}"
+            for c in categories)
+        cells += f"{report.total_time / unit:14.3f}"
+        lines.append(f"{name:<{name_width}s}" + cells)
+    lines.append(f"(times in {unit_label})")
+    return "\n".join(lines)

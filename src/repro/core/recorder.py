@@ -1,0 +1,174 @@
+"""Recording evaluator: the §V-C programming-interface bridge.
+
+"Programmers can write a simple high-level code, which will be
+translated into appropriate GPU kernels, API calls, and PIM kernels."
+
+:class:`RecordingEvaluator` is a drop-in CKKS evaluator that executes
+real math *and* records the block program it performs.  The recorded
+blocks can then be re-scaled to paper parameters and costed by the
+Anaheim framework — write an FHE application once at a toy ring degree,
+get its projected A100+PIM performance for free::
+
+    ctx = RecordingEvaluator(params, keys)
+    ...  # ordinary homomorphic code
+    blocks = scale_blocks(ctx.recorded, params, paper_params())
+    report = AnaheimFramework(A100_80GB, A100_NEAR_BANK).run(
+        blocks, 2 ** 16).report
+
+Recording happens at the evaluator-API level: linear transforms and
+bootstrapping built from evaluator calls (baseline/MinKS/BSGS paths)
+are captured op by op; the hoisted path manipulates key-switch
+internals directly and should be modeled with
+:mod:`repro.workloads.linear_transform_trace` instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.ckks.evaluator import CkksEvaluator
+from repro.core import blocks as B
+from repro.params import PaperParams
+
+
+class RecordingEvaluator(CkksEvaluator):
+    """A :class:`CkksEvaluator` that also journals its block program."""
+
+    def __init__(self, params, keys, seed: int = 7):
+        super().__init__(params, keys, seed=seed)
+        self.recorded: list = []
+        self._muted = 0
+
+    def _log(self, block) -> None:
+        if not self._muted:
+            self.recorded.append(block)
+
+    @contextmanager
+    def _suppressed(self):
+        """Mute recording inside composite ops so their internal calls
+        (e.g. multiply's rescale) are not journaled twice."""
+        self._muted += 1
+        try:
+            yield
+        finally:
+            self._muted -= 1
+
+    def reset_recording(self) -> None:
+        self.recorded = []
+
+    # -- Element-wise functions --------------------------------------------------
+
+    def add(self, x, y):
+        out = super().add(x, y)
+        self._log(B.hadd(out.level_count))
+        return out
+
+    def sub(self, x, y):
+        out = super().sub(x, y)
+        self._log(B.hadd(out.level_count))
+        return out
+
+    def negate(self, x):
+        out = super().negate(x)
+        self._log(B.elementwise("neg", 2 * x.level_count, reads=1, writes=1,
+                                instruction="Neg"))
+        return out
+
+    def add_plain(self, x, p):
+        out = super().add_plain(x, p)
+        self._log(B.elementwise("add_plain", x.level_count, reads=2,
+                                writes=1, streaming_reads=1,
+                                instruction="Add"))
+        return out
+
+    def mul_plain(self, x, p, rescale=True):
+        with self._suppressed():
+            out = super().mul_plain(x, p, rescale=rescale)
+        self._log(B.pmult_pair(x.level_count))
+        if rescale:
+            self._log(B.rescale_pair(x.level_count))
+        return out
+
+    def mul_monomial(self, x, power):
+        out = super().mul_monomial(x, power)
+        self._log(B.elementwise("monomial", 2 * x.level_count, reads=2,
+                                writes=1, instruction="Mult"))
+        return out
+
+    # -- Key-switching functions -----------------------------------------------------
+
+    def _log_key_switch(self, limbs: int) -> None:
+        self._log(B.mod_up(limbs, self.params.aux_count, self.decomp.dnum))
+        self._log(B.key_mult(limbs, self.params.aux_count,
+                             self.decomp.dnum))
+        self._log(B.mod_down(limbs, self.params.aux_count))
+
+    def multiply(self, x, y, rescale=True):
+        limbs = min(x.level_count, y.level_count)
+        with self._suppressed():
+            out = super().multiply(x, y, rescale=rescale)
+        self._log(B.tensor(limbs))
+        self._log_key_switch(limbs)
+        self._log(B.hadd(limbs))
+        if rescale:
+            self._log(B.rescale_pair(limbs))
+        return out
+
+    def square(self, x, rescale=True):
+        with self._suppressed():
+            out = super().square(x, rescale=rescale)
+        self._log(B.tensor(x.level_count))
+        self._log_key_switch(x.level_count)
+        self._log(B.hadd(x.level_count))
+        if rescale:
+            self._log(B.rescale_pair(x.level_count))
+        return out
+
+    def rotate(self, x, distance):
+        with self._suppressed():
+            out = super().rotate(x, distance)
+        if distance % (self.params.degree // 2) != 0:
+            self._log(B.automorphism_pair(x.level_count))
+            self._log_key_switch(x.level_count)
+            self._log(B.mac_pair(x.level_count))
+        return out
+
+    def conjugate(self, x):
+        with self._suppressed():
+            out = super().conjugate(x)
+        self._log(B.automorphism_pair(x.level_count))
+        self._log_key_switch(x.level_count)
+        self._log(B.mac_pair(x.level_count))
+        return out
+
+    def rescale(self, ct):
+        out = super().rescale(ct)
+        self._log(B.rescale_pair(ct.level_count))
+        return out
+
+
+def scale_blocks(recorded, functional_params, target: PaperParams) -> list:
+    """Re-scale a recorded block program to paper parameters.
+
+    Limb counts stretch proportionally from the functional level budget
+    to the target's; the degree is supplied at lowering time, so only
+    limbs, aux, and dnum need adjusting.
+    """
+    ratio = target.level_count / functional_params.level_count
+    out = []
+    for block in recorded:
+        scaled = B.Block(
+            kind=block.kind,
+            limbs=max(1, round(block.limbs * ratio)),
+            aux=target.aux_count if block.aux or block.kind in (
+                "modup", "keymult", "moddown_pair") else block.aux,
+            dnum=target.dnum if block.dnum > 1 or block.kind in (
+                "modup", "keymult") else block.dnum,
+            count=block.count,
+            polys=block.polys,
+            streaming=block.streaming,
+            note=block.note,
+            attrs=dict(block.attrs),
+        )
+        out.append(scaled)
+    return out

@@ -1,0 +1,188 @@
+"""Stream-queue scheduler for hybrid GPU+PIM kernel traces (§V-C).
+
+GPU and PIM kernels live in one stream: the end of each kernel triggers
+the next, with a small transition overhead whenever execution moves
+between the GPU and the PIM devices ("a couple of microseconds", §V-C).
+PIM and GPU kernels never overlap (no pipelining, §V-C).
+
+The scheduler produces a :class:`ScheduleReport` with the Gantt-chart
+segments (Fig. 4a), per-category time breakdown (Figs. 2-3, 10), DRAM
+traffic (Fig. 4b), and the energy decomposition (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trace import (CATEGORY_LABELS, GpuKernel, OpCategory,
+                              PimKernel, Trace)
+from repro.gpu.cache import CacheModel
+from repro.gpu.model import GpuModel
+from repro.pim.executor import PimExecutor
+
+
+@dataclass
+class Segment:
+    """One Gantt-chart bar."""
+
+    start: float
+    end: float
+    device: str            # "gpu" or "pim"
+    name: str
+    category: OpCategory
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleReport:
+    """Everything the evaluation figures need from one execution."""
+
+    label: str
+    segments: list = field(default_factory=list)
+    total_time: float = 0.0
+    gpu_time: float = 0.0
+    pim_time: float = 0.0
+    transition_time: float = 0.0
+    transitions: int = 0
+    time_by_category: dict = field(default_factory=dict)
+    gpu_dram_bytes: float = 0.0
+    pim_internal_bytes: float = 0.0
+    pim_activations: int = 0
+    energy_gpu_dynamic: float = 0.0
+    energy_gpu_idle: float = 0.0
+    energy_pim: float = 0.0
+
+    @property
+    def energy(self) -> float:
+        return self.energy_gpu_dynamic + self.energy_gpu_idle + self.energy_pim
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J·s)."""
+        return self.energy * self.total_time
+
+    def pipelining_bound(self) -> float:
+        """Lower bound on runtime with perfect GPU/PIM overlap.
+
+        The paper deliberately does not pipeline PIM and GPU kernels
+        (§V-C): doing so would need invasive coherence hardware.  This
+        bound — the slower device's busy time plus transitions — shows
+        what pipelining could at best recover; with Anaheim shrinking
+        the element-wise share, the residual gain is marginal (Fig. 10
+        discussion).
+        """
+        return max(self.gpu_time, self.pim_time) + self.transition_time
+
+    def pipelining_headroom(self) -> float:
+        """Potential speedup from perfect pipelining (≥ 1.0)."""
+        bound = self.pipelining_bound()
+        return self.total_time / bound if bound else 1.0
+
+    def category_share(self, category: OpCategory) -> float:
+        if self.total_time == 0:
+            return 0.0
+        return self.time_by_category.get(category, 0.0) / self.total_time
+
+    def breakdown(self) -> dict:
+        """{label: seconds} in the paper's legend order."""
+        return {CATEGORY_LABELS[cat]: self.time_by_category.get(cat, 0.0)
+                for cat in OpCategory}
+
+    def scaled(self, factor: float) -> "ScheduleReport":
+        """Report for `factor` repetitions of this schedule (no segments)."""
+        out = ScheduleReport(label=self.label)
+        out.total_time = self.total_time * factor
+        out.gpu_time = self.gpu_time * factor
+        out.pim_time = self.pim_time * factor
+        out.transition_time = self.transition_time * factor
+        out.transitions = int(self.transitions * factor)
+        out.time_by_category = {k: v * factor
+                                for k, v in self.time_by_category.items()}
+        out.gpu_dram_bytes = self.gpu_dram_bytes * factor
+        out.pim_internal_bytes = self.pim_internal_bytes * factor
+        out.pim_activations = int(self.pim_activations * factor)
+        out.energy_gpu_dynamic = self.energy_gpu_dynamic * factor
+        out.energy_gpu_idle = self.energy_gpu_idle * factor
+        out.energy_pim = self.energy_pim * factor
+        return out
+
+    def merged(self, other: "ScheduleReport",
+               label: str | None = None) -> "ScheduleReport":
+        out = self.scaled(1.0)
+        out.label = label or self.label
+        out.total_time += other.total_time
+        out.gpu_time += other.gpu_time
+        out.pim_time += other.pim_time
+        out.transition_time += other.transition_time
+        out.transitions += other.transitions
+        for key, value in other.time_by_category.items():
+            out.time_by_category[key] = out.time_by_category.get(
+                key, 0.0) + value
+        out.gpu_dram_bytes += other.gpu_dram_bytes
+        out.pim_internal_bytes += other.pim_internal_bytes
+        out.pim_activations += other.pim_activations
+        out.energy_gpu_dynamic += other.energy_gpu_dynamic
+        out.energy_gpu_idle += other.energy_gpu_idle
+        out.energy_pim += other.energy_pim
+        return out
+
+
+class Scheduler:
+    """Executes a trace against a GPU model and (optionally) a PIM device."""
+
+    def __init__(self, gpu_model: GpuModel,
+                 pim_executor: PimExecutor | None = None,
+                 cache: CacheModel | None = None,
+                 keep_segments: bool = True):
+        self.gpu_model = gpu_model
+        self.pim_executor = pim_executor
+        self.cache = cache or CacheModel(
+            l2_bytes=gpu_model.config.l2_cache_bytes)
+        self.keep_segments = keep_segments
+
+    def run(self, trace: Trace) -> ScheduleReport:
+        report = ScheduleReport(label=trace.label)
+        clock = 0.0
+        previous_device = None
+        overhead = self.gpu_model.config.pim_transition_overhead
+        for kernel in trace:
+            if isinstance(kernel, PimKernel):
+                if self.pim_executor is None:
+                    raise ValueError(
+                        "trace contains PIM kernels but no PIM executor "
+                        "was provided")
+                device = "pim"
+                cost = self.pim_executor.cost(kernel)
+                duration = cost.time
+                report.pim_time += duration
+                report.pim_internal_bytes += cost.internal_bytes
+                report.pim_activations += cost.activations
+                report.energy_pim += cost.energy
+            else:
+                device = "gpu"
+                dram = self.cache.dram_bytes(kernel)
+                cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
+                duration = cost.time
+                report.gpu_time += duration
+                report.gpu_dram_bytes += cost.dram_bytes
+                report.energy_gpu_dynamic += self.gpu_model.kernel_energy(
+                    kernel, cost)
+            if previous_device is not None and previous_device != device:
+                clock += overhead
+                report.transition_time += overhead
+                report.transitions += 1
+            start = clock
+            clock += duration
+            report.time_by_category[kernel.category] = (
+                report.time_by_category.get(kernel.category, 0.0) + duration)
+            if self.keep_segments:
+                report.segments.append(Segment(
+                    start=start, end=clock, device=device,
+                    name=kernel.name, category=kernel.category))
+            previous_device = device
+        report.total_time = clock
+        report.energy_gpu_idle = self.gpu_model.config.idle_power * clock
+        return report

@@ -1,0 +1,16 @@
+"""DRAM substrate: geometry, timing, energy, banks, and devices."""
+
+from repro.dram.bank import Bank, BankStats
+from repro.dram.configs import GDDR6X_4090, HBM2_A100, timing_for
+from repro.dram.device import DramDevice, Die
+from repro.dram.energy import DEFAULT_ENERGY, DramEnergyModel
+from repro.dram.geometry import (CHUNK_BITS, ELEMENTS_PER_CHUNK,
+                                 DramGeometry)
+from repro.dram.timing import GDDR6X_TIMING, HBM2_TIMING, DramTiming
+
+__all__ = [
+    "Bank", "BankStats", "CHUNK_BITS", "DEFAULT_ENERGY", "DramDevice",
+    "DramEnergyModel", "DramGeometry", "DramTiming", "Die",
+    "ELEMENTS_PER_CHUNK", "GDDR6X_4090", "GDDR6X_TIMING", "HBM2_A100",
+    "HBM2_TIMING", "timing_for",
+]

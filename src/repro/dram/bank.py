@@ -1,0 +1,80 @@
+"""Functional DRAM bank with a row-buffer state machine.
+
+Used by the functional PIM tests: data really lives in (row, chunk)
+cells, every access goes through ACT/RD/WR/PRE, and the bank counts the
+commands so tests can assert the column-partitioning layout's ACT/PRE
+savings directly (§VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.geometry import ELEMENTS_PER_CHUNK, DramGeometry
+from repro.errors import LayoutError
+
+
+@dataclass
+class BankStats:
+    """DRAM command counts observed by one bank."""
+
+    activates: int = 0
+    precharges: int = 0
+    chunk_reads: int = 0
+    chunk_writes: int = 0
+
+    def reset(self) -> None:
+        self.activates = 0
+        self.precharges = 0
+        self.chunk_reads = 0
+        self.chunk_writes = 0
+
+
+class Bank:
+    """One DRAM bank: a (rows × chunks × 8) int64 cell array.
+
+    ``open_row`` models the IOSAs; reading or writing a chunk of a
+    closed row raises, forcing callers (the PIM executor) to issue
+    explicit ACT/PRE — which is exactly what the stats count.
+    """
+
+    def __init__(self, geometry: DramGeometry, rows: int | None = None):
+        self.geometry = geometry
+        self.rows = rows if rows is not None else 64
+        self.storage = np.zeros(
+            (self.rows, geometry.chunks_per_row, ELEMENTS_PER_CHUNK),
+            dtype=np.int64)
+        self.open_row: int | None = None
+        self.stats = BankStats()
+
+    def activate(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise LayoutError(f"row {row} outside bank of {self.rows} rows")
+        if self.open_row is not None:
+            self.precharge()
+        self.open_row = row
+        self.stats.activates += 1
+
+    def precharge(self) -> None:
+        if self.open_row is not None:
+            self.stats.precharges += 1
+            self.open_row = None
+
+    def _check_open(self, row: int) -> None:
+        if self.open_row != row:
+            raise LayoutError(
+                f"access to row {row} but open row is {self.open_row}")
+
+    def read_chunk(self, row: int, chunk: int) -> np.ndarray:
+        self._check_open(row)
+        self.stats.chunk_reads += 1
+        return self.storage[row, chunk].copy()
+
+    def write_chunk(self, row: int, chunk: int, data: np.ndarray) -> None:
+        self._check_open(row)
+        if data.shape != (ELEMENTS_PER_CHUNK,):
+            raise LayoutError("chunk writes must be 8 elements")
+        self.stats.chunk_writes += 1
+        self.storage[row, chunk] = data

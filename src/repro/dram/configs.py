@@ -1,0 +1,33 @@
+"""DRAM configurations of the evaluated GPUs (Table III)."""
+
+from __future__ import annotations
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import GDDR6X_TIMING, HBM2_TIMING, DramTiming
+
+#: A100 80GB: five 8-Hi HBM2E stacks, 64 banks per die; each stack is
+#: one PIM die group (§VI-B).
+HBM2_A100 = DramGeometry(
+    name="HBM2e x5 (A100 80GB)",
+    die_groups=5,
+    dies_per_group=8,
+    banks_per_die=64,
+)
+
+#: RTX 4090: twelve GDDR6X dies, 32 banks per die; four dies form one
+#: PIM die group (Table III).
+GDDR6X_4090 = DramGeometry(
+    name="GDDR6X x12 (RTX 4090)",
+    die_groups=3,
+    dies_per_group=4,
+    banks_per_die=32,
+)
+
+TIMINGS = {
+    HBM2_A100.name: HBM2_TIMING,
+    GDDR6X_4090.name: GDDR6X_TIMING,
+}
+
+
+def timing_for(geometry: DramGeometry) -> DramTiming:
+    return TIMINGS[geometry.name]

@@ -1,0 +1,65 @@
+"""Die/device containers over functional banks.
+
+Small functional aggregates used by :class:`repro.pim.device.PimDevice`:
+a :class:`Die` owns its banks; a :class:`DramDevice` owns the die groups
+of one GPU's memory system (§VI-B's partitioning).
+"""
+
+from __future__ import annotations
+
+from repro.dram.bank import Bank, BankStats
+from repro.dram.geometry import DramGeometry
+
+
+class Die:
+    """One DRAM die: ``banks_per_die`` banks operating in lockstep."""
+
+    def __init__(self, geometry: DramGeometry, rows: int = 64):
+        self.geometry = geometry
+        self.banks = [Bank(geometry, rows=rows)
+                      for _ in range(geometry.banks_per_die)]
+
+    def aggregate_stats(self) -> BankStats:
+        total = BankStats()
+        for bank in self.banks:
+            total.activates += bank.stats.activates
+            total.precharges += bank.stats.precharges
+            total.chunk_reads += bank.stats.chunk_reads
+            total.chunk_writes += bank.stats.chunk_writes
+        return total
+
+
+class DramDevice:
+    """All die groups of one memory system.
+
+    ``group_banks(g)`` returns the flat bank list of die group ``g`` —
+    the set that cooperates on one limb during all-bank PIM execution.
+    """
+
+    def __init__(self, geometry: DramGeometry, rows: int = 64):
+        self.geometry = geometry
+        self.groups = [
+            [Die(geometry, rows=rows)
+             for _ in range(geometry.dies_per_group)]
+            for _ in range(geometry.die_groups)
+        ]
+
+    def group_banks(self, group: int):
+        return [bank for die in self.groups[group] for bank in die.banks]
+
+    def all_banks(self):
+        for group_index in range(self.geometry.die_groups):
+            yield from self.group_banks(group_index)
+
+    def aggregate_stats(self) -> BankStats:
+        total = BankStats()
+        for bank in self.all_banks():
+            total.activates += bank.stats.activates
+            total.precharges += bank.stats.precharges
+            total.chunk_reads += bank.stats.chunk_reads
+            total.chunk_writes += bank.stats.chunk_writes
+        return total
+
+    def reset_stats(self) -> None:
+        for bank in self.all_banks():
+            bank.stats.reset()

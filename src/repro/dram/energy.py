@@ -1,0 +1,50 @@
+"""DRAM access-energy model (derived from O'Connor et al. [62]).
+
+The paper's Fig. 4b energy argument: with PIM, element-wise operands
+stop traveling across the on-die datapath, TSVs, and the external I/O
+to the GPU, shrinking the physical distance per access.  We model the
+per-bit energy as a sum of segment costs and let each access type pay
+only the segments it traverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramEnergyModel:
+    """Per-bit energies (pJ/bit) for the access-path segments.
+
+    * ``array`` — bitline/sense-amp access inside the bank;
+    * ``on_die`` — bank to die-edge global datapath;
+    * ``tsv`` — through-silicon vias to the base/logic die (HBM);
+    * ``io`` — external interface + GPU PHY.
+
+    ``act_energy`` is charged once per row activation per bank.
+    """
+
+    array: float = 1.1
+    on_die: float = 1.3
+    tsv: float = 0.4
+    io: float = 1.1
+    act_energy: float = 0.9e-9   # J per ACT/PRE pair (one 8Kb row)
+
+    @property
+    def gpu_access_pj_per_bit(self) -> float:
+        """Full-path access from the GPU (the paper's baseline)."""
+        return self.array + self.on_die + self.tsv + self.io
+
+    @property
+    def near_bank_pj_per_bit(self) -> float:
+        """Near-bank PIM: data moves only within the bank's neighborhood."""
+        return self.array + 0.2 * self.on_die
+
+    @property
+    def logic_die_pj_per_bit(self) -> float:
+        """Custom-HBM PIM: data crosses the die datapath and TSVs."""
+        return self.array + self.on_die + self.tsv
+
+
+#: Shared default instance.
+DEFAULT_ENERGY = DramEnergyModel()

@@ -1,0 +1,64 @@
+"""DRAM organization: stacks/dies/banks/rows/chunks (§II-D, Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+#: Bits per column access — "a chunk of data (typically 256 bits)".
+CHUNK_BITS = 256
+
+#: 32-bit words per chunk (residues are stored in 32-bit granularity).
+ELEMENTS_PER_CHUNK = CHUNK_BITS // 32
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organization of one GPU's DRAM subsystem.
+
+    A *die group* (§VI-B) is the unit that receives whole limbs: one
+    HBM stack on A100 (5 groups) or four GDDR dies on RTX 4090
+    (3 groups).  All banks of a die group cooperate on one limb.
+    """
+
+    name: str
+    die_groups: int
+    dies_per_group: int
+    banks_per_die: int
+    row_bits: int = 8192          # "many 8Kb-wide rows"
+    rows_per_bank: int = 16384
+
+    def __post_init__(self):
+        if self.row_bits % CHUNK_BITS != 0:
+            raise ParameterError("row width must be a whole number of chunks")
+
+    @property
+    def chunks_per_row(self) -> int:
+        return self.row_bits // CHUNK_BITS       # 32 for an 8Kb row
+
+    @property
+    def banks_per_group(self) -> int:
+        return self.dies_per_group * self.banks_per_die
+
+    @property
+    def total_banks(self) -> int:
+        return self.die_groups * self.banks_per_group
+
+    @property
+    def total_dies(self) -> int:
+        return self.die_groups * self.dies_per_group
+
+    def elements_per_bank(self, degree: int) -> int:
+        """Coefficients of one limb stored in each bank of a die group."""
+        if degree % self.banks_per_group != 0:
+            raise ParameterError(
+                f"degree {degree} does not divide over "
+                f"{self.banks_per_group} banks")
+        return degree // self.banks_per_group
+
+    def chunks_per_bank(self, degree: int) -> int:
+        elements = self.elements_per_bank(degree)
+        if elements % ELEMENTS_PER_CHUNK != 0:
+            raise ParameterError("bank slice is not whole chunks")
+        return elements // ELEMENTS_PER_CHUNK

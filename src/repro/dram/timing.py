@@ -1,0 +1,34 @@
+"""DRAM timing parameters relevant to all-bank PIM execution.
+
+During PIM execution all banks of a die operate in lockstep (§VI), so
+row ACT/PRE latencies are directly exposed instead of being hidden by
+bank-level parallelism — the overhead the column-partitioning layout
+amortizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Row-cycle timings in seconds."""
+
+    name: str
+    t_rcd: float        # ACT to column access
+    t_rp: float         # PRE latency
+    t_ras: float        # minimum row-open time
+
+    @property
+    def row_turnaround(self) -> float:
+        """Cost of closing one row and opening another (PRE + ACT)."""
+        return self.t_rp + self.t_rcd
+
+
+#: HBM2(E) timings (JEDEC-typical, as modeled in Ramulator 2.0 [57]).
+HBM2_TIMING = DramTiming(name="HBM2", t_rcd=14e-9, t_rp=14e-9, t_ras=33e-9)
+
+#: GDDR6X timings — slightly longer row cycles at higher I/O rates.
+GDDR6X_TIMING = DramTiming(name="GDDR6X", t_rcd=15e-9, t_rp=15e-9,
+                           t_ras=32e-9)

@@ -1,0 +1,29 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError):
+    """Raised when CKKS or hardware parameters are inconsistent."""
+
+
+class LevelError(ReproError):
+    """Raised when a ciphertext does not have enough levels for an operation."""
+
+
+class ScaleMismatchError(ReproError):
+    """Raised when operands of a homomorphic op carry incompatible scales."""
+
+
+class KeyError_(ReproError):
+    """Raised when a required evaluation key is missing."""
+
+
+class LayoutError(ReproError):
+    """Raised when a PIM data layout request cannot be satisfied."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a kernel trace cannot be scheduled."""

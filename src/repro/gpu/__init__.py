@@ -1,0 +1,13 @@
+"""GPU performance models: rooflines, kernels, caches, library profiles."""
+
+from repro.gpu.cache import DEFAULT_HIT_RATES, CacheModel
+from repro.gpu.configs import (A100_80GB, CHEDDAR, GPUS, HUNDRED_X,
+                               LIBRARIES, MODMUL_INT_OPS, PHANTOM, RTX_4090,
+                               GpuConfig, LibraryProfile)
+from repro.gpu.model import GpuModel, KernelCost
+
+__all__ = [
+    "A100_80GB", "CHEDDAR", "CacheModel", "DEFAULT_HIT_RATES", "GPUS",
+    "GpuConfig", "GpuModel", "HUNDRED_X", "KernelCost", "LIBRARIES",
+    "LibraryProfile", "MODMUL_INT_OPS", "PHANTOM", "RTX_4090",
+]

@@ -1,0 +1,102 @@
+"""Analytic cost descriptors for the GPU kernels of CKKS.
+
+Builders return :class:`repro.core.trace.GpuKernel` records with exact
+modular-op and byte counts for each primary polynomial operation
+(§II-B).  All sizes assume 32-bit word storage (§VI-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.trace import GpuKernel, OpCategory
+
+WORD_BYTES = 4
+
+#: Device traffic passes per (I)NTT: modern fused kernels keep the
+#: intermediate radix-√N stage in shared memory, so each limb is read
+#: and written once.
+NTT_PASSES = 1
+
+
+def ntt_kernel(limbs: int, degree: int, inverse: bool = False,
+               name: str | None = None, **tag_args) -> GpuKernel:
+    """(I)NTT over ``limbs`` limbs: N/2·log2 N butterflies per limb."""
+    butterflies = limbs * (degree // 2) * int(math.log2(degree))
+    traffic = limbs * degree * WORD_BYTES * NTT_PASSES
+    return GpuKernel(
+        name=name or ("intt" if inverse else "ntt"),
+        category=OpCategory.NTT,
+        mod_ops=float(butterflies),
+        bytes_read=float(traffic),
+        bytes_written=float(traffic),
+        **tag_args,
+    )
+
+
+def bconv_kernel(in_limbs: int, out_limbs: int, degree: int,
+                 name: str = "bconv", **tag_args) -> GpuKernel:
+    """Basis conversion: an (out × in) @ (in × N) modular matrix product."""
+    return GpuKernel(
+        name=name,
+        category=OpCategory.BCONV,
+        mod_ops=float(in_limbs * out_limbs * degree
+                      + in_limbs * degree),      # scaling by q_hat_inv
+        bytes_read=float(in_limbs * degree * WORD_BYTES),
+        bytes_written=float(out_limbs * degree * WORD_BYTES),
+        **tag_args,
+    )
+
+
+def elementwise_kernel(name: str, limbs: int, degree: int,
+                       reads: int, writes: int, ops_per_element: float = 1.0,
+                       streaming_reads: int = 0, **tag_args) -> GpuKernel:
+    """Element-wise modular kernel over ``limbs`` limbs.
+
+    ``reads``/``writes`` count polynomial operands (each ``limbs × N``
+    words); ``streaming_reads`` of them are one-use data (evk limbs,
+    plaintexts) that always stream from DRAM (§V-D).
+    """
+    volume = limbs * degree * WORD_BYTES
+    return GpuKernel(
+        name=name,
+        category=OpCategory.ELEMENTWISE,
+        mod_ops=float(limbs * degree * ops_per_element),
+        bytes_read=float(reads * volume),
+        bytes_written=float(writes * volume),
+        streaming_bytes=float(streaming_reads * volume),
+        **tag_args,
+    )
+
+
+def automorphism_kernel(limbs: int, degree: int, polys: int = 1,
+                        name: str = "automorphism", **tag_args) -> GpuKernel:
+    """Coefficient permutation: pure data movement, near-zero compute."""
+    volume = polys * limbs * degree * WORD_BYTES
+    return GpuKernel(
+        name=name,
+        category=OpCategory.AUTOMORPHISM,
+        mod_ops=0.0,
+        bytes_read=float(volume),
+        bytes_written=float(volume),
+        **tag_args,
+    )
+
+
+def writeback_kernel(limbs: int, degree: int, polys: int = 1,
+                     name: str = "writeback") -> GpuKernel:
+    """L2→DRAM write-back before PIM execution (§V-C coherence).
+
+    Modeled as extra global-memory store traffic inserted into the
+    producing kernels, which is how the paper simulates it.
+    """
+    volume = polys * limbs * degree * WORD_BYTES
+    return GpuKernel(
+        name=name,
+        category=OpCategory.TRANSFER,
+        mod_ops=0.0,
+        bytes_read=0.0,
+        bytes_written=float(volume),
+        streaming_bytes=float(volume),
+        tags=frozenset({"writeback"}),
+    )

@@ -1,0 +1,307 @@
+"""CKKS parameter sets and security accounting.
+
+Two kinds of parameter sets appear in this reproduction:
+
+* *Functional* parameters (small ring degree, e.g. ``N = 2^10``) used by
+  the executable CKKS layer in :mod:`repro.ckks` for correctness tests.
+* *Paper-scale* parameters (``N = 2^16``, ``L ≤ 54``, ``α ≤ 14``,
+  28-bit primes — Table IV of the paper) used by the analytical
+  performance models, which only need limb counts and word sizes.
+
+Both are described by the same :class:`CkksParams` type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.ckks import modmath
+from repro.errors import ParameterError
+
+#: Bytes used to store one coefficient residue in device memory.  The
+#: paper stores 28-bit residues in 32-bit words (§VI-A).
+WORD_BYTES = 4
+
+#: Maximum log2(PQ) for 128-bit IND-CPA security per ring degree,
+#: following the homomorphic encryption security standard tables the
+#: paper cites ([7], [19]).  Values are the standard sieving estimates.
+MAX_LOG_PQ_128 = {
+    2 ** 12: 101,
+    2 ** 13: 202,
+    2 ** 14: 411,
+    2 ** 15: 827,
+    2 ** 16: 1623,
+    2 ** 17: 3246,
+}
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """A complete RNS-CKKS parameter set.
+
+    Attributes mirror Table I of the paper: ring degree ``N``, ``L``
+    primes :math:`Q_i` forming the ciphertext modulus, ``α`` auxiliary
+    primes :math:`P_i` used during key switching, and the decomposition
+    number ``D = ceil(L / α)``.
+    """
+
+    degree: int
+    moduli: tuple
+    aux_moduli: tuple
+    scale_bits: int
+    dense_hamming_weight: int = 2 ** 8
+    sparse_hamming_weight: int = 2 ** 5
+    error_std: float = 3.2
+    #: Primes dropped per rescale: 1 for classic RNS-CKKS, 2 for
+    #: double-prime scaling ([1], [45]) — the paper's Table IV setting,
+    #: which reaches Δ = 2^48+ despite word-sized (< 2^28) primes.
+    primes_per_level: int = 1
+
+    def __post_init__(self):
+        if self.degree & (self.degree - 1) != 0:
+            raise ParameterError("ring degree must be a power of two")
+        if not self.moduli:
+            raise ParameterError("need at least one ciphertext prime")
+        if not self.aux_moduli:
+            raise ParameterError("need at least one auxiliary prime")
+
+    # -- Derived quantities -------------------------------------------------
+
+    @property
+    def level_count(self) -> int:
+        """L — the number of ciphertext primes."""
+        return len(self.moduli)
+
+    @property
+    def aux_count(self) -> int:
+        """α — the number of auxiliary (key-switching) primes."""
+        return len(self.aux_moduli)
+
+    @property
+    def dnum(self) -> int:
+        """D — the gadget decomposition number, ``ceil(L / α)``."""
+        return -(-self.level_count // self.aux_count)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of complex slots, N/2."""
+        return self.degree // 2
+
+    @property
+    def log_pq(self) -> float:
+        """log2 of the extended modulus PQ."""
+        return sum(math.log2(q) for q in self.moduli) + sum(
+            math.log2(p) for p in self.aux_moduli)
+
+    @property
+    def scale(self) -> float:
+        """The default encoding scale Δ."""
+        return float(2 ** self.scale_bits)
+
+    def meets_128_bit_security(self) -> bool:
+        """Check log PQ against the 128-bit security table for this N."""
+        limit = MAX_LOG_PQ_128.get(self.degree)
+        if limit is None:
+            raise ParameterError(f"no security table entry for N={self.degree}")
+        return self.log_pq <= limit
+
+    # -- Sizes used throughout the performance models ------------------------
+
+    def limb_bytes(self) -> int:
+        """Bytes of one limb (N coefficients)."""
+        return self.degree * WORD_BYTES
+
+    def poly_bytes(self, limbs: int | None = None) -> int:
+        """Bytes of a polynomial with ``limbs`` limbs (default L)."""
+        if limbs is None:
+            limbs = self.level_count
+        return limbs * self.limb_bytes()
+
+    def ciphertext_bytes(self, limbs: int | None = None) -> int:
+        """Bytes of a ciphertext (two polynomials)."""
+        return 2 * self.poly_bytes(limbs)
+
+    def evk_bytes(self) -> int:
+        """Bytes of one evaluation key: 2·D polynomials with L+α limbs."""
+        return 2 * self.dnum * self.poly_bytes(self.level_count + self.aux_count)
+
+    def at_level(self, level_count: int) -> "CkksParams":
+        """Return a copy restricted to the lowest ``level_count`` primes."""
+        if not 1 <= level_count <= self.level_count:
+            raise ParameterError(
+                f"level count {level_count} outside [1, {self.level_count}]")
+        return CkksParams(
+            degree=self.degree,
+            moduli=self.moduli[:level_count],
+            aux_moduli=self.aux_moduli,
+            scale_bits=self.scale_bits,
+            dense_hamming_weight=self.dense_hamming_weight,
+            sparse_hamming_weight=self.sparse_hamming_weight,
+            error_std=self.error_std,
+        )
+
+    # -- Factories -----------------------------------------------------------
+
+    @staticmethod
+    def create(degree: int, level_count: int, aux_count: int,
+               prime_bits: int = 28, scale_bits: int | None = None,
+               base_prime_bits: int | None = None) -> "CkksParams":
+        """Generate a parameter set with NTT-friendly primes.
+
+        ``scale_bits`` defaults to ``prime_bits`` so that dropping one
+        prime per rescale keeps the scale stable (single-prime scaling).
+        ``base_prime_bits`` optionally widens q_0 for extra headroom.
+        """
+        if scale_bits is None:
+            scale_bits = prime_bits
+        scale_primes = modmath.generate_scale_primes(
+            level_count, degree, bits=prime_bits)
+        if base_prime_bits is not None and base_prime_bits != prime_bits:
+            base = modmath.generate_primes(1, degree, bits=base_prime_bits)
+            moduli = (base[0],) + tuple(scale_primes[:level_count - 1])
+        else:
+            moduli = tuple(scale_primes)
+        aux_pool = modmath.generate_primes(
+            aux_count + level_count, degree, bits=min(
+                prime_bits + 2, modmath.MAX_PRIME_BITS))
+        aux = tuple(p for p in aux_pool if p not in moduli)[:aux_count]
+        if len(aux) < aux_count:
+            raise ParameterError("could not find enough distinct aux primes")
+        return CkksParams(degree=degree, moduli=moduli, aux_moduli=aux,
+                          scale_bits=scale_bits)
+
+
+    @staticmethod
+    def create_double_prime(degree: int, level_pairs: int, aux_count: int,
+                            scale_bits: int = 48,
+                            base_prime_bits: int = 28) -> "CkksParams":
+        """Parameters with double-prime scaling ([1], [45]).
+
+        Each multiplicative level is backed by a *pair* of primes whose
+        product approximates ``2**scale_bits``; rescaling drops both.
+        This is how the paper sustains Δ = 2^48-2^55 precision on
+        28-bit hardware words (Table IV, §VI-A).
+        """
+        pair_bits = scale_bits // 2
+        if scale_bits % 2 != 0:
+            raise ParameterError("scale_bits must be even for prime pairs")
+        scale_primes = modmath.generate_scale_primes(
+            2 * level_pairs, degree, bits=pair_bits)
+        # The base modulus is itself a prime pair: the last remaining
+        # level must still exceed the scale (2^56 > 2^48).
+        base = modmath.generate_primes(2, degree, bits=base_prime_bits)
+        # Pair large-with-small so each product stays near 2^scale_bits.
+        ordered = sorted(scale_primes)
+        pairs = []
+        for i in range(level_pairs):
+            pairs.extend((ordered[i], ordered[-1 - i]))
+        moduli = tuple(base) + tuple(pairs)
+        aux_pool = modmath.generate_primes(
+            aux_count + len(moduli), degree,
+            bits=min(base_prime_bits + 2, modmath.MAX_PRIME_BITS))
+        aux = tuple(p for p in aux_pool if p not in moduli)[:aux_count]
+        if len(aux) < aux_count:
+            raise ParameterError("could not find enough distinct aux primes")
+        return CkksParams(degree=degree, moduli=moduli, aux_moduli=aux,
+                          scale_bits=scale_bits, primes_per_level=2)
+
+
+@lru_cache(maxsize=None)
+def toy_params(degree: int = 2 ** 10, level_count: int = 6,
+               aux_count: int = 2, prime_bits: int = 28) -> CkksParams:
+    """Small functional parameters for correctness tests and examples.
+
+    The base prime q_0 is a few bits wider than the scale primes so the
+    plaintext keeps headroom at the last level: with ``q_0 ≈ Δ``, slot
+    values of magnitude ≥ q_0/(2Δ) ≈ 0.5 would wrap around.
+    """
+    base_bits = min(prime_bits + 2, modmath.MAX_PRIME_BITS - 1)
+    return CkksParams.create(degree, level_count, aux_count, prime_bits,
+                             base_prime_bits=base_bits)
+
+
+def paper_params(level_count: int = 54, aux_count: int = 14) -> "PaperParams":
+    """Paper-scale Table IV parameters for the performance models."""
+    return PaperParams(degree=2 ** 16, level_count=level_count,
+                       aux_count=aux_count)
+
+
+@dataclass(frozen=True)
+class PaperParams:
+    """Paper-scale parameters carrying only the sizes the models need.
+
+    The analytical GPU/PIM models never touch residues, so there is no
+    need to generate 68 actual primes; this light-weight record mirrors
+    the size-related API of :class:`CkksParams`.
+    """
+
+    degree: int = 2 ** 16
+    level_count: int = 54
+    aux_count: int = 14
+    prime_bits: float = 23.8   # average; 68 primes * 23.8 bits ≈ log PQ 1618
+    scale_bits: int = 48       # double-prime scaling [1], [45]
+
+    @property
+    def dnum(self) -> int:
+        return -(-self.level_count // self.aux_count)
+
+    @property
+    def slot_count(self) -> int:
+        return self.degree // 2
+
+    @property
+    def log_pq(self) -> float:
+        return (self.level_count + self.aux_count) * self.prime_bits
+
+    def meets_128_bit_security(self) -> bool:
+        limit = MAX_LOG_PQ_128.get(self.degree)
+        if limit is None:
+            raise ParameterError(f"no security table entry for N={self.degree}")
+        return self.log_pq <= limit
+
+    def limb_bytes(self) -> int:
+        return self.degree * WORD_BYTES
+
+    def poly_bytes(self, limbs: int | None = None) -> int:
+        if limbs is None:
+            limbs = self.level_count
+        return limbs * self.limb_bytes()
+
+    def ciphertext_bytes(self, limbs: int | None = None) -> int:
+        return 2 * self.poly_bytes(limbs)
+
+    def evk_bytes(self) -> int:
+        return 2 * self.dnum * self.poly_bytes(
+            self.level_count + self.aux_count)
+
+    def with_levels(self, level_count: int, aux_count: int | None = None
+                    ) -> "PaperParams":
+        """Copy with a different number of ciphertext (and aux) primes."""
+        return PaperParams(degree=self.degree, level_count=level_count,
+                           aux_count=aux_count or self.aux_count,
+                           prime_bits=self.prime_bits,
+                           scale_bits=self.scale_bits)
+
+
+def params_for_dnum(dnum: int, degree: int = 2 ** 16,
+                    max_log_pq: int = 1623,
+                    prime_bits: float = 23.8) -> PaperParams:
+    """Choose (L, α) for a target decomposition number D (§IV-B, Fig. 2b).
+
+    Mirrors the paper's methodology: keep ``N = 2^16`` and
+    ``log PQ < 1623`` for 128-bit security while varying D, i.e. pick the
+    largest L with ``α = ceil(L / D)`` and ``(L + α) · prime_bits``
+    within budget.
+    """
+    best = None
+    for level_count in range(dnum, 200):
+        aux = -(-level_count // dnum)
+        if (level_count + aux) * prime_bits >= max_log_pq:
+            break
+        best = (level_count, aux)
+    if best is None:
+        raise ParameterError(f"no feasible (L, α) for D={dnum}")
+    return PaperParams(degree=degree, level_count=best[0], aux_count=best[1],
+                       prime_bits=prime_bits)

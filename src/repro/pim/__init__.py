@@ -1,0 +1,20 @@
+"""The Anaheim PIM microarchitecture: ISA, layout, units, executor."""
+
+from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK, PIM_CONFIGS,
+                               RTX4090_NEAR_BANK, PimConfig, PimVariant,
+                               with_buffer)
+from repro.pim.device import PimDevice
+from repro.pim.executor import PimCost, PimExecutor
+from repro.pim.isa import INSTRUCTIONS, PimInstruction, instruction
+from repro.pim.layout import BankLayout, PolyGroup, PolyPlacement
+from repro.pim.mmac import MmacArray
+from repro.pim.buffer import DataBuffer
+from repro.pim.unit import PimUnit
+
+__all__ = [
+    "A100_CUSTOM_HBM", "A100_NEAR_BANK", "BankLayout", "DataBuffer",
+    "INSTRUCTIONS", "MmacArray", "PIM_CONFIGS", "PimConfig", "PimCost",
+    "PimDevice", "PimExecutor", "PimInstruction", "PimUnit", "PimVariant",
+    "PolyGroup", "PolyPlacement", "RTX4090_NEAR_BANK", "instruction",
+    "with_buffer",
+]

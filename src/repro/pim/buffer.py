@@ -1,0 +1,48 @@
+"""The PIM unit's B-entry data buffer (§VI-A).
+
+224-bit-wide entries hold one chunk of 28-bit residues each.  The
+buffer has two read ports and one write port; the functional model
+enforces only the capacity limit (port conflicts are a timing effect,
+absorbed by ``cycles_per_chunk`` in the analytic executor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.geometry import ELEMENTS_PER_CHUNK
+from repro.errors import ParameterError
+
+
+class DataBuffer:
+    """B entries of one chunk (8 residues) each."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ParameterError("buffer needs at least one entry")
+        self.entries = entries
+        self._slots = np.zeros((entries, ELEMENTS_PER_CHUNK), dtype=np.int64)
+        self._valid = np.zeros(entries, dtype=bool)
+        self.peak_used = 0
+
+    def write(self, index: int, chunk: np.ndarray) -> None:
+        if not 0 <= index < self.entries:
+            raise ParameterError(
+                f"buffer index {index} out of range B={self.entries}")
+        self._slots[index] = chunk
+        self._valid[index] = True
+        self.peak_used = max(self.peak_used, int(self._valid.sum()))
+
+    def read(self, index: int) -> np.ndarray:
+        if not self._valid[index]:
+            raise ParameterError(f"buffer entry {index} read before write")
+        return self._slots[index].copy()
+
+    def accumulate(self, index: int, chunk: np.ndarray, modulus: int) -> None:
+        """In-place modular accumulation into one entry."""
+        current = self.read(index)
+        total = current + chunk
+        self.write(index, np.where(total >= modulus, total - modulus, total))
+
+    def clear(self) -> None:
+        self._valid[:] = False

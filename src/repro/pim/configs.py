@@ -1,0 +1,138 @@
+"""Anaheim PIM configurations (Table III).
+
+Three evaluated variants: near-bank PIM on the A100's HBM2e, the
+custom-HBM alternative with PIM units on the logic die (§VI-D), and
+near-bank PIM on the RTX 4090's GDDR6X.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.configs import GDDR6X_4090, HBM2_A100, timing_for
+from repro.dram.energy import DEFAULT_ENERGY, DramEnergyModel
+from repro.dram.geometry import ELEMENTS_PER_CHUNK, DramGeometry
+from repro.dram.timing import DramTiming
+
+
+class PimVariant(enum.Enum):
+    NEAR_BANK = "near-bank"
+    CUSTOM_HBM = "custom-HBM"
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """One PIM design point.
+
+    ``banks_per_unit`` distinguishes the variants: near-bank designs put
+    one unit beside every bank; custom-HBM shares one logic-die unit
+    among several banks, trading peak internal bandwidth for easier
+    manufacturing and better ACT/PRE hiding (§VII-B).
+    """
+
+    name: str
+    variant: PimVariant
+    geometry: DramGeometry
+    timing: DramTiming
+    clock_hz: float
+    buffer_entries: int          # B
+    banks_per_unit: int
+    external_bandwidth: float    # bytes/s of the host GPU
+    energy: DramEnergyModel = DEFAULT_ENERGY
+    mmac_pj_per_op: float = 0.9
+    lanes: int = 8               # MMAC lanes per unit (256-bit datapath)
+    #: Average PIM-unit cycles per 256-bit chunk access.  >1 absorbs
+    #: data-buffer port conflicts and decode stalls (the buffer has two
+    #: read ports and one write port, §VI-A).
+    cycles_per_chunk: float = 1.3
+    area_mm2_per_die: float = 0.0
+    area_fraction: float = 0.0
+
+    @property
+    def units(self) -> int:
+        return self.geometry.total_banks // self.banks_per_unit
+
+    @property
+    def chunk_bytes(self) -> int:
+        return ELEMENTS_PER_CHUNK * 4
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate streaming bandwidth with every unit busy (bytes/s)."""
+        return self.units * self.chunk_bytes * self.clock_hz
+
+    @property
+    def bandwidth_multiplier(self) -> float:
+        """Table III "BW incr." — internal over external bandwidth."""
+        return self.internal_bandwidth / self.external_bandwidth
+
+    @property
+    def mmac_tops_per_die(self) -> float:
+        units_per_die = self.geometry.banks_per_die // min(
+            self.banks_per_unit, self.geometry.banks_per_die)
+        return units_per_die * self.lanes * self.clock_hz / 1e12
+
+    def access_pj_per_bit(self) -> float:
+        if self.variant == PimVariant.NEAR_BANK:
+            return self.energy.near_bank_pj_per_bit
+        return self.energy.logic_die_pj_per_bit
+
+
+#: A100 80GB + near-bank PIM: 0.194 TOPS/die at 378MHz, B=16, 16x BW.
+A100_NEAR_BANK = PimConfig(
+    name="A100 near-bank",
+    variant=PimVariant.NEAR_BANK,
+    geometry=HBM2_A100,
+    timing=timing_for(HBM2_A100),
+    clock_hz=378e6,
+    buffer_entries=16,
+    banks_per_unit=1,
+    external_bandwidth=1802e9,
+    area_mm2_per_die=10.7,
+    area_fraction=0.0969,
+)
+
+#: A100 80GB + custom-HBM PIM: units on the logic die, one per 8 banks,
+#: 756MHz, 4x BW (Table III).
+A100_CUSTOM_HBM = PimConfig(
+    name="A100 custom-HBM",
+    variant=PimVariant.CUSTOM_HBM,
+    geometry=HBM2_A100,
+    timing=timing_for(HBM2_A100),
+    clock_hz=756e6,
+    buffer_entries=16,
+    banks_per_unit=8,
+    external_bandwidth=1802e9,
+    area_mm2_per_die=10.9,
+    area_fraction=0.0994,
+    # Logic-die units are built on a logic process node (§VI-D) and
+    # sustain one chunk per cycle without buffer-port stalls.
+    cycles_per_chunk=1.0,
+)
+
+#: RTX 4090 + near-bank PIM: 0.168 TOPS/die at 656MHz, B=32, 8x BW.
+RTX4090_NEAR_BANK = PimConfig(
+    name="RTX 4090 near-bank",
+    variant=PimVariant.NEAR_BANK,
+    geometry=GDDR6X_4090,
+    timing=timing_for(GDDR6X_4090),
+    clock_hz=656e6,
+    buffer_entries=32,
+    banks_per_unit=1,
+    external_bandwidth=939e9,
+    area_mm2_per_die=7.26,
+    area_fraction=0.0758,
+    # GDDR6X near-bank units see more severe process-node limitations.
+    cycles_per_chunk=1.45,
+)
+
+PIM_CONFIGS = {
+    c.name: c for c in (A100_NEAR_BANK, A100_CUSTOM_HBM, RTX4090_NEAR_BANK)
+}
+
+
+def with_buffer(config: PimConfig, buffer_entries: int) -> PimConfig:
+    """Copy of a config with a different data buffer size (Fig. 9 sweep)."""
+    from dataclasses import replace
+    return replace(config, buffer_entries=buffer_entries)

@@ -1,0 +1,172 @@
+"""Functional all-bank PIM device executing on whole RNS polynomials.
+
+Implements the §VI-B data mapping end to end: limb ``ℓ`` of a
+polynomial goes to die group ``ℓ mod S`` (so all banks of a die work
+with one prime, letting the instruction embed it), and the limb's N
+coefficients spread evenly over the group's banks.  Executing an
+instruction runs the per-bank :class:`~repro.pim.unit.PimUnit` loop in
+lockstep across every involved bank and limb round.
+
+This is the integration point between the executable CKKS layer and the
+PIM microarchitecture: tests store real :class:`RnsPolynomial` data into
+banks, run Table II instructions, and read back bit-exact results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.rns import RnsPolynomial
+from repro.dram.device import DramDevice
+from repro.dram.geometry import ELEMENTS_PER_CHUNK, DramGeometry
+from repro.errors import LayoutError, ParameterError
+from repro.pim.layout import BankLayout
+from repro.pim.unit import PimUnit, load_poly, store_poly
+
+
+@dataclass(frozen=True)
+class PolyGroupHandle:
+    """Device-wide PolyGroup: per-(group, round, bank) placements.
+
+    ``placements[group][round][bank]`` is the per-bank
+    :class:`PolyGroup` for the limbs of round ``round`` handled by die
+    group ``group``.
+    """
+
+    name: str
+    slots: int
+    placements: list
+
+
+class PimDevice:
+    """A functional PIM-enabled memory system for one RNS basis.
+
+    ``basis`` fixes the limb -> prime mapping; ``limb_rounds`` is the
+    maximum number of limbs any die group handles
+    (``ceil(len(basis) / die_groups)``).
+    """
+
+    def __init__(self, geometry: DramGeometry, degree: int, basis: tuple,
+                 buffer_entries: int = 16, rows: int = 256,
+                 column_group_width: int = 2):
+        self.geometry = geometry
+        self.degree = degree
+        self.basis = tuple(basis)
+        self.buffer_entries = buffer_entries
+        self.chunks_per_poly = geometry.chunks_per_bank(degree)
+        self.device = DramDevice(geometry, rows=rows)
+        self.width = column_group_width
+        self._layouts = [
+            [BankLayout(geometry, self.chunks_per_poly, column_group_width,
+                        total_rows=rows)
+             for _ in range(geometry.banks_per_group)]
+            for _ in range(geometry.die_groups)
+        ]
+
+    # -- Limb mapping (§VI-B) ---------------------------------------------------
+
+    def limb_group(self, limb: int) -> int:
+        return limb % self.geometry.die_groups
+
+    def limb_round(self, limb: int) -> int:
+        return limb // self.geometry.die_groups
+
+    @property
+    def limb_rounds(self) -> int:
+        return -(-len(self.basis) // self.geometry.die_groups)
+
+    def limbs_of(self, group: int, round_index: int) -> int | None:
+        """The basis index handled by (group, round), or None."""
+        limb = round_index * self.geometry.die_groups + group
+        return limb if limb < len(self.basis) else None
+
+    # -- Allocation ---------------------------------------------------------------
+
+    def allocate(self, name: str, slots: int,
+                 naive: bool = False) -> PolyGroupHandle:
+        """Allocate a PolyGroup of ``slots`` polynomials device-wide."""
+        placements = []
+        for group in range(self.geometry.die_groups):
+            rounds = []
+            for _ in range(self.limb_rounds):
+                per_bank = []
+                for layout in self._layouts[group]:
+                    alloc = (layout.allocate_naive if naive
+                             else layout.allocate)
+                    per_bank.append(alloc(slots))
+                rounds.append(per_bank)
+            placements.append(rounds)
+        return PolyGroupHandle(name=name, slots=slots, placements=placements)
+
+    # -- Data movement ---------------------------------------------------------------
+
+    def _bank_slices(self, limb_values: np.ndarray):
+        elements = self.geometry.elements_per_bank(self.degree)
+        return limb_values.reshape(self.geometry.banks_per_group, elements)
+
+    def store(self, handle: PolyGroupHandle, slot: int,
+              poly: RnsPolynomial) -> None:
+        """Write one polynomial into PolyGroup slot ``slot``."""
+        if poly.basis != self.basis:
+            raise ParameterError("polynomial basis differs from device basis")
+        if not 0 <= slot < handle.slots:
+            raise LayoutError(f"slot {slot} outside PolyGroup of "
+                              f"{handle.slots}")
+        for limb, _ in enumerate(self.basis):
+            group = self.limb_group(limb)
+            round_index = self.limb_round(limb)
+            banks = self.device.group_banks(group)
+            slices = self._bank_slices(poly.coeffs[limb])
+            for bank, placement_group, values in zip(
+                    banks, handle.placements[group][round_index], slices):
+                store_poly(bank, placement_group[slot], values)
+
+    def load(self, handle: PolyGroupHandle, slot: int,
+             is_ntt: bool = True) -> RnsPolynomial:
+        """Read one polynomial back out of the banks."""
+        coeffs = np.empty((len(self.basis), self.degree), dtype=np.int64)
+        for limb, _ in enumerate(self.basis):
+            group = self.limb_group(limb)
+            round_index = self.limb_round(limb)
+            banks = self.device.group_banks(group)
+            pieces = [load_poly(bank, placement_group[slot])
+                      for bank, placement_group in zip(
+                          banks, handle.placements[group][round_index])]
+            coeffs[limb] = np.concatenate(pieces)
+        return RnsPolynomial(coeffs, self.basis, is_ntt=is_ntt)
+
+    # -- Execution --------------------------------------------------------------------
+
+    def execute(self, instruction: str, dsts, src_groups,
+                constants=None, fan_in: int = 1) -> None:
+        """Run one all-bank PIM instruction over every limb.
+
+        ``dsts``/``src_groups`` reference (handle, slot) pairs:
+        ``dsts = [(handle, slot), ...]`` and ``src_groups`` is a list of
+        such lists, one per PolyGroup phase.  ``constants`` may be a
+        per-limb list (one constant per prime, broadcast by the decoder)
+        or a list of per-limb lists for compound instructions.
+        """
+        for limb, modulus in enumerate(self.basis):
+            group = self.limb_group(limb)
+            round_index = self.limb_round(limb)
+            banks = self.device.group_banks(group)
+            limb_constants = None
+            if constants is not None:
+                limb_constants = constants[limb]
+                if isinstance(limb_constants, (int, np.integer)):
+                    limb_constants = [int(limb_constants)]
+            for bank_index, bank in enumerate(banks):
+                unit = PimUnit(bank, modulus, self.buffer_entries)
+                dst_placements = [
+                    handle.placements[group][round_index][bank_index][slot]
+                    for handle, slot in dsts]
+                src_placements = [
+                    [handle.placements[group][round_index][bank_index][slot]
+                     for handle, slot in phase]
+                    for phase in src_groups]
+                unit.execute(instruction, dsts=dst_placements,
+                             src_groups=src_placements,
+                             constants=limb_constants, fan_in=fan_in)

@@ -1,0 +1,118 @@
+"""The Anaheim PIM instruction set (Table II).
+
+Each descriptor captures what the PIM executor needs to schedule an
+instruction: how many source/destination polynomials it touches, how
+they split across PolyGroups (distinct row groups → distinct row
+activations per loop iteration), how many buffer slots each loop
+iteration consumes per chunk of granularity G, and the MMAC work per
+element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PimInstruction:
+    """Static description of one Table II instruction.
+
+    For compound instructions the counts are *per fan-in K*: e.g.
+    PAccum⟨K⟩ reads K plaintext polys and 2K input polys and writes 2.
+    ``buffer_polys`` is the number of G-chunk buffer slots needed
+    concurrently — chunk granularity is ``G = floor(B / buffer_polys)``
+    (Alg. 1 uses ``G = B/6`` for PAccum⟨4⟩ : 4 plaintexts + x + y).
+    """
+
+    name: str
+    #: polynomial reads per iteration, split by PolyGroup phase.
+    reads_by_group: tuple
+    writes: int
+    buffer_polys_fixed: int        # K-independent buffer slots (accumulators)
+    buffer_polys_per_k: int        # slots scaling with fan-in K
+    ops_per_element: float         # MMAC lane ops per output element
+    compound: bool = False
+    min_fan_in: int = 1
+
+    def read_polys(self, fan_in: int = 1) -> int:
+        return sum(self.scaled_reads(fan_in))
+
+    def scaled_reads(self, fan_in: int = 1) -> tuple:
+        if not self.compound:
+            return self.reads_by_group
+        return tuple(r * fan_in for r in self.reads_by_group)
+
+    def total_polys(self, fan_in: int = 1) -> int:
+        return self.read_polys(fan_in) + self.writes
+
+    def buffer_polys(self, fan_in: int = 1) -> int:
+        k = fan_in if self.compound else 1
+        return self.buffer_polys_fixed + self.buffer_polys_per_k * k
+
+    def row_groups(self, fan_in: int = 1) -> int:
+        """Row activations per loop iteration under column partitioning:
+        one per PolyGroup phase (reads) plus one for the outputs."""
+        return len(self.reads_by_group) + (1 if self.writes else 0)
+
+    def naive_row_groups(self, fan_in: int = 1) -> int:
+        """Activations per iteration when every polynomial lives in its
+        own rows (the w/o-CP ablation, Fig. 10 / §VI-C)."""
+        return self.total_polys(fan_in)
+
+    def min_buffer(self, fan_in: int = 1) -> int:
+        """Smallest data buffer B supporting this instruction (G ≥ 1)."""
+        return self.buffer_polys(fan_in)
+
+    def widest_group(self, fan_in: int = 1) -> int:
+        """Most polynomials sharing one PolyGroup (row capacity limit).
+
+        A DRAM row must hold G chunks of every co-located polynomial
+        (Fig. 7), so the usable chunk granularity is also bounded by
+        ``chunks_per_row // widest_group``.
+        """
+        return max(list(self.scaled_reads(fan_in)) + [max(self.writes, 1)])
+
+
+def _i(name, reads_by_group, writes, fixed, per_k, ops, compound=False):
+    return PimInstruction(
+        name=name, reads_by_group=tuple(reads_by_group), writes=writes,
+        buffer_polys_fixed=fixed, buffer_polys_per_k=per_k,
+        ops_per_element=ops, compound=compound)
+
+
+#: Table II.  Reads are grouped by PolyGroup: e.g. Add reads (a, b)
+#: co-located in one PolyGroup — a single row activation serves both.
+INSTRUCTIONS = {
+    # Basic instructions
+    "Move":   _i("Move",   (1,),    1, 2, 0, 0.0),
+    "Neg":    _i("Neg",    (1,),    1, 2, 0, 1.0),
+    "Add":    _i("Add",    (2,),    1, 3, 0, 1.0),
+    "Sub":    _i("Sub",    (2,),    1, 3, 0, 1.0),
+    "Mult":   _i("Mult",   (2,),    1, 3, 0, 1.0),
+    "MAC":    _i("MAC",    (3,),    1, 4, 0, 1.0),
+    "PMult":  _i("PMult",  (1, 2),  2, 5, 0, 1.0),
+    "PMAC":   _i("PMAC",   (1, 4),  2, 7, 0, 1.0),
+    # Constant instructions (constants broadcast by the decoder)
+    "CAdd":   _i("CAdd",   (1,),    1, 2, 0, 1.0),
+    "CSub":   _i("CSub",   (1,),    1, 2, 0, 1.0),
+    "CMult":  _i("CMult",  (1,),    1, 2, 0, 1.0),
+    "CMAC":   _i("CMAC",   (2,),    1, 3, 0, 1.0),
+    # Compound instructions
+    "Tensor":   _i("Tensor",   (4,),   3, 7, 0, 2.0),
+    "TensorSq": _i("TensorSq", (2,),   3, 5, 0, 2.0),
+    "ModDownEp": _i("ModDownEp", (2,), 1, 3, 0, 1.0),
+    # PAccum buffers the K plaintexts plus the two accumulators
+    # (Alg. 1: G = B/6 at K = 4); CAccum's constants ride inside the
+    # instruction, so only the two accumulators occupy the buffer.
+    "PAccum": _i("PAccum", (1, 2), 2, 2, 1, 1.0, compound=True),
+    "CAccum": _i("CAccum", (2,),   2, 2, 0, 1.0, compound=True),
+}
+
+
+def instruction(name: str) -> PimInstruction:
+    inst = INSTRUCTIONS.get(name)
+    if inst is None:
+        raise ParameterError(f"unknown PIM instruction {name!r}")
+    return inst

@@ -1,0 +1,121 @@
+"""Column-partitioning data layout: RowGroups, ColumnGroups, PolyGroups.
+
+Implements §VI-B / Fig. 7: each DRAM row is partitioned into column
+groups (CGs) of ``width`` chunks; a polynomial's per-bank slice fills
+one CG wrapped across the consecutive rows of a row group (RG).
+Related polynomials share a PolyGroup — same rows, different CGs — so
+an element-wise op between them touches one row per access phase
+instead of one row per polynomial.
+
+``allocate_naive`` provides the ablation layout (Fig. 10 "w/o CP"):
+every polynomial contiguously fills whole rows of its own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class PolyPlacement:
+    """Where one polynomial's bank slice lives inside a bank."""
+
+    base_row: int
+    rows: int
+    col_offset: int     # first chunk column of this poly's column group
+    width: int          # chunks per row (the CG width)
+    chunks: int         # total chunks of the slice
+
+    def location(self, chunk: int) -> tuple:
+        """(row, column) of slice chunk ``chunk``."""
+        if not 0 <= chunk < self.chunks:
+            raise LayoutError(f"chunk {chunk} outside slice of {self.chunks}")
+        return (self.base_row + chunk // self.width,
+                self.col_offset + chunk % self.width)
+
+    def rows_for_window(self, start: int, stop: int) -> list:
+        """Distinct rows covering chunks [start, stop)."""
+        first = self.base_row + start // self.width
+        last = self.base_row + (stop - 1) // self.width
+        return list(range(first, last + 1))
+
+
+@dataclass
+class PolyGroup:
+    """A set of co-located polynomials (one CG each, shared RG)."""
+
+    placements: list = field(default_factory=list)
+
+    def __getitem__(self, index: int) -> PolyPlacement:
+        return self.placements[index]
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+
+class BankLayout:
+    """Static allocator of PolyGroups inside one bank's rows.
+
+    FHE's static dataflow lets the framework preallocate every
+    polynomial (§V-C); ``width`` is the column-group width in chunks
+    (Fig. 7 uses 8/4/2 for 4/8/16 CGs per row).
+    """
+
+    def __init__(self, geometry: DramGeometry, chunks_per_poly: int,
+                 width: int, total_rows: int = 64):
+        if width < 1 or width > geometry.chunks_per_row:
+            raise LayoutError(f"CG width {width} outside row of "
+                              f"{geometry.chunks_per_row} chunks")
+        self.geometry = geometry
+        self.chunks_per_poly = chunks_per_poly
+        self.width = width
+        self.total_rows = total_rows
+        self.next_row = 0
+
+    @property
+    def slots_per_row(self) -> int:
+        return self.geometry.chunks_per_row // self.width
+
+    @property
+    def rows_per_group(self) -> int:
+        return math.ceil(self.chunks_per_poly / self.width)
+
+    def _take_rows(self, count: int) -> int:
+        if self.next_row + count > self.total_rows:
+            raise LayoutError("bank rows exhausted")
+        base = self.next_row
+        self.next_row += count
+        return base
+
+    def allocate(self, poly_count: int) -> PolyGroup:
+        """Column-partitioned PolyGroup: shared rows, one CG per poly."""
+        if poly_count > self.slots_per_row:
+            raise LayoutError(
+                f"{poly_count} polys exceed {self.slots_per_row} column "
+                "groups per row")
+        base = self._take_rows(self.rows_per_group)
+        group = PolyGroup()
+        for slot in range(poly_count):
+            group.placements.append(PolyPlacement(
+                base_row=base, rows=self.rows_per_group,
+                col_offset=slot * self.width, width=self.width,
+                chunks=self.chunks_per_poly))
+        return group
+
+    def allocate_naive(self, poly_count: int) -> PolyGroup:
+        """Contiguous allocation: each poly fills whole rows of its own
+        (the w/o-CP ablation) — accessing k polynomials in lockstep
+        ping-pongs between k distinct rows."""
+        group = PolyGroup()
+        per_row = self.geometry.chunks_per_row
+        rows_each = math.ceil(self.chunks_per_poly / per_row)
+        for _ in range(poly_count):
+            base = self._take_rows(rows_each)
+            group.placements.append(PolyPlacement(
+                base_row=base, rows=rows_each, col_offset=0,
+                width=per_row, chunks=self.chunks_per_poly))
+        return group

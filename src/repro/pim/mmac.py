@@ -1,0 +1,63 @@
+"""Functional model of the modular multiply-accumulate (MMAC) lanes.
+
+Eight MMAC lanes process one 256-bit chunk (8 x 32-bit residues) per
+cycle (§VI-A).  Multiplication uses the Montgomery reduction circuit
+enabled by ``q ≡ 1 (mod 2N)`` with 28-bit operands; inputs stored as
+32-bit words are truncated to 28 bits on entry, exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.modmath import MontgomeryContext
+from repro.errors import ParameterError
+
+
+class MmacArray:
+    """The eight-lane MMAC array of one PIM unit, fixed to one prime.
+
+    The die-group data mapping guarantees all banks of a die work on
+    the same prime (§VI-B), so a unit is configured with a single
+    modulus at kernel launch, broadcast by the instruction decoder.
+    """
+
+    MASK_28 = (1 << 28) - 1
+
+    def __init__(self, modulus: int):
+        if modulus >= (1 << 28):
+            raise ParameterError("MMAC operands are 28-bit (§VI-A)")
+        self.modulus = modulus
+        self._mont = MontgomeryContext(modulus, r_bits=28)
+
+    def _prep(self, chunk: np.ndarray) -> np.ndarray:
+        """Truncate 32-bit storage words to 28-bit MMAC operands."""
+        return chunk & self.MASK_28
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lane-wise a*b mod q via the Montgomery circuit."""
+        a = self._prep(a)
+        b = self._prep(b)
+        return self._mont.mul(self._mont.to_mont(a), b)
+
+    def mac(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        out = self.mul(a, b) + self._prep(acc)
+        return np.where(out >= self.modulus, out - self.modulus, out)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = self._prep(a) + self._prep(b)
+        return np.where(out >= self.modulus, out - self.modulus, out)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = self._prep(a) - self._prep(b)
+        return np.where(out < 0, out + self.modulus, out)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        a = self._prep(a)
+        return np.where(a == 0, a, self.modulus - a)
+
+    def passthrough(self, a: np.ndarray) -> np.ndarray:
+        """Inputs traverse the MMAC even when unused (§VI-A: reduces
+        buffer ports); modeled as an identity lane op."""
+        return self._prep(a)

@@ -1,0 +1,96 @@
+"""Anaheim on other DRAM technologies (§VI-D).
+
+"Anaheim is not confined to specific DRAM or PIM architectures...
+Anaheim can be applied to DDR, GDDR, and LPDDR memories."  These
+configurations model near-bank Anaheim PIM on a DDR5 server platform
+and an LPDDR5X mobile SoC, plus a general-purpose UPMEM-style PIM
+(§VI-D: "we can also utilize other PIM device types, such as
+general-purpose ones, to which the other contributions of ours still
+apply").  They are extensions beyond the paper's evaluated set and are
+exercised by `tests/pim/test_other_memories.py` and
+`examples/design_space_exploration.py`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dram.energy import DramEnergyModel
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.pim.configs import PimConfig, PimVariant
+
+#: An 8-channel DDR5-5600 server platform: 32 x8 devices (two ranks
+#: per channel pair), 32 banks each.
+DDR5_SERVER = DramGeometry(
+    name="DDR5 x32 (server)",
+    die_groups=4,
+    dies_per_group=8,
+    banks_per_die=32,
+)
+
+DDR5_TIMING = DramTiming(name="DDR5", t_rcd=16e-9, t_rp=16e-9, t_ras=32e-9)
+
+#: An LPDDR5X mobile package: 8 dies x 16 banks.
+LPDDR5_MOBILE = DramGeometry(
+    name="LPDDR5X x8 (mobile)",
+    die_groups=2,
+    dies_per_group=4,
+    banks_per_die=16,
+)
+
+LPDDR5_TIMING = DramTiming(name="LPDDR5X", t_rcd=18e-9, t_rp=18e-9,
+                           t_ras=42e-9)
+
+#: Near-bank Anaheim on DDR5: modest clocks on a DRAM process, but a
+#: lot of banks relative to the narrow external channel — the BW
+#: multiplier is the largest of all configurations.
+DDR5_NEAR_BANK = PimConfig(
+    name="DDR5 near-bank",
+    variant=PimVariant.NEAR_BANK,
+    geometry=DDR5_SERVER,
+    timing=DDR5_TIMING,
+    clock_hz=300e6,
+    buffer_entries=16,
+    banks_per_unit=1,
+    external_bandwidth=358e9,       # 8 x DDR5-5600 channels
+    cycles_per_chunk=1.3,
+)
+
+#: Near-bank Anaheim on LPDDR5X: low clocks, low-power energy profile.
+LPDDR5_NEAR_BANK = PimConfig(
+    name="LPDDR5X near-bank",
+    variant=PimVariant.NEAR_BANK,
+    geometry=LPDDR5_MOBILE,
+    timing=LPDDR5_TIMING,
+    clock_hz=250e6,
+    buffer_entries=16,
+    banks_per_unit=1,
+    external_bandwidth=136e9,       # 8.5 GT/s x 128 bits
+    energy=DramEnergyModel(array=0.8, on_die=0.9, tsv=0.0, io=0.9,
+                           act_energy=0.5e-9),
+    mmac_pj_per_op=0.6,
+    cycles_per_chunk=1.3,
+)
+
+
+def general_purpose_pim(base: PimConfig,
+                        efficiency: float = 0.25) -> PimConfig:
+    """A UPMEM-style general-purpose PIM on the same DRAM.
+
+    General-purpose in-order PIM cores sustain only a fraction of the
+    specialized MMAC pipeline's chunk rate ([24], [30], [36] report
+    modest gains even against CPUs); ``efficiency`` scales the chunk
+    throughput accordingly.  The data-mapping and software-stack
+    contributions still apply (§VI-D).
+    """
+    return replace(
+        base,
+        name=f"{base.name} (general-purpose)",
+        cycles_per_chunk=base.cycles_per_chunk / efficiency,
+    )
+
+
+OTHER_MEMORY_CONFIGS = {
+    c.name: c for c in (DDR5_NEAR_BANK, LPDDR5_NEAR_BANK)
+}

@@ -1,0 +1,292 @@
+"""Functional PIM unit: executes Table II instructions against a bank.
+
+This is the executable counterpart of the analytic executor: data really
+lives in :class:`repro.dram.bank.Bank` storage under a
+:class:`repro.pim.layout.BankLayout`, every access issues ACT/RD/WR
+commands (counted by the bank), operands flow through the
+:class:`repro.pim.mmac.MmacArray`, and loop blocking follows Alg. 1 with
+chunk granularity ``G = floor(B / buffer_polys)``.
+
+Tests compare both the computed values (against numpy references) and
+the command counts (against the analytic :class:`PimExecutor` model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.bank import Bank
+from repro.dram.geometry import ELEMENTS_PER_CHUNK
+from repro.errors import LayoutError, ParameterError
+from repro.pim import isa
+from repro.pim.buffer import DataBuffer
+from repro.pim.layout import PolyPlacement
+from repro.pim.mmac import MmacArray
+
+
+class PimUnit:
+    """One near-bank PIM unit bound to a bank and a prime."""
+
+    def __init__(self, bank: Bank, modulus: int, buffer_entries: int):
+        self.bank = bank
+        self.mmac = MmacArray(modulus)
+        self.buffer = DataBuffer(buffer_entries)
+        self.buffer_entries = buffer_entries
+        self.modulus = modulus
+
+    # -- Bank access helpers ---------------------------------------------------
+
+    def _activate_rows(self, placements, start: int, stop: int) -> None:
+        """Open the row(s) holding chunks [start, stop) of a phase.
+
+        Co-located placements (one PolyGroup) share rows, so the set is
+        deduplicated — this is exactly where column partitioning saves
+        activations.
+        """
+        rows = []
+        for placement in placements:
+            for row in placement.rows_for_window(start, stop):
+                if row not in rows:
+                    rows.append(row)
+        for row in rows:
+            self.bank.activate(row)
+
+    def _read_window(self, placement: PolyPlacement, start: int,
+                     stop: int) -> np.ndarray:
+        out = np.empty((stop - start, ELEMENTS_PER_CHUNK), dtype=np.int64)
+        for j in range(start, stop):
+            row, col = placement.location(j)
+            if self.bank.open_row != row:
+                self.bank.activate(row)
+            out[j - start] = self.bank.read_chunk(row, col)
+        return out
+
+    def _write_window(self, placement: PolyPlacement, start: int,
+                      data: np.ndarray) -> None:
+        for offset, chunk in enumerate(data):
+            row, col = placement.location(start + offset)
+            if self.bank.open_row != row:
+                self.bank.activate(row)
+            self.bank.write_chunk(row, col, chunk)
+
+    def _buffer_stage(self, arrays) -> None:
+        """Model the arrays passing through the data buffer, enforcing B."""
+        slot = 0
+        self.buffer.clear()
+        for array in arrays:
+            for chunk in array:
+                if slot >= self.buffer_entries:
+                    raise ParameterError(
+                        f"buffer overflow: instruction needs more than "
+                        f"B={self.buffer_entries} entries")
+                self.buffer.write(slot, chunk)
+                slot += 1
+
+    # -- Instruction execution ---------------------------------------------------
+
+    def execute(self, name: str, dsts, src_groups, constants=None,
+                fan_in: int = 1) -> None:
+        """Run one instruction over full polynomial slices.
+
+        ``src_groups`` is a list of placement lists, one per PolyGroup
+        phase (matching the ISA's ``reads_by_group``); ``dsts`` are the
+        output placements.
+        """
+        inst = isa.instruction(name)
+        expected = inst.scaled_reads(fan_in)
+        if tuple(len(g) for g in src_groups) != expected:
+            raise ParameterError(
+                f"{name} expects source groups {expected}, got "
+                f"{tuple(len(g) for g in src_groups)}")
+        if len(dsts) != inst.writes:
+            raise ParameterError(
+                f"{name} writes {inst.writes} polys, got {len(dsts)}")
+        granularity = self.buffer_entries // inst.buffer_polys(fan_in)
+        if granularity < 1:
+            raise ParameterError(
+                f"{name}<{fan_in}> needs B >= {inst.min_buffer(fan_in)}")
+        # Align loop windows to the column-group width so one iteration
+        # touches one row per PolyGroup phase (Fig. 7 / Alg. 1) instead
+        # of thrashing the row buffer mid-window.
+        widths = [p.width for group in src_groups for p in group]
+        widths += [p.width for p in dsts]
+        if widths:
+            granularity = max(1, min([granularity] + widths))
+        chunks = src_groups[0][0].chunks if src_groups else dsts[0].chunks
+        handler = _HANDLERS.get(name)
+        if handler is None:
+            raise ParameterError(f"no functional handler for {name}")
+        consts = constants if constants is not None else []
+        for start in range(0, chunks, granularity):
+            stop = min(start + granularity, chunks)
+            loaded = []
+            for group in src_groups:
+                self._activate_rows(group, start, stop)
+                loaded.append([self._read_window(p, start, stop)
+                               for p in group])
+            if loaded and name != "CAccum":
+                # Phase-1 operands transit the buffer (Alg. 1 line 7).
+                # CAccum streams every input; only its accumulators
+                # occupy buffer entries.
+                self._buffer_stage(loaded[0])
+            outputs = handler(self.mmac, loaded, consts, fan_in)
+            self._activate_rows(dsts, start, stop)
+            for placement, data in zip(dsts, outputs):
+                self._write_window(placement, start, data)
+        self.bank.precharge()
+
+
+# -- Per-instruction compute semantics (Table II) -----------------------------
+
+def _h_move(mmac, groups, consts, k):
+    (a,), = groups
+    return [mmac.passthrough(a)]
+
+
+def _h_neg(mmac, groups, consts, k):
+    (a,), = groups
+    return [mmac.neg(a)]
+
+
+def _h_add(mmac, groups, consts, k):
+    (a, b), = groups
+    return [mmac.add(a, b)]
+
+
+def _h_sub(mmac, groups, consts, k):
+    (a, b), = groups
+    return [mmac.sub(a, b)]
+
+
+def _h_mult(mmac, groups, consts, k):
+    (a, b), = groups
+    return [mmac.mul(a, b)]
+
+
+def _h_mac(mmac, groups, consts, k):
+    (a, b, c), = groups
+    return [mmac.mac(a, b, c)]
+
+
+def _h_pmult(mmac, groups, consts, k):
+    (p,), (a, b) = groups
+    return [mmac.mul(a, p), mmac.mul(b, p)]
+
+
+def _h_pmac(mmac, groups, consts, k):
+    (p,), (a, b, c, d) = groups
+    return [mmac.mac(a, p, c), mmac.mac(b, p, d)]
+
+
+def _h_cadd(mmac, groups, consts, k):
+    (a,), = groups
+    c = np.full_like(a, consts[0])
+    return [mmac.add(a, c)]
+
+
+def _h_csub(mmac, groups, consts, k):
+    (a,), = groups
+    c = np.full_like(a, consts[0])
+    return [mmac.sub(a, c)]
+
+
+def _h_cmult(mmac, groups, consts, k):
+    (a,), = groups
+    c = np.full_like(a, consts[0])
+    return [mmac.mul(c, a)]
+
+
+def _h_cmac(mmac, groups, consts, k):
+    (a, b), = groups
+    c = np.full_like(a, consts[0])
+    return [mmac.mac(c, a, b)]
+
+
+def _h_tensor(mmac, groups, consts, k):
+    (a, b, c, d), = groups
+    x = mmac.mul(a, c)
+    y = mmac.mac(a, d, mmac.mul(b, c))
+    z = mmac.mul(b, d)
+    return [x, y, z]
+
+
+def _h_tensor_sq(mmac, groups, consts, k):
+    (a, b), = groups
+    ab = mmac.mul(a, b)
+    return [mmac.mul(a, a), mmac.add(ab, ab), mmac.mul(b, b)]
+
+
+def _h_mod_down_ep(mmac, groups, consts, k):
+    (a, b), = groups
+    c = np.full_like(a, consts[0])
+    return [mmac.mul(c, mmac.sub(a, b))]
+
+
+def _h_paccum(mmac, groups, consts, k):
+    plaintexts, inputs = groups
+    x = np.zeros_like(plaintexts[0])
+    y = np.zeros_like(plaintexts[0])
+    for i in range(k):
+        a, b = inputs[2 * i], inputs[2 * i + 1]
+        x = mmac.mac(a, plaintexts[i], x)
+        y = mmac.mac(b, plaintexts[i], y)
+    return [x, y]
+
+
+def _h_caccum(mmac, groups, consts, k):
+    inputs, = groups
+    base = np.full_like(inputs[0], consts[0])
+    x = base.copy()
+    y = base.copy()
+    for i in range(k):
+        c = np.full_like(inputs[0], consts[i + 1])
+        x = mmac.mac(c, inputs[2 * i], x)
+        y = mmac.mac(c, inputs[2 * i + 1], y)
+    return [x, y]
+
+
+_HANDLERS = {
+    "Move": _h_move,
+    "Neg": _h_neg,
+    "Add": _h_add,
+    "Sub": _h_sub,
+    "Mult": _h_mult,
+    "MAC": _h_mac,
+    "PMult": _h_pmult,
+    "PMAC": _h_pmac,
+    "CAdd": _h_cadd,
+    "CSub": _h_csub,
+    "CMult": _h_cmult,
+    "CMAC": _h_cmac,
+    "Tensor": _h_tensor,
+    "TensorSq": _h_tensor_sq,
+    "ModDownEp": _h_mod_down_ep,
+    "PAccum": _h_paccum,
+    "CAccum": _h_caccum,
+}
+
+
+def store_poly(bank: Bank, placement: PolyPlacement,
+               values: np.ndarray) -> None:
+    """Write a residue vector into a bank under a placement (test helper)."""
+    if values.size != placement.chunks * ELEMENTS_PER_CHUNK:
+        raise LayoutError("value count does not match placement")
+    chunks = values.reshape(placement.chunks, ELEMENTS_PER_CHUNK)
+    for j in range(placement.chunks):
+        row, col = placement.location(j)
+        if bank.open_row != row:
+            bank.activate(row)
+        bank.write_chunk(row, col, chunks[j].astype(np.int64))
+    bank.precharge()
+
+
+def load_poly(bank: Bank, placement: PolyPlacement) -> np.ndarray:
+    """Read a residue vector back out of a bank (test helper)."""
+    out = np.empty((placement.chunks, ELEMENTS_PER_CHUNK), dtype=np.int64)
+    for j in range(placement.chunks):
+        row, col = placement.location(j)
+        if bank.open_row != row:
+            bank.activate(row)
+        out[j] = bank.read_chunk(row, col)
+    bank.precharge()
+    return out.reshape(-1)

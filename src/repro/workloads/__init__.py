@@ -1,0 +1,19 @@
+"""Evaluation workloads, trace generators, and metrics."""
+
+from repro.workloads.applications import WORKLOADS, Workload, build
+from repro.workloads.basic_functions import BASIC_FUNCTIONS
+from repro.workloads.bootstrap_trace import (BootstrapMeta, bootstrap_blocks,
+                                             factor_diagonals, t_boot_eff)
+from repro.workloads.linear_transform_trace import (TransformStats,
+                                                    bsgs_split,
+                                                    transform_blocks)
+from repro.workloads.metrics import (edp, edp_improvement,
+                                     energy_efficiency_gain, geomean,
+                                     speedup)
+
+__all__ = [
+    "BASIC_FUNCTIONS", "BootstrapMeta", "TransformStats", "WORKLOADS",
+    "Workload", "bootstrap_blocks", "bsgs_split", "build", "edp",
+    "edp_improvement", "energy_efficiency_gain", "factor_diagonals",
+    "geomean", "speedup", "t_boot_eff", "transform_blocks",
+]

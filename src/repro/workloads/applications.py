@@ -1,0 +1,193 @@
+"""The six evaluation workloads (§VII-A) as block-program generators.
+
+Each application is a composition of bootstrapping and per-unit
+homomorphic work, mirroring the published structure of the original
+workloads:
+
+* **Boot** — one full-slot bootstrapping (sparse-secret encapsulation).
+* **HELR** [33] — one training iteration on a 1024-batch of 14x14 MNIST
+  images: only 196 weights bootstrap, so bootstrapping runs sparsely
+  packed and ModSwitch dominates (§VII-B).
+* **Sort** [35] — two-way sorting of 2^14 reals: log^2-depth comparator
+  rounds, each a deep polynomial comparison plus bootstrapping.
+* **RNN** [67] — 200 evaluations of an RNN cell on a 32-batch of
+  128-long embeddings: a 128-diagonal matrix-vector transform plus
+  activation per iteration.
+* **ResNet20** [49] — CIFAR-10 CNN inference: per-layer convolution
+  transforms, AESPA-free polynomial activations, frequent bootstrapping.
+* **ResNet18-AESPA** [37] — ImageNet-scale CNN with NeuJeans packing and
+  AESPA activations; the heaviest workload (over 40 GB of memory).
+
+Op mixtures are calibrated against the workload latencies the paper
+reports (Table V and Fig. 8); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import blocks as B
+from repro.core.allocator import MemoryPlan, plan_memory
+from repro.params import PaperParams
+from repro.workloads.basic_functions import (hadd_blocks, hmult_blocks,
+                                             hrot_blocks, pmult_blocks)
+from repro.workloads.bootstrap_trace import BootstrapMeta, bootstrap_blocks
+from repro.workloads.linear_transform_trace import transform_blocks
+
+
+@dataclass
+class Workload:
+    """A named block program plus metadata for reporting."""
+
+    name: str
+    blocks: list
+    l_eff: int
+    memory: MemoryPlan
+    boot_meta: BootstrapMeta | None = None
+    description: str = ""
+
+
+def _extras(params: PaperParams, limbs: int, hmult: int = 0, hrot: int = 0,
+            pmult: int = 0, hadd: int = 0, transforms: int = 0,
+            transform_diagonals: int = 16):
+    """Per-unit application compute besides bootstrapping."""
+    blocks = []
+    aux, dnum = params.aux_count, params.dnum
+    for _ in range(transforms):
+        t_blocks, _ = transform_blocks(limbs, aux, dnum,
+                                       transform_diagonals, method="hoist")
+        blocks.extend(t_blocks)
+    for _ in range(hmult):
+        blocks.extend(hmult_blocks(limbs, aux, dnum))
+    for _ in range(hrot):
+        blocks.extend(hrot_blocks(limbs, aux, dnum))
+    for _ in range(pmult):
+        blocks.extend(pmult_blocks(limbs))
+    for _ in range(hadd):
+        blocks.extend(hadd_blocks(limbs))
+    return blocks
+
+
+def boot_workload(params: PaperParams | None = None, **boot_kwargs) -> Workload:
+    """Full-slot bootstrapping (the T_boot,eff proxy workload)."""
+    params = params or PaperParams()
+    blocks, meta = bootstrap_blocks(params, **boot_kwargs)
+    memory = plan_memory(params, evk_count=meta.evk_count,
+                         plaintext_limbs=meta.plaintext_limbs)
+    return Workload(name="Boot", blocks=blocks, l_eff=meta.l_eff,
+                    memory=memory, boot_meta=meta,
+                    description="full-slot bootstrapping, 2^15 slots")
+
+
+def helr_workload(params: PaperParams | None = None) -> Workload:
+    """One HELR training iteration (1024-batch, 14x14 MNIST)."""
+    params = params or PaperParams()
+    boot, meta = bootstrap_blocks(params, slot_count=256)
+    blocks = list(boot)
+    # Gradient computation: batch inner products and weight updates.
+    blocks += _extras(params, limbs=20, hmult=18, hrot=36, pmult=60,
+                      hadd=60, transforms=5, transform_diagonals=14)
+    memory = plan_memory(params, evk_count=meta.evk_count + 12,
+                         plaintext_limbs=meta.plaintext_limbs + 30 * 20)
+    return Workload(name="HELR", blocks=blocks, l_eff=10, memory=memory,
+                    boot_meta=meta,
+                    description="logistic regression, per-iteration")
+
+
+def sort_workload(params: PaperParams | None = None,
+                  rounds: int = 105) -> Workload:
+    """Two-way sorting of 2^14 reals: log^2 comparator rounds [35]."""
+    params = params or PaperParams()
+    boot, meta = bootstrap_blocks(params)
+    blocks = []
+    for _ in range(rounds):
+        # Each comparison round evaluates a deep minimax polynomial
+        # composition, consuming enough levels for two bootstrappings,
+        # plus the compare-and-swap data movement.
+        blocks.extend(boot)
+        blocks.extend(boot)
+        blocks.extend(boot)
+        blocks += _extras(params, limbs=22, hmult=60, hrot=12, pmult=16,
+                          hadd=24)
+    memory = plan_memory(params, evk_count=meta.evk_count + 6,
+                         plaintext_limbs=meta.plaintext_limbs)
+    return Workload(name="Sort", blocks=blocks, l_eff=9, memory=memory,
+                    boot_meta=meta,
+                    description=f"2-way sort of 2^14 reals, {rounds} rounds")
+
+
+def rnn_workload(params: PaperParams | None = None,
+                 iterations: int = 200, boots: int = 40) -> Workload:
+    """RNN cell evaluation, 200 iterations [67]."""
+    params = params or PaperParams()
+    boot, meta = bootstrap_blocks(params)
+    blocks = []
+    per_boot = max(1, iterations // boots)
+    for i in range(iterations):
+        # 128x128 weight matrix as a diagonal transform + activation.
+        blocks += _extras(params, limbs=24, hmult=2, hadd=4, transforms=1,
+                          transform_diagonals=128)
+        if i % per_boot == per_boot - 1:
+            blocks.extend(boot)
+    memory = plan_memory(params, evk_count=meta.evk_count + 8,
+                         plaintext_limbs=meta.plaintext_limbs + 128 * 24)
+    return Workload(name="RNN", blocks=blocks, l_eff=10, memory=memory,
+                    boot_meta=meta,
+                    description="RNN inference, 200 cell evaluations")
+
+
+def resnet20_workload(params: PaperParams | None = None,
+                      layers: int = 30) -> Workload:
+    """ResNet20 CIFAR-10 inference [49]."""
+    params = params or PaperParams()
+    boot, meta = bootstrap_blocks(params)
+    blocks = []
+    for _ in range(layers):
+        # Multiplexed-parallel convolution: rotation-rich transform plus
+        # a degree-2 composed polynomial activation.
+        blocks += _extras(params, limbs=24, hmult=4, hrot=8, pmult=6,
+                          hadd=10, transforms=1, transform_diagonals=36)
+        blocks.extend(boot)
+    memory = plan_memory(params, evk_count=meta.evk_count + 80,
+                         plaintext_limbs=meta.plaintext_limbs + 800 * 24,
+                         live_ciphertexts=48)
+    return Workload(name="ResNet20", blocks=blocks, l_eff=8, memory=memory,
+                    boot_meta=meta,
+                    description="ResNet20 inference, 32x32x3 CIFAR-10")
+
+
+def resnet18_workload(params: PaperParams | None = None,
+                      layers: int = 34) -> Workload:
+    """ResNet18-AESPA ImageNet inference (NeuJeans + AESPA) [37]."""
+    params = params or PaperParams()
+    boot, meta = bootstrap_blocks(params)
+    blocks = []
+    for _ in range(layers):
+        blocks += _extras(params, limbs=26, hmult=5, hrot=10, pmult=10,
+                          hadd=14, transforms=2, transform_diagonals=40)
+        blocks.extend(boot)
+    memory = plan_memory(params, evk_count=meta.evk_count + 110,
+                         plaintext_limbs=meta.plaintext_limbs + 2200 * 26,
+                         live_ciphertexts=64)
+    return Workload(name="ResNet18-AESPA", blocks=blocks, l_eff=7,
+                    memory=memory, boot_meta=meta,
+                    description="ResNet18 inference, 224x224x3 ImageNet")
+
+
+WORKLOADS = {
+    "Boot": boot_workload,
+    "HELR": helr_workload,
+    "Sort": sort_workload,
+    "RNN": rnn_workload,
+    "ResNet20": resnet20_workload,
+    "ResNet18-AESPA": resnet18_workload,
+}
+
+
+def build(name: str, params: PaperParams | None = None) -> Workload:
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; choose from "
+                       f"{sorted(WORKLOADS)}") from None
+    return factory(params)

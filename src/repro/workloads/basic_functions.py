@@ -1,0 +1,53 @@
+"""Block sequences for the basic CKKS functions (§II-A, Fig. 2a)."""
+
+from __future__ import annotations
+
+from repro.core import blocks as B
+
+
+def hadd_blocks(limbs: int):
+    """HADD: one pair-wise modular addition."""
+    return [B.hadd(limbs)]
+
+
+def pmult_blocks(limbs: int, rescale: bool = True):
+    """PMULT: plaintext multiplication (+ rescale)."""
+    out = [B.pmult_pair(limbs)]
+    if rescale:
+        out.append(B.rescale_pair(limbs))
+    return out
+
+
+def hmult_blocks(limbs: int, aux: int, dnum: int, rescale: bool = True):
+    """HMULT: Tensor -> ModUp(d2) -> KeyMult -> ModDown -> add -> rescale."""
+    out = [
+        B.tensor(limbs),
+        B.mod_up(limbs, aux, dnum),
+        B.key_mult(limbs, aux, dnum),
+        B.mod_down(limbs, aux),
+        B.hadd(limbs),
+    ]
+    if rescale:
+        out.append(B.rescale_pair(limbs))
+    return out
+
+
+def hrot_blocks(limbs: int, aux: int, dnum: int):
+    """HROT: ModUp -> KeyMult -> MAC -> automorphism -> ModDown (Fig. 1)."""
+    return [
+        B.mod_up(limbs, aux, dnum),
+        B.key_mult(limbs, aux, dnum),
+        B.mac_pair(limbs),
+        B.automorphism_pair(limbs),
+        B.mod_down(limbs, aux),
+    ]
+
+
+#: The Fig. 2a basic functions.  PMULT is the bare plaintext product —
+#: rescaling is deferred (lazy rescaling), as in the measured libraries.
+BASIC_FUNCTIONS = {
+    "HADD": lambda L, a, d: hadd_blocks(L),
+    "PMULT": lambda L, a, d: pmult_blocks(L, rescale=False),
+    "HMULT": lambda L, a, d: hmult_blocks(L, a, d),
+    "HROT": lambda L, a, d: hrot_blocks(L, a, d),
+}

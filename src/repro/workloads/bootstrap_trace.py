@@ -1,0 +1,155 @@
+"""Performance-model trace of full CKKS bootstrapping (§II-C).
+
+Composes ModRaise, CoeffToSlot (fftIter homomorphic DFT factors),
+EvalMod (Chebyshev sine), and SlotToCoeff at the paper's parameters
+(Table IV), with double-prime scaling: every multiplicative level
+consumes two primes ([1], [45]).
+
+The level schedule follows the paper's "L changes as 2 -> 54 -> 24":
+the default fftIter mix of three and four leaves L_out = 24, giving
+L_eff = (24 - 2) / 2 = 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core import blocks as B
+from repro.params import PaperParams
+from repro.workloads.linear_transform_trace import (TransformStats,
+                                                    transform_blocks)
+
+#: Primes consumed per multiplicative level under double-prime scaling.
+PRIMES_PER_LEVEL = 2
+
+#: Levels the EvalMod sine evaluation consumes (normalization + degree-63
+#: Chebyshev + double-angle), matching the 54 -> 24 schedule with the
+#: default fftIter mix.
+EVALMOD_LEVELS = 8
+
+#: Multiplications the EvalMod BSGS polynomial evaluation performs.
+EVALMOD_HMULTS = 13
+
+#: Constant-accumulation groups of the EvalMod combination step.
+EVALMOD_CACCUM_GROUPS = 8
+
+
+@dataclass
+class BootstrapMeta:
+    """Outcome metadata of one bootstrapping plan."""
+
+    level_in: int = 2
+    level_out: int = 0
+    l_eff: int = 0
+    evk_count: int = 0
+    plaintext_limbs: int = 0
+    transform_stats: list = field(default_factory=list)
+
+    def l_schedule(self) -> str:
+        return f"{self.level_in} -> raised -> {self.level_out}"
+
+
+def factor_diagonals(slot_count: int, fft_iter: int) -> int:
+    """Nonzero diagonals per DFT factor when the transform matrix is
+    decomposed into ``fft_iter`` sparse factors [15]: radix
+    ``r = n^(1/fft_iter)`` gives ~2r-1 diagonals."""
+    radix = slot_count ** (1.0 / fft_iter)
+    return max(3, int(round(2 * radix - 1)))
+
+
+def _transform_factors(blocks, meta, limbs, params, fft_iter, method,
+                       slot_count, reorder):
+    for _ in range(fft_iter):
+        factor_blocks, stats = transform_blocks(
+            limbs, params.aux_count, params.dnum,
+            factor_diagonals(slot_count, fft_iter), method=method,
+            reorder=reorder)
+        blocks.extend(factor_blocks)
+        meta.transform_stats.append(stats)
+        meta.evk_count += stats.evk_count
+        meta.plaintext_limbs += stats.plaintext_limbs
+        limbs -= PRIMES_PER_LEVEL
+    return limbs
+
+
+def bootstrap_blocks(params: PaperParams,
+                     fft_iter_cts: float = 3.5,
+                     fft_iter_stc: float = 3.5,
+                     method: str = "hoist",
+                     slot_count: int | None = None,
+                     reorder: bool = True,
+                     evalmod_levels: int = EVALMOD_LEVELS):
+    """Build the bootstrapping block list and its metadata.
+
+    ``fft_iter_*`` may be fractional to express the paper's default mix
+    of three and four (3.5); ``slot_count`` below N/2 models sparsely
+    packed bootstrapping (HELR's 196 slots, §VII-B).
+    """
+    if slot_count is None:
+        slot_count = params.slot_count
+    blocks = []
+    meta = BootstrapMeta()
+    limbs = params.level_count
+
+    # ModRaise: reinterpret + NTT to the full basis.
+    blocks.append(B.raw_ntt(limbs))
+    blocks.append(B.raw_ntt(limbs))
+
+    # Sparse-secret encapsulation [9]: one key switch at the base level.
+    blocks.append(B.mod_up(meta.level_in, params.aux_count, 1))
+    blocks.append(B.key_mult(meta.level_in, params.aux_count, 1))
+    blocks.append(B.mod_down(meta.level_in, params.aux_count))
+
+    cts_factors = int(round(fft_iter_cts))
+    stc_factors = int(round(fft_iter_stc))
+    # Fractional fftIter (the 3/4 mix) spends the in-between level count.
+    cts_levels = int(round(fft_iter_cts * PRIMES_PER_LEVEL))
+    stc_levels = int(round(fft_iter_stc * PRIMES_PER_LEVEL))
+
+    # --- CoeffToSlot.
+    _transform_factors(blocks, meta, limbs, params, cts_factors,
+                       method, slot_count, reorder)
+    limbs -= cts_levels
+
+    # c0/c1 split: conjugation (one key switch) + element-wise combine.
+    blocks.append(B.mod_up(limbs, params.aux_count, params.dnum))
+    blocks.append(B.key_mult(limbs, params.aux_count, params.dnum))
+    blocks.append(B.mod_down(limbs, params.aux_count))
+    blocks.append(B.hadd(limbs))
+    blocks.append(B.hadd(limbs))
+    meta.evk_count += 1
+
+    # --- EvalMod on both halves, with lazy relinearization: the d2
+    # parts of one level's products accumulate and key-switch once per
+    # half per level — the ModSwitch merging/skipping the paper notes
+    # state-of-the-art implementations apply (§IV-B).
+    hmults_per_level = max(1, math.ceil(EVALMOD_HMULTS / evalmod_levels))
+    for step in range(evalmod_levels):
+        for _ in range(2 * hmults_per_level):   # both halves
+            blocks.append(B.tensor(limbs))
+            blocks.append(B.hadd(limbs))
+            blocks.append(B.rescale_pair(limbs))
+            blocks.append(B.rescale_pair(limbs - 1))
+        for _ in range(2):                      # one key switch per half
+            blocks.append(B.mod_up(limbs, params.aux_count, params.dnum))
+            blocks.append(B.key_mult(limbs, params.aux_count, params.dnum))
+            blocks.append(B.mod_down(limbs, params.aux_count))
+        blocks.append(B.caccum(limbs, EVALMOD_CACCUM_GROUPS))
+        limbs -= PRIMES_PER_LEVEL
+    meta.evk_count += 1   # relinearization key
+
+    # --- SlotToCoeff.
+    _transform_factors(blocks, meta, limbs, params, stc_factors, method,
+                       slot_count, reorder)
+    limbs -= stc_levels
+
+    meta.level_out = limbs
+    meta.l_eff = max(1, (meta.level_out - meta.level_in)
+                     // PRIMES_PER_LEVEL)
+    return blocks, meta
+
+
+def t_boot_eff(total_time: float, meta: BootstrapMeta) -> float:
+    """The paper's primary metric: bootstrapping time per usable level."""
+    return total_time / meta.l_eff

@@ -1,0 +1,138 @@
+"""Performance-model traces of FHE linear transforms (§III-B, Fig. 5).
+
+Three strategies, mirroring the functional layer:
+
+* ``base``  — K independent HROT + PMULT evaluations;
+* ``minks`` — identical compute to base (MinKS "does not alter the
+  amount of computation") but reusing one evk: the metadata reports the
+  evk working set, which only matters for hardware with enough cache;
+* ``hoist`` — the paper's reordered hoisted flow: one shared ModUp,
+  per-rotation KeyMult + extended-modulus PMULT + b-side MAC, a fused
+  AutAccum, and a single ModDown pair.
+
+Transforms larger than a few rotations use the baby-step giant-step
+split: the baby rotations hoist; the giant rotations remain full HROTs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import blocks as B
+from repro.params import WORD_BYTES
+from repro.workloads.basic_functions import hrot_blocks
+
+
+@dataclass(frozen=True)
+class TransformStats:
+    """Key-material metadata for the Fig. 1 table."""
+
+    evk_count: int
+    plaintext_limbs: int   # total limbs of all plaintexts (size driver)
+    rotations: int
+
+    def plaintext_bytes(self, degree: int) -> int:
+        return self.plaintext_limbs * degree * WORD_BYTES
+
+    def evk_bytes(self, degree: int, limbs: int, aux: int, dnum: int) -> int:
+        per_key = 2 * dnum * (limbs + aux) * degree * WORD_BYTES
+        return self.evk_count * per_key
+
+
+def bsgs_split(diagonals: int) -> tuple:
+    """(baby, giant) rotation counts for a diagonal-packed transform."""
+    baby = max(1, int(round(math.sqrt(diagonals))))
+    giant = math.ceil(diagonals / baby)
+    return baby, giant
+
+
+def hoisted_block(limbs: int, aux: int, dnum: int, rotations: int,
+                  pmults: int | None = None, reorder: bool = True,
+                  rescale: bool = True):
+    """One hoisted rotation bundle (Fig. 5): ModUp once, K KeyMults.
+
+    ``pmults`` — plaintext multiplications performed in the extended
+    modulus (defaults to one per rotation).
+    """
+    if pmults is None:
+        pmults = rotations
+    ext = limbs + aux
+    out = [B.mod_up(limbs, aux, dnum)]
+    for _ in range(rotations):
+        out.append(B.key_mult(limbs, aux, dnum))
+        if not reorder:
+            # Automorphism in its original position: between KeyMult
+            # and PMULT, on extended-modulus pairs (§V-B: extra 2K DRAM
+            # reads and writes that the reordering eliminates).
+            out.append(B.automorphism_pair(ext))
+    for _ in range(pmults):
+        out.append(B.pmult_pair(ext))          # extended-modulus plaintext
+        out.append(B.elementwise(
+            "bmac", limbs, reads=3, writes=1, ops=1.0,
+            streaming_reads=1, instruction="MAC"))
+    if reorder:
+        out.append(B.aut_accum(ext, rotations))
+    else:
+        for i in range(rotations - 1):
+            out.append(B.elementwise(
+                f"accum{i}", 2 * ext, reads=2, writes=1, ops=1.0,
+                streaming_reads=0, instruction="Add"))
+    out.append(B.mod_down(limbs, aux))
+    if rescale:
+        out.append(B.rescale_pair(limbs))
+    return out
+
+
+def transform_blocks(limbs: int, aux: int, dnum: int, diagonals: int,
+                     method: str = "hoist", reorder: bool = True):
+    """Full diagonal-packed linear transform, BSGS-split.
+
+    Returns ``(blocks, TransformStats)``.
+    """
+    baby, giant = bsgs_split(diagonals)
+    ext = limbs + aux
+    if method in ("base", "minks"):
+        blocks = []
+        for _ in range(baby + giant - 1):      # all rotations are full HROTs
+            blocks.extend(hrot_blocks(limbs, aux, dnum))
+        for _ in range(diagonals):
+            blocks.append(B.pmult_pair(limbs))
+        for _ in range(diagonals - 1):
+            blocks.append(B.hadd(limbs))
+        blocks.append(B.rescale_pair(limbs))
+        # MinKS iterates with one evk per rotation stride: the unit
+        # baby-step key and the giant-step stride key (§III-B).
+        evk_count = 2 if method == "minks" else baby + giant - 1
+        stats = TransformStats(evk_count=evk_count,
+                               plaintext_limbs=diagonals * limbs,
+                               rotations=baby + giant - 1)
+        return blocks, stats
+    if method == "hoist":
+        blocks = hoisted_block(limbs, aux, dnum, rotations=baby,
+                               pmults=diagonals, reorder=reorder,
+                               rescale=False)
+        for _ in range(giant - 1):             # giant steps stay full HROTs
+            blocks.extend(hrot_blocks(limbs, aux, dnum))
+            blocks.append(B.hadd(limbs))
+        blocks.append(B.rescale_pair(limbs))
+        stats = TransformStats(evk_count=baby + giant - 1,
+                               plaintext_limbs=diagonals * ext,
+                               rotations=baby + giant - 1)
+        return blocks, stats
+    raise ValueError(f"unknown transform method {method!r}")
+
+
+def count_ntt_limbs(blocks, degree: int) -> int:
+    """Total limb-transforms of (I)NTT in a lowered trace — the Fig. 1
+    table's comparison metric."""
+    from repro.core.fusion import GPU_ALL_FUSE, lower
+    from repro.core.trace import OpCategory
+    from repro.gpu.kernels import NTT_PASSES
+    trace = lower(blocks, degree, GPU_ALL_FUSE)
+    total = 0
+    for kernel in trace.gpu_kernels():
+        if kernel.category == OpCategory.NTT:
+            # limbs = traffic / (passes * degree * word)
+            total += int(kernel.bytes_read / (NTT_PASSES * degree * 4))
+    return total

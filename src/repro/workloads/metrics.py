@@ -1,0 +1,32 @@
+"""Evaluation metrics: T_boot,eff, EDP, speedups, geometric means."""
+
+from __future__ import annotations
+
+import math
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    return baseline_time / improved_time
+
+
+def energy_efficiency_gain(baseline_energy: float,
+                           improved_energy: float) -> float:
+    return baseline_energy / improved_energy
+
+
+def edp(energy: float, time: float) -> float:
+    """Energy-delay product (J*s)."""
+    return energy * time
+
+
+def edp_improvement(baseline, improved) -> float:
+    """EDP reduction factor between two schedule reports."""
+    return edp(baseline.energy, baseline.total_time) / edp(
+        improved.energy, improved.total_time)
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

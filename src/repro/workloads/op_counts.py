@@ -1,0 +1,112 @@
+"""Closed-form operation and byte counts for CKKS primitives.
+
+These formulas back the arithmetic-intensity analysis of §IV-D: why
+element-wise ops sit below 2 ops/byte while (I)NTT and BConv sit far
+above the GPU roofline ridge.  Counts are in modular multiplications
+(the dominant op) and bytes of 32-bit words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Modular ops and memory footprint of one primitive."""
+
+    mod_ops: float
+    bytes_touched: float
+
+    @property
+    def ops_per_byte(self) -> float:
+        return self.mod_ops / self.bytes_touched if self.bytes_touched else 0.0
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(self.mod_ops + other.mod_ops,
+                       self.bytes_touched + other.bytes_touched)
+
+    def times(self, factor: float) -> "OpCount":
+        return OpCount(self.mod_ops * factor, self.bytes_touched * factor)
+
+
+def limb_bytes(degree: int) -> int:
+    return degree * WORD_BYTES
+
+
+def ntt_count(limbs: int, degree: int) -> OpCount:
+    """N/2 log N butterflies per limb; one read + one write pass."""
+    return OpCount(
+        mod_ops=limbs * (degree / 2) * math.log2(degree),
+        bytes_touched=2 * limbs * limb_bytes(degree))
+
+
+def bconv_count(in_limbs: int, out_limbs: int, degree: int) -> OpCount:
+    """(out x in) modular matrix product over N coefficients."""
+    return OpCount(
+        mod_ops=(in_limbs * out_limbs + in_limbs) * degree,
+        bytes_touched=(in_limbs + out_limbs) * limb_bytes(degree))
+
+
+def elementwise_count(limbs: int, degree: int, operands: int,
+                      ops_per_element: float = 1.0) -> OpCount:
+    """An element-wise kernel touching ``operands`` polynomials."""
+    return OpCount(
+        mod_ops=limbs * degree * ops_per_element,
+        bytes_touched=operands * limbs * limb_bytes(degree))
+
+
+def automorphism_count(limbs: int, degree: int, polys: int = 2) -> OpCount:
+    return OpCount(mod_ops=0.0,
+                   bytes_touched=2 * polys * limbs * limb_bytes(degree))
+
+
+def mod_up_count(limbs: int, aux: int, dnum: int, degree: int) -> OpCount:
+    """ModUp = INTT(L) + D x (BConv + NTT) (§II-B)."""
+    group = -(-limbs // dnum)
+    fresh = limbs + aux - min(aux, limbs)
+    total = ntt_count(limbs, degree)
+    for _ in range(dnum):
+        total = total + bconv_count(group, fresh, degree)
+        total = total + ntt_count(fresh, degree)
+    return total
+
+
+def key_mult_count(limbs: int, aux: int, dnum: int, degree: int) -> OpCount:
+    """PAccum⟨D⟩ over extended-modulus digits: 2D muls per element."""
+    ext = limbs + aux
+    return elementwise_count(ext, degree, operands=3 * dnum + 2,
+                             ops_per_element=2 * dnum)
+
+
+def mod_down_count(limbs: int, aux: int, degree: int) -> OpCount:
+    """ModDown of a ciphertext pair."""
+    total = OpCount(0.0, 0.0)
+    for _ in range(2):
+        total = total + ntt_count(aux, degree)
+        total = total + bconv_count(aux, limbs, degree)
+        total = total + ntt_count(limbs, degree)
+    total = total + elementwise_count(2 * limbs, degree, operands=3,
+                                      ops_per_element=2.0)
+    return total
+
+
+def hrot_count(limbs: int, aux: int, dnum: int, degree: int) -> OpCount:
+    return (mod_up_count(limbs, aux, dnum, degree)
+            + key_mult_count(limbs, aux, dnum, degree)
+            + elementwise_count(2 * limbs, degree, operands=3)
+            + automorphism_count(limbs, degree)
+            + mod_down_count(limbs, aux, degree))
+
+
+def hmult_count(limbs: int, aux: int, dnum: int, degree: int) -> OpCount:
+    tensor = elementwise_count(limbs, degree, operands=7,
+                               ops_per_element=2.0)
+    return (tensor
+            + mod_up_count(limbs, aux, dnum, degree)
+            + key_mult_count(limbs, aux, dnum, degree)
+            + mod_down_count(limbs, aux, degree)
+            + elementwise_count(2 * limbs, degree, operands=3))

@@ -1,0 +1,111 @@
+"""Anaheim for other FHE schemes (§VIII-C, future work made concrete).
+
+"A direct extension for other FHE schemes would be feasible. For
+example, BGV and BFV include the same KeyMult ops, and FHEW and TFHE
+also require similar parallel mult process for their evks."
+
+This module builds performance-model traces for those schemes' hottest
+kernels so the same lowering/offload/scheduling stack evaluates them:
+
+* **BGV** multiplication — structurally identical to CKKS HMULT
+  (tensor, ModUp, KeyMult, ModDown), with modulus switching instead of
+  rescaling.
+* **BFV** multiplication — scale-invariant multiplication first extends
+  both operands to a double-width basis (extra BConv + NTT work), then
+  tensors, scales down, and relinearizes.
+* **TFHE gate bootstrapping** — n external products (CMux gates)
+  against a GGSW evaluation key at a small ring degree: each is a
+  decompose -> NTT -> key-vector MAC -> INTT pipeline whose MAC stage
+  is exactly PAccum-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import blocks as B
+
+
+def bgv_hmult_blocks(limbs: int, aux: int, dnum: int):
+    """BGV multiplication: tensor + key switch + modulus switch.
+
+    The key-switching core is the same KeyMult the paper highlights —
+    BGV inherits Anaheim's offload unchanged.
+    """
+    return [
+        B.tensor(limbs),
+        B.mod_up(limbs, aux, dnum),
+        B.key_mult(limbs, aux, dnum),
+        B.mod_down(limbs, aux),
+        B.hadd(limbs),
+        # BGV modulus switching: scale-and-round, one limb dropped.
+        B.rescale_pair(limbs),
+    ]
+
+
+def bfv_hmult_blocks(limbs: int, aux: int, dnum: int):
+    """BFV multiplication: basis extension, tensor, scale-down, relin.
+
+    Scale-invariant multiplication computes over Q·B (a doubled basis):
+    both operands are extended (2 extra BConv+NTT pipelines), the tensor
+    runs at 2L limbs, and the scale-down converts back.
+    """
+    extended = 2 * limbs
+    out = []
+    for _ in range(2):   # extend both input ciphertexts (2 polys each)
+        out.append(B.mod_up(limbs, limbs, 1, polys=2))
+    out.append(B.tensor(extended))
+    # Scale down t/Q: per output poly, INTT + BConv back to Q + NTT.
+    for _ in range(3):
+        out.append(B.raw_ntt(extended, inverse=True))
+        out.append(B.raw_bconv(extended, limbs))
+        out.append(B.raw_ntt(limbs))
+    # Relinearize d2, as in CKKS.
+    out.append(B.mod_up(limbs, aux, dnum))
+    out.append(B.key_mult(limbs, aux, dnum))
+    out.append(B.mod_down(limbs, aux))
+    out.append(B.hadd(limbs))
+    return out
+
+
+@dataclass(frozen=True)
+class TfheParams:
+    """Small-ring TFHE-style parameters for gate bootstrapping."""
+
+    degree: int = 2 ** 11
+    decomposition: int = 4      # GGSW decomposition length
+    lwe_dimension: int = 630    # external products per bootstrap
+
+
+def tfhe_gate_bootstrap_blocks(params: TfheParams | None = None):
+    """One TFHE gate bootstrap: ``n`` CMux external products.
+
+    Each external product decomposes the accumulator (element-wise),
+    NTTs the decomposed digits, MACs them against the GGSW key rows
+    (the PAccum-shaped stage: 2·l key polys, streaming), and INTTs
+    back.  Rotations are handled as cheap coefficient permutations.
+    """
+    params = params or TfheParams()
+    blocks = []
+    l = params.decomposition
+    for _ in range(params.lwe_dimension):
+        # Digit decomposition of the 2-poly accumulator.
+        blocks.append(B.elementwise(
+            "decompose", 2 * l, reads=2, writes=l, ops=1.0,
+            streaming_reads=0, instruction="CMult"))
+        blocks.append(B.raw_ntt(2 * l))
+        # The GGSW MAC: accumulate 2l digit polys against key rows.
+        blocks.append(B.elementwise(
+            "ggsw_mac", 2 * l, reads=3 * l, writes=2, ops=2.0 * l,
+            streaming_reads=2 * l, instruction="PAccum", fan_in=l))
+        blocks.append(B.raw_ntt(2, inverse=True))
+        # Accumulator rotation (X^{a_i} monomial mult) + add.
+        blocks.append(B.automorphism_pair(1))
+        blocks.append(B.hadd(1))
+    return blocks
+
+
+SCHEME_BUILDERS = {
+    "BGV": bgv_hmult_blocks,
+    "BFV": bfv_hmult_blocks,
+}

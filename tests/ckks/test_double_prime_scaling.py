@@ -1,0 +1,166 @@
+"""Tests for double-prime scaling ([1], [45] — the Table IV setting).
+
+The paper keeps 28-bit hardware words but sustains Δ = 2^48-2^55 by
+backing each multiplicative level with a *pair* of primes whose product
+approximates the scale; rescaling drops both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.evaluator import make_context
+from repro.errors import LevelError, ParameterError
+from repro.params import CkksParams, toy_params
+
+
+@pytest.fixture(scope="module")
+def dp_params():
+    return CkksParams.create_double_prime(
+        degree=2 ** 9, level_pairs=4, aux_count=3, scale_bits=48)
+
+
+@pytest.fixture(scope="module")
+def dp_context(dp_params):
+    return make_context(dp_params, rotations=[1])
+
+
+class TestParameterConstruction:
+    def test_structure(self, dp_params):
+        assert dp_params.primes_per_level == 2
+        assert dp_params.level_count == 2 + 2 * 4   # base pair + 4 pairs
+        assert dp_params.scale == 2.0 ** 48
+
+    def test_pairs_multiply_to_scale(self, dp_params):
+        pairs = dp_params.moduli[2:]
+        for i in range(0, len(pairs), 2):
+            product = pairs[i] * pairs[i + 1]
+            assert abs(product / 2.0 ** 48 - 1.0) < 0.01
+
+    def test_primes_word_sized(self, dp_params):
+        # All scale primes stay below 2^28 (the MMAC operand width).
+        for q in dp_params.moduli[2:]:
+            assert q < 2 ** 28
+
+    def test_odd_scale_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            CkksParams.create_double_prime(2 ** 9, 2, 2, scale_bits=49)
+
+
+class TestArithmetic:
+    def test_roundtrip_precision(self, dp_context, dp_params):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=dp_params.slot_count)
+        ct = dp_context.encrypt_message(u)
+        err = np.abs(dp_context.decrypt_message(ct).real - u).max()
+        assert err < 1e-9    # far below single-prime 28-bit noise
+
+    def test_rescale_drops_pair_and_keeps_scale(self, dp_context,
+                                                dp_params):
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=dp_params.slot_count)
+        ct = dp_context.encrypt_message(u)
+        raw = dp_context.mul_scalar(ct, 1.0, rescale=False)
+        out = dp_context.rescale(raw)
+        assert out.level_count == ct.level_count - 2
+        assert out.scale == pytest.approx(dp_params.scale, rel=1e-3)
+
+    def test_hmult_precision_beats_single_prime(self, dp_context,
+                                                dp_params):
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=dp_params.slot_count)
+        v = rng.normal(size=dp_params.slot_count)
+        out = dp_context.multiply(dp_context.encrypt_message(u),
+                                  dp_context.encrypt_message(v))
+        dp_err = np.abs(dp_context.decrypt_message(out).real - u * v).max()
+
+        sp = make_context(toy_params(degree=2 ** 9, level_count=5,
+                                     aux_count=3))
+        n = 2 ** 8
+        sp_out = sp.multiply(sp.encrypt_message(u[:n]),
+                             sp.encrypt_message(v[:n]))
+        sp_err = np.abs(sp.decrypt_message(sp_out).real[:n]
+                        - (u * v)[:n]).max()
+        assert dp_err < sp_err / 100
+        assert dp_err < 1e-8
+
+    def test_rotation_under_double_prime(self, dp_context, dp_params):
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=dp_params.slot_count)
+        out = dp_context.rotate(dp_context.encrypt_message(u), 1)
+        err = np.abs(dp_context.decrypt_message(out).real
+                     - np.roll(u, -1)).max()
+        assert err < 1e-8
+
+    def test_multiplication_chain_to_exhaustion(self, dp_context,
+                                                dp_params):
+        rng = np.random.default_rng(4)
+        u = rng.uniform(0.5, 1.0, dp_params.slot_count)
+        ct = dp_context.encrypt_message(u)
+        expect = u
+        for _ in range(4):           # all four pairs
+            ct = dp_context.multiply(ct, ct)
+            expect = expect * expect
+        assert ct.level_count == 2   # the base pair remains
+        err = np.abs(dp_context.decrypt_message(ct).real - expect).max()
+        assert err < 1e-6
+        with pytest.raises(LevelError):
+            dp_context.multiply(ct, ct)
+
+    def test_precise_scalar_mul(self, dp_context, dp_params):
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=dp_params.slot_count)
+        ct = dp_context.encrypt_message(u)
+        out = dp_context.mul_scalar_precise(ct, 1e-9, depth=2)
+        assert out.scale == pytest.approx(ct.scale, rel=1e-12)
+        err = np.abs(dp_context.decrypt_message(out) - 1e-9 * u).max()
+        assert err < 1e-12
+
+
+class TestDoublePrimeBootstrap:
+    """Bootstrapping under the paper's actual scaling regime: 48-bit
+    scale from 24-bit prime pairs, a 56-bit base pair, word-sized
+    primes throughout — and ~3 decimal digits more precision than the
+    single-prime functional bootstrap."""
+
+    @pytest.fixture(scope="class")
+    def boot_setup(self):
+        from repro.ckks.bootstrap import Bootstrapper
+        from repro.ckks.evaluator import CkksEvaluator
+        from repro.ckks.keys import KeyGenerator
+
+        params = CkksParams.create_double_prime(
+            degree=2 ** 7, level_pairs=14, aux_count=7, scale_bits=48,
+            base_prime_bits=28)
+        keygen = KeyGenerator(params, seed=11)
+        keys = keygen.generate(sparse_secret=True)
+        ev = CkksEvaluator(params, keys)
+        return params, ev, Bootstrapper(ev, keygen)
+
+    def test_base_modulus_is_the_pair_product(self, boot_setup):
+        params, _, bts = boot_setup
+        assert bts.base_limbs == 2
+        assert bts.base_modulus == params.moduli[0] * params.moduli[1]
+
+    def test_end_to_end_precision(self, boot_setup):
+        params, ev, bts = boot_setup
+        rng = np.random.default_rng(9)
+        m = 0.3 * (rng.normal(size=params.slot_count)
+                   + 1j * rng.normal(size=params.slot_count))
+        ct_low = ev.drop_to_basis(ev.encrypt_message(m),
+                                  tuple(params.moduli[:2]))
+        out = bts.bootstrap(ct_low)
+        err = np.abs(ev.decrypt_message(out) - m).max()
+        # ~1e-6 vs ~8e-4 for the single-prime configuration.
+        assert err < 2e-5
+        assert out.level_count >= 2 + 2  # at least one level + base pair
+
+    def test_output_supports_multiplication(self, boot_setup):
+        params, ev, bts = boot_setup
+        rng = np.random.default_rng(10)
+        m = 0.3 * rng.normal(size=params.slot_count)
+        ct_low = ev.drop_to_basis(ev.encrypt_message(m),
+                                  tuple(params.moduli[:2]))
+        out = bts.bootstrap(ct_low)
+        sq = ev.multiply(out, out)
+        err = np.abs(ev.decrypt_message(sq).real - m * m).max()
+        assert err < 5e-5

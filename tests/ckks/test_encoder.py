@@ -1,0 +1,79 @@
+"""Tests for canonical-embedding encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoder import CkksEncoder, embed, unembed
+from repro.errors import ParameterError
+
+
+class TestEmbedding:
+    def test_embed_unembed_identity(self):
+        rng = np.random.default_rng(0)
+        degree = 128
+        slots = rng.normal(size=64) + 1j * rng.normal(size=64)
+        coeffs = unembed(slots, degree)
+        back = embed(coeffs, degree)
+        assert np.allclose(back, slots, atol=1e-10)
+
+    def test_constant_polynomial_embeds_to_constant(self):
+        coeffs = np.zeros(128)
+        coeffs[0] = 3.5
+        assert np.allclose(embed(coeffs, 128), 3.5)
+
+    def test_monomial_x_half_n_embeds_to_i(self):
+        degree = 128
+        coeffs = np.zeros(degree)
+        coeffs[degree // 2] = 1.0
+        assert np.allclose(embed(coeffs, degree), 1j, atol=1e-12)
+
+    def test_unembed_produces_real_coeffs(self):
+        rng = np.random.default_rng(1)
+        slots = rng.normal(size=64) + 1j * rng.normal(size=64)
+        coeffs = unembed(slots, 128)
+        assert coeffs.dtype == np.float64
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_embedding_is_linear(self, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=32) + 1j * rng.normal(size=32)
+        v = rng.normal(size=32) + 1j * rng.normal(size=32)
+        lhs = unembed(u + 2 * v, 64)
+        rhs = unembed(u, 64) + 2 * unembed(v, 64)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+
+class TestEncoder:
+    def test_roundtrip(self, small_context, message):
+        enc = small_context.encoder
+        decoded = enc.decode(enc.encode(message))
+        assert np.abs(decoded - message).max() < 1e-5
+
+    def test_short_message_zero_padded(self, small_context):
+        enc = small_context.encoder
+        pt = enc.encode([1.0, 2.0])
+        decoded = enc.decode(pt)
+        assert np.allclose(decoded[:2], [1.0, 2.0], atol=1e-5)
+        assert np.abs(decoded[2:]).max() < 1e-5
+
+    def test_oversized_message_rejected(self, small_context, small_params):
+        enc = small_context.encoder
+        with pytest.raises(ParameterError):
+            enc.encode(np.ones(small_params.slot_count + 1))
+
+    def test_custom_scale(self, small_context, message):
+        enc = small_context.encoder
+        pt = enc.encode(message, scale=2.0 ** 30)
+        assert pt.scale == 2.0 ** 30
+        decoded = enc.decode(pt)
+        assert np.abs(decoded - message).max() < 1e-5
+
+    def test_rounding_error_scales_inversely_with_delta(self, small_context,
+                                                        message):
+        enc = small_context.encoder
+        coarse = enc.decode(enc.encode(message, scale=2.0 ** 16))
+        fine = enc.decode(enc.encode(message, scale=2.0 ** 27))
+        assert np.abs(fine - message).max() < np.abs(coarse - message).max()

@@ -1,0 +1,104 @@
+"""Serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import io as ckks_io
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import KeyGenerator
+from repro.errors import ParameterError
+from repro.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    from repro.ckks.evaluator import make_context
+    return make_context(toy_params(degree=2 ** 8, level_count=4,
+                                   aux_count=2), rotations=[1])
+
+
+class TestParams:
+    def test_roundtrip(self, tmp_path, ctx):
+        path = tmp_path / "params.npz"
+        ckks_io.save_params(path, ctx.params)
+        loaded = ckks_io.load_params(path)
+        assert loaded == ctx.params
+
+    def test_wrong_kind_rejected(self, tmp_path, ctx):
+        path = tmp_path / "params.npz"
+        ckks_io.save_params(path, ctx.params)
+        with pytest.raises(ParameterError):
+            ckks_io.load_ciphertext(path)
+
+
+class TestCiphertext:
+    def test_roundtrip_decrypts(self, tmp_path, ctx, rng):
+        u = rng.normal(size=ctx.params.slot_count)
+        ct = ctx.encrypt_message(u)
+        path = tmp_path / "ct.npz"
+        ckks_io.save_ciphertext(path, ct)
+        loaded = ckks_io.load_ciphertext(path)
+        assert loaded.scale == ct.scale
+        assert np.abs(ctx.decrypt_message(loaded).real - u).max() < 1e-3
+
+    def test_leveled_ciphertext(self, tmp_path, ctx, rng):
+        u = rng.normal(size=ctx.params.slot_count)
+        ct = ctx.multiply(ctx.encrypt_message(u), ctx.encrypt_message(u))
+        path = tmp_path / "ct.npz"
+        ckks_io.save_ciphertext(path, ct)
+        loaded = ckks_io.load_ciphertext(path)
+        assert loaded.level_count == ct.level_count
+        assert np.abs(ctx.decrypt_message(loaded).real - u * u).max() < 1e-2
+
+    def test_plaintext_roundtrip(self, tmp_path, ctx, rng):
+        u = rng.normal(size=ctx.params.slot_count)
+        pt = ctx.encoder.encode(u)
+        path = tmp_path / "pt.npz"
+        ckks_io.save_plaintext(path, pt)
+        loaded = ckks_io.load_plaintext(path)
+        assert np.abs(ctx.encoder.decode(loaded) - u).max() < 1e-4
+
+
+class TestKeys:
+    def test_full_key_material_roundtrip(self, tmp_path, ctx, rng):
+        base = tmp_path
+        ckks_io.save_secret_key(base / "sk.npz", ctx.keys.secret)
+        ckks_io.save_public_key(base / "pk.npz", ctx.keys.public)
+        ckks_io.save_evaluation_key(base / "relin.npz", ctx.keys.relin)
+        ckks_io.save_evaluation_key(base / "rot1.npz",
+                                    ctx.keys.rotations[1])
+
+        from repro.ckks.keys import KeySet
+        restored = KeySet(
+            secret=ckks_io.load_secret_key(base / "sk.npz"),
+            public=ckks_io.load_public_key(base / "pk.npz"),
+            relin=ckks_io.load_evaluation_key(base / "relin.npz"),
+            rotations={1: ckks_io.load_evaluation_key(base / "rot1.npz")})
+        fresh_ctx = CkksEvaluator(ctx.params, restored)
+
+        u = rng.normal(size=ctx.params.slot_count)
+        ct = fresh_ctx.encrypt_message(u)
+        sq = fresh_ctx.multiply(ct, ct)
+        rot = fresh_ctx.rotate(ct, 1)
+        assert np.abs(fresh_ctx.decrypt_message(sq).real - u * u
+                      ).max() < 1e-2
+        assert np.abs(fresh_ctx.decrypt_message(rot).real
+                      - np.roll(u, -1)).max() < 1e-2
+
+    def test_cross_process_decryption(self, tmp_path, ctx, rng):
+        """Encrypt here, 'send' the ciphertext + secret, decrypt there."""
+        u = rng.normal(size=ctx.params.slot_count)
+        ct = ctx.encrypt_message(u)
+        ckks_io.save_ciphertext(tmp_path / "ct.npz", ct)
+        ckks_io.save_secret_key(tmp_path / "sk.npz", ctx.keys.secret)
+        ckks_io.save_params(tmp_path / "params.npz", ctx.params)
+
+        params = ckks_io.load_params(tmp_path / "params.npz")
+        secret = ckks_io.load_secret_key(tmp_path / "sk.npz")
+        keygen = KeyGenerator(params, seed=999)
+        from repro.ckks.keys import KeySet
+        receiver = CkksEvaluator(
+            params, KeySet(secret=secret, public=keygen.public_key(secret)))
+        loaded = ckks_io.load_ciphertext(tmp_path / "ct.npz")
+        assert np.abs(receiver.decrypt_message(loaded).real - u
+                      ).max() < 1e-3

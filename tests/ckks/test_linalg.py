@@ -1,0 +1,129 @@
+"""Tests for encrypted linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.evaluator import make_context
+from repro.ckks.linalg import (EncryptedLinalg, embed_operator,
+                               rotations_for_block_sum)
+from repro.errors import ParameterError
+from repro.params import toy_params
+
+BLOCK = 8
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = toy_params(degree=2 ** 9, level_count=7, aux_count=3)
+    rotations = rotations_for_block_sum(BLOCK)
+    rotations += [(-c) % params.slot_count for c in (1, 2, 4)]
+    return make_context(params, rotations=sorted(set(rotations)))
+
+
+@pytest.fixture()
+def la(ctx):
+    return EncryptedLinalg(ctx)
+
+
+def _vec(rng, ctx):
+    return rng.normal(size=ctx.params.slot_count)
+
+
+class TestHelpers:
+    def test_rotations_for_block_sum(self):
+        assert rotations_for_block_sum(8) == [1, 2, 4]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            rotations_for_block_sum(6)
+
+    def test_embed_operator_tiles(self):
+        m = np.arange(4).reshape(2, 2) + 1.0
+        out = embed_operator(m, 8)
+        assert np.allclose(out[:2, :2], m)
+        assert np.allclose(out[2:4, 2:4], m)
+        assert np.allclose(out[0, 2:], 0)
+
+    def test_embed_operator_corner_only(self):
+        m = np.ones((2, 3))
+        out = embed_operator(m, 8, replicate=False)
+        assert np.allclose(out[:2, :3], 1.0)
+        assert out.sum() == 6
+
+    def test_embed_too_large_rejected(self):
+        with pytest.raises(ParameterError):
+            embed_operator(np.ones((16, 16)), 8)
+
+
+class TestBlockOps:
+    def test_mask(self, ctx, la):
+        rng = np.random.default_rng(0)
+        u = _vec(rng, ctx)
+        ct = la.mask(ctx.encrypt_message(u), range(0, ctx.params.slot_count,
+                                                   BLOCK))
+        got = ctx.decrypt_message(ct).real
+        assert np.abs(got[::BLOCK] - u[::BLOCK]).max() < 1e-3
+        mask_out = np.delete(got.reshape(-1, BLOCK), 0, axis=1)
+        assert np.abs(mask_out).max() < 1e-3
+
+    def test_block_sum(self, ctx, la):
+        rng = np.random.default_rng(1)
+        u = _vec(rng, ctx)
+        ct = la.block_sum(ctx.encrypt_message(u), BLOCK)
+        got = ctx.decrypt_message(ct).real
+        expect = u.reshape(-1, BLOCK).sum(axis=1)
+        assert np.abs(got[::BLOCK] - expect).max() < 1e-3
+
+    def test_replicate(self, ctx, la):
+        rng = np.random.default_rng(2)
+        leads = np.zeros(ctx.params.slot_count)
+        leads[::BLOCK] = rng.normal(size=ctx.params.slot_count // BLOCK)
+        ct = la.replicate(ctx.encrypt_message(leads), BLOCK)
+        got = ctx.decrypt_message(ct).real
+        expect = np.repeat(leads[::BLOCK], BLOCK)
+        assert np.abs(got - expect).max() < 1e-3
+
+
+class TestProducts:
+    def test_inner_product_per_block(self, ctx, la):
+        rng = np.random.default_rng(3)
+        u, v = _vec(rng, ctx), _vec(rng, ctx)
+        ct = la.inner_product(ctx.encrypt_message(u),
+                              ctx.encrypt_message(v), block=BLOCK)
+        got = ctx.decrypt_message(ct).real
+        expect = (u * v).reshape(-1, BLOCK).sum(axis=1)
+        assert np.abs(got[::BLOCK] - expect).max() < 5e-3
+        off_lead = np.delete(got.reshape(-1, BLOCK), 0, axis=1)
+        assert np.abs(off_lead).max() < 5e-3
+
+    def test_plain_inner_product_tiled_weights(self, ctx, la):
+        rng = np.random.default_rng(4)
+        u = _vec(rng, ctx)
+        w = rng.normal(size=BLOCK)
+        ct = la.plain_inner_product(ctx.encrypt_message(u), w, block=BLOCK)
+        got = ctx.decrypt_message(ct).real
+        expect = (u.reshape(-1, BLOCK) * w).sum(axis=1)
+        assert np.abs(got[::BLOCK] - expect).max() < 5e-3
+
+    def test_plain_inner_product_bad_weights(self, ctx, la):
+        rng = np.random.default_rng(5)
+        ct = ctx.encrypt_message(_vec(rng, ctx))
+        with pytest.raises(ParameterError):
+            la.plain_inner_product(ct, np.ones(3), block=BLOCK)
+
+    def test_matvec_small_operator(self, ctx, la):
+        rng = np.random.default_rng(6)
+        operator = 0.3 * rng.normal(size=(4, 4))
+        matrix = embed_operator(operator, ctx.params.slot_count)
+        needed = la.required_matvec_rotations(matrix)
+        from repro.ckks.keys import KeyGenerator
+        keygen = KeyGenerator(ctx.params, seed=2025)
+        for r in needed:
+            if r not in ctx.keys.rotations:
+                ctx.keys.rotations[r] = keygen.rotation_key(
+                    ctx.keys.secret, r)
+        u = np.zeros(ctx.params.slot_count)
+        u[:4] = rng.normal(size=4)
+        got = ctx.decrypt_message(
+            la.matvec(matrix, ctx.encrypt_message(u))).real
+        assert np.abs(got[:4] - operator @ u[:4]).max() < 5e-3

@@ -1,0 +1,154 @@
+"""Tests for homomorphic linear transforms — the paper's §III-B/§V-B.
+
+Key properties: all four strategies (baseline / hoisting / MinKS / BSGS)
+produce the same result up to noise, MinKS needs only one evk, and the
+hoisting evk count matches the diagonal count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.linear_transform import (LinearTransform,
+                                         generate_hoisting_keys,
+                                         matrix_diagonals)
+from repro.errors import KeyError_, ParameterError
+
+
+def _sparse_matrix(n, shifts, seed=0):
+    rng = np.random.default_rng(seed)
+    m = np.zeros((n, n), dtype=np.complex128)
+    rows = np.arange(n)
+    for s in shifts:
+        m[rows, (rows + s) % n] = 0.2 * (
+            rng.normal(size=n) + 1j * rng.normal(size=n))
+    return m
+
+
+SHIFTS = [0, 1, 2, 3, 5, 8]
+
+
+@pytest.fixture(scope="module")
+def transform_setup(small_params):
+    from repro.ckks.evaluator import make_context
+    n = small_params.slot_count
+    matrix = _sparse_matrix(n, SHIFTS, seed=42)
+    ev = make_context(small_params, rotations=list(range(1, 9)))
+    lt = LinearTransform.from_matrix(ev, matrix)
+    keygen = KeyGenerator(small_params, seed=2025)
+    ev.keys.hoisting_rotations = generate_hoisting_keys(
+        keygen, ev.keys.secret, lt.required_rotations("hoisting"))
+    for r in lt.required_rotations("bsgs"):
+        if r not in ev.keys.rotations:
+            ev.keys.rotations[r] = keygen.rotation_key(ev.keys.secret, r)
+    return ev, lt, matrix
+
+
+class TestDiagonalExtraction:
+    def test_identity_matrix_has_single_diagonal(self):
+        diags = matrix_diagonals(np.eye(8))
+        assert set(diags) == {0}
+        assert np.allclose(diags[0], 1.0)
+
+    def test_shift_matrix(self):
+        m = np.roll(np.eye(8), 1, axis=1)  # y = u << 1
+        diags = matrix_diagonals(m)
+        assert set(diags) == {1}
+
+    def test_sparse_matrix_diagonals(self):
+        m = _sparse_matrix(16, [0, 3, 7])
+        assert set(matrix_diagonals(m)) == {0, 3, 7}
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ParameterError):
+            matrix_diagonals(np.ones((4, 8)))
+
+    def test_reconstruction(self):
+        m = _sparse_matrix(16, [0, 2, 5], seed=3)
+        diags = matrix_diagonals(m)
+        rows = np.arange(16)
+        rebuilt = np.zeros_like(m)
+        for s, d in diags.items():
+            rebuilt[rows, (rows + s) % 16] = d
+        assert np.allclose(rebuilt, m)
+
+
+class TestKeyRequirements:
+    def test_minks_needs_single_key(self, transform_setup):
+        _, lt, _ = transform_setup
+        assert lt.required_rotations("minks") == [1]
+
+    def test_baseline_needs_all_shifts(self, transform_setup):
+        _, lt, _ = transform_setup
+        assert lt.required_rotations("baseline") == [1, 2, 3, 5, 8]
+
+    def test_bsgs_needs_fewer_than_baseline(self, transform_setup):
+        _, lt, _ = transform_setup
+        assert len(lt.required_rotations("bsgs")) <= len(
+            lt.required_rotations("baseline"))
+
+    def test_unknown_method_rejected(self, transform_setup):
+        _, lt, _ = transform_setup
+        with pytest.raises(ParameterError):
+            lt.required_rotations("magic")
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("method",
+                             ["baseline", "minks", "bsgs", "hoisting"])
+    def test_matches_cleartext(self, transform_setup, rng, method):
+        ev, lt, matrix = transform_setup
+        n = ev.params.slot_count
+        u = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ct = ev.encrypt_message(u)
+        out = ev.decrypt_message(lt.apply(ct, method))
+        assert np.abs(out - matrix @ u).max() < 5e-3
+
+    def test_strategies_agree_pairwise(self, transform_setup, rng):
+        ev, lt, _ = transform_setup
+        n = ev.params.slot_count
+        u = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ct = ev.encrypt_message(u)
+        results = {m: ev.decrypt_message(lt.apply(ct, m))
+                   for m in ("baseline", "minks", "bsgs", "hoisting")}
+        base = results.pop("baseline")
+        for other in results.values():
+            assert np.abs(base - other).max() < 5e-3
+
+    def test_all_consume_one_level(self, transform_setup, rng):
+        ev, lt, _ = transform_setup
+        n = ev.params.slot_count
+        u = rng.normal(size=n)
+        ct = ev.encrypt_message(u)
+        for method in ("baseline", "minks", "hoisting"):
+            out = lt.apply(ct, method)
+            assert out.level_count == ct.level_count - 1
+
+    def test_hoisting_without_keys_raises(self, small_params, rng):
+        from repro.ckks.evaluator import make_context
+        ev = make_context(small_params, rotations=[1, 2])
+        lt = LinearTransform(ev, {1: np.ones(small_params.slot_count)})
+        ct = ev.encrypt_message(rng.normal(size=small_params.slot_count))
+        with pytest.raises(KeyError_):
+            lt.apply(ct, "hoisting")
+
+    def test_wrong_diagonal_length_rejected(self, transform_setup):
+        ev, _, _ = transform_setup
+        with pytest.raises(ParameterError):
+            LinearTransform(ev, {0: np.ones(3)})
+
+
+class TestKeyGenerationApi:
+    def test_make_context_with_hoisting_keys(self, small_params, rng):
+        from repro.ckks.evaluator import make_context
+        ev = make_context(small_params, rotations=[1, 2],
+                          hoisting_rotations=[1, 2])
+        lt = LinearTransform(ev, {
+            0: np.ones(small_params.slot_count),
+            1: 0.5 * np.ones(small_params.slot_count),
+            2: 0.25 * np.ones(small_params.slot_count)})
+        u = rng.normal(size=small_params.slot_count)
+        ct = ev.encrypt_message(u)
+        hoisted = ev.decrypt_message(lt.apply(ct, "hoisting"))
+        baseline = ev.decrypt_message(lt.apply(ct, "baseline"))
+        assert np.abs(hoisted - baseline).max() < 5e-3

@@ -1,0 +1,138 @@
+"""Unit and property tests for modular arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import modmath
+from repro.errors import ParameterError
+
+
+class TestPrimeGeneration:
+    def test_primes_are_prime_and_ntt_friendly(self):
+        primes = modmath.generate_primes(5, 1024, bits=28)
+        assert len(primes) == len(set(primes)) == 5
+        for q in primes:
+            assert modmath.is_prime(q)
+            assert q % 2048 == 1
+            assert q < 2 ** 28
+
+    def test_primes_descend_from_bound(self):
+        primes = modmath.generate_primes(3, 64, bits=20)
+        assert primes == sorted(primes, reverse=True)
+
+    def test_scale_primes_bracket_target(self):
+        primes = modmath.generate_scale_primes(6, 256, bits=25)
+        target = 2 ** 25
+        assert any(p > target for p in primes)
+        assert any(p < target for p in primes)
+        for p in primes:
+            assert abs(p - target) / target < 0.01
+            assert p % 512 == 1
+
+    def test_too_wide_prime_rejected(self):
+        with pytest.raises(ParameterError):
+            modmath.generate_primes(1, 64, bits=40)
+
+    def test_is_prime_basics(self):
+        assert modmath.is_prime(2)
+        assert modmath.is_prime(97)
+        assert not modmath.is_prime(1)
+        assert not modmath.is_prime(91)        # 7 * 13
+        assert not modmath.is_prime(3215031751)  # strong pseudoprime base 2..7
+
+
+class TestRoots:
+    def test_root_of_unity_order(self):
+        q = modmath.generate_primes(1, 512, bits=28)[0]
+        w = modmath.root_of_unity(1024, q)
+        assert pow(w, 1024, q) == 1
+        assert pow(w, 512, q) != 1
+
+    def test_primitive_root(self):
+        g = modmath.primitive_root(257)
+        seen = {pow(g, k, 257) for k in range(256)}
+        assert len(seen) == 256
+
+    def test_mod_inverse(self):
+        q = 998244353
+        for a in (1, 2, 12345, q - 1):
+            assert a * modmath.mod_inverse(a, q) % q == 1
+
+
+@st.composite
+def residue_arrays(draw):
+    q = draw(st.sampled_from(modmath.generate_primes(4, 64, bits=28)))
+    size = draw(st.integers(1, 64))
+    values = draw(st.lists(st.integers(0, q - 1),
+                           min_size=size, max_size=size))
+    return q, np.array(values, dtype=np.int64)
+
+
+class TestVectorOps:
+    @given(residue_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_add_sub_roundtrip(self, data):
+        q, a = data
+        b = (a * 7 + 13) % q
+        assert np.array_equal(
+            modmath.mod_sub(modmath.mod_add(a, b, q), b, q), a)
+
+    @given(residue_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_neg_is_additive_inverse(self, data):
+        q, a = data
+        total = modmath.mod_add(a, modmath.mod_neg(a, q), q)
+        assert np.all(total == 0)
+
+    @given(residue_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mul_matches_python_ints(self, data):
+        q, a = data
+        b = (a * 31 + 5) % q
+        got = modmath.mod_mul(a, b, q)
+        expect = [(int(x) * int(y)) % q for x, y in zip(a, b)]
+        assert got.tolist() == expect
+
+    def test_mac(self):
+        q = 97
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([4, 5, 6], dtype=np.int64)
+        c = np.array([90, 90, 90], dtype=np.int64)
+        assert modmath.mod_mac(a, b, c, q).tolist() == [
+            (4 + 90) % 97, (10 + 90) % 97, (18 + 90) % 97]
+
+
+class TestMontgomery:
+    def test_roundtrip_and_mul(self):
+        q = modmath.generate_primes(1, 128, bits=28)[0]
+        ctx = modmath.MontgomeryContext(q)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, q, 200, dtype=np.int64)
+        b = rng.integers(0, q, 200, dtype=np.int64)
+        assert np.array_equal(ctx.from_mont(ctx.to_mont(a)), a)
+        got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)))
+        assert np.array_equal(got, a * b % q)
+
+    def test_rejects_wide_modulus(self):
+        with pytest.raises(ParameterError):
+            modmath.MontgomeryContext((1 << 29) + 3, r_bits=28)
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            modmath.MontgomeryContext(2 ** 20)
+
+    @given(st.integers(0, 2 ** 28 - 1), st.integers(0, 2 ** 28 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_property(self, x, y):
+        q = 268369921  # 2^28 - 65536 + 1... a fixed NTT-friendly prime
+        if not modmath.is_prime(q):
+            q = modmath.generate_primes(1, 64, bits=28)[0]
+        x %= q
+        y %= q
+        ctx = modmath.MontgomeryContext(q)
+        a = np.array([x], dtype=np.int64)
+        b = np.array([y], dtype=np.int64)
+        got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)))[0]
+        assert got == x * y % q

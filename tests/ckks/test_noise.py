@@ -1,0 +1,98 @@
+"""Noise-estimator validation against measured ciphertext noise."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseEstimator, measure_noise_bits
+
+#: Allowed gap between predicted and measured noise, in bits.  The
+#: estimator is an average-case heuristic; being within a few bits over
+#: multi-op circuits is what production libraries achieve too.
+TOLERANCE_BITS = 6.0
+
+
+@pytest.fixture()
+def estimator(small_params):
+    return NoiseEstimator(small_params)
+
+
+def _msg(rng, n):
+    return rng.normal(size=n) * 0.5
+
+
+class TestPredictionsVsMeasurement:
+    def test_fresh_encryption(self, small_context, small_params, rng,
+                              estimator):
+        u = _msg(rng, small_params.slot_count)
+        ct = small_context.encrypt_message(u)
+        measured = measure_noise_bits(small_context, ct, u)
+        predicted = estimator.fresh().bits
+        assert abs(measured - predicted) < TOLERANCE_BITS
+
+    def test_addition_grows_slowly(self, small_context, small_params, rng,
+                                   estimator):
+        u = _msg(rng, small_params.slot_count)
+        ct = small_context.encrypt_message(u)
+        acc, expect = ct, u
+        estimate = estimator.fresh()
+        for _ in range(8):
+            acc = small_context.add(acc, ct)
+            expect = expect + u
+            estimate = estimator.add(estimate, estimator.fresh())
+        measured = measure_noise_bits(small_context, acc, expect)
+        assert abs(measured - estimate.bits) < TOLERANCE_BITS
+
+    def test_hmult_with_rescale(self, small_context, small_params, rng,
+                                estimator):
+        u = _msg(rng, small_params.slot_count)
+        v = _msg(rng, small_params.slot_count)
+        out = small_context.multiply(small_context.encrypt_message(u),
+                                     small_context.encrypt_message(v))
+        dropped = small_params.moduli[-1]
+        estimate = estimator.after_hmult(estimator.fresh(),
+                                         estimator.fresh(), dropped)
+        measured = measure_noise_bits(small_context, out, u * v)
+        assert abs(measured - estimate.bits) < TOLERANCE_BITS
+
+    def test_rotation(self, small_context, small_params, rng, estimator):
+        u = _msg(rng, small_params.slot_count)
+        out = small_context.rotate(small_context.encrypt_message(u), 1)
+        estimate = estimator.rotate(estimator.fresh())
+        measured = measure_noise_bits(small_context, out, np.roll(u, -1))
+        assert abs(measured - estimate.bits) < TOLERANCE_BITS
+
+    def test_depth_two_chain(self, deep_context, deep_params, rng):
+        estimator = NoiseEstimator(deep_params)
+        u = _msg(rng, deep_params.slot_count)
+        ct = deep_context.encrypt_message(u)
+        out = deep_context.multiply(ct, ct)
+        out = deep_context.multiply(out, out)
+        expect = (u * u) ** 2
+        estimate = estimator.fresh()
+        for level in (1, 2):
+            dropped = deep_params.moduli[deep_params.level_count - level]
+            estimate = estimator.after_hmult(estimate, estimate, dropped)
+        measured = measure_noise_bits(deep_context, out, expect)
+        assert abs(measured - estimate.bits) < TOLERANCE_BITS + 2
+
+
+class TestBudgetSemantics:
+    def test_precision_decreases_with_depth(self, small_params):
+        estimator = NoiseEstimator(small_params)
+        fresh = estimator.fresh()
+        dropped = small_params.moduli[-1]
+        deeper = estimator.after_hmult(fresh, fresh, dropped)
+        assert deeper.precision_bits() < fresh.precision_bits()
+
+    def test_fresh_precision_reasonable(self, small_params):
+        estimator = NoiseEstimator(small_params)
+        # 28-bit scale minus ~10 bits of noise: double-digit precision.
+        assert 8 < estimator.fresh().precision_bits() < 28
+
+    def test_addition_cheaper_than_multiplication(self, small_params):
+        estimator = NoiseEstimator(small_params)
+        fresh = estimator.fresh()
+        added = estimator.add(fresh, fresh)
+        multiplied = estimator.after_hmult(fresh, fresh,
+                                           small_params.moduli[-1])
+        assert added.bits < multiplied.bits

@@ -1,0 +1,101 @@
+"""Tests for the negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import modmath
+from repro.ckks.ntt import (NttContext, bit_reverse_indices,
+                            negacyclic_convolution)
+from repro.errors import ParameterError
+
+PRIME = modmath.generate_primes(1, 256, bits=28)[0]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return NttContext(256, PRIME)
+
+
+class TestBitReverse:
+    def test_small(self):
+        assert bit_reverse_indices(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_involution(self):
+        rev = bit_reverse_indices(64)
+        assert np.array_equal(rev[rev], np.arange(64))
+
+
+class TestNttContext:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ParameterError):
+            NttContext(100, PRIME)
+
+    def test_rejects_unfriendly_prime(self):
+        with pytest.raises(ParameterError):
+            NttContext(256, 97)
+
+    def test_psi_has_order_2n(self, ctx):
+        assert pow(ctx.psi, 512, PRIME) == 1
+        assert pow(ctx.psi, 256, PRIME) != 1
+
+    def test_roundtrip(self, ctx):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, PRIME, 256, dtype=np.int64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_roundtrip_multi_limb(self, ctx):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, PRIME, (5, 256), dtype=np.int64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_linearity(self, ctx):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, PRIME, 256, dtype=np.int64)
+        b = rng.integers(0, PRIME, 256, dtype=np.int64)
+        lhs = ctx.forward((a + b) % PRIME)
+        rhs = (ctx.forward(a) + ctx.forward(b)) % PRIME
+        assert np.array_equal(lhs, rhs)
+
+    def test_wrong_length_rejected(self, ctx):
+        with pytest.raises(ParameterError):
+            ctx.forward(np.zeros(128, dtype=np.int64))
+
+    def test_constant_transforms_to_constant(self, ctx):
+        a = np.zeros(256, dtype=np.int64)
+        a[0] = 42
+        assert np.all(ctx.forward(a) == 42)
+
+
+class TestNegacyclicMultiplication:
+    def test_matches_schoolbook(self, ctx):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, PRIME, 256, dtype=np.int64)
+        b = rng.integers(0, PRIME, 256, dtype=np.int64)
+        via_ntt = ctx.inverse(ctx.forward(a) * ctx.forward(b) % PRIME)
+        assert np.array_equal(via_ntt, negacyclic_convolution(a, b, PRIME))
+
+    def test_x_times_xn_minus_1_wraps_negatively(self):
+        # X^(N-1) * X = X^N = -1 in the negacyclic ring.
+        q = modmath.generate_primes(1, 16, bits=20)[0]
+        small = NttContext(16, q)
+        a = np.zeros(16, dtype=np.int64)
+        b = np.zeros(16, dtype=np.int64)
+        a[15] = 1
+        b[1] = 1
+        prod = small.inverse(small.forward(a) * small.forward(b) % q)
+        expect = np.zeros(16, dtype=np.int64)
+        expect[0] = q - 1
+        assert np.array_equal(prod, expect)
+
+    @given(st.integers(0, 2 ** 32))
+    @settings(max_examples=20, deadline=None)
+    def test_random_products(self, seed):
+        q = modmath.generate_primes(1, 32, bits=24)[0]
+        small = NttContext(32, q)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, q, 32, dtype=np.int64)
+        b = rng.integers(0, q, 32, dtype=np.int64)
+        via_ntt = small.inverse(small.forward(a) * small.forward(b) % q)
+        assert np.array_equal(via_ntt, negacyclic_convolution(a, b, q))

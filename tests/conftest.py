@@ -1,0 +1,46 @@
+"""Shared fixtures: session-scoped CKKS contexts (key generation is the
+expensive part, so every test module reuses the same seeded contexts)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.evaluator import make_context
+from repro.params import CkksParams, toy_params
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """N=2^8, 5 levels — enough for one multiplication chain."""
+    return toy_params(degree=2 ** 8, level_count=5, aux_count=2)
+
+
+@pytest.fixture(scope="session")
+def small_context(small_params):
+    """Evaluator with relin, a few rotation keys, and conjugation."""
+    return make_context(small_params, rotations=[1, 2, 3, 5, 8, 16],
+                        include_conjugation=True)
+
+
+@pytest.fixture(scope="session")
+def deep_params():
+    """N=2^7, 10 levels — for multiplication-chain and polyeval tests."""
+    return CkksParams.create(degree=2 ** 7, level_count=10, aux_count=3)
+
+
+@pytest.fixture(scope="session")
+def deep_context(deep_params):
+    return make_context(deep_params, rotations=[1], include_conjugation=True)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_message(rng, slots, magnitude=1.0):
+    return magnitude * (rng.normal(size=slots) + 1j * rng.normal(size=slots))
+
+
+@pytest.fixture()
+def message(rng, small_params):
+    return random_message(rng, small_params.slot_count)

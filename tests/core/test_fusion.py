@@ -1,0 +1,153 @@
+"""Tests for block lowering, kernel fusion levels, and PIM offloading."""
+
+import pytest
+
+from repro.core import blocks as B
+from repro.core.fusion import (GPU_ALL_FUSE, GPU_BASE, GPU_BASIC_FUSE,
+                               GPU_EXTRA_FUSE, PIM_BASE, PIM_BASIC_FUSE,
+                               PIM_FULL, PIM_NO_CP, LoweringOptions, lower)
+from repro.core.trace import GpuKernel, OpCategory, PimKernel
+from repro.errors import ParameterError
+
+N = 2 ** 16
+L, AUX, D = 54, 14, 4
+
+
+class TestBasicFusion:
+    def test_keymult_fuses_to_paccum(self):
+        blocks = [B.key_mult(L, AUX, D)]
+        unfused = lower(blocks, N, GPU_BASE)
+        fused = lower(blocks, N, GPU_BASIC_FUSE)
+        assert len(unfused) == 2 * D + 2 * (D - 1)
+        assert len(fused) == 1
+        assert fused.kernels[0].name == "keymult.paccum"
+
+    def test_fusion_reduces_traffic(self):
+        # Fused kernels skip the intermediate accumulator round trips.
+        blocks = [B.key_mult(L, AUX, D)]
+        unfused = lower(blocks, N, GPU_BASE).total_gpu_bytes()
+        fused = lower(blocks, N, GPU_BASIC_FUSE).total_gpu_bytes()
+        assert fused < unfused
+
+    def test_tensor_fusion(self):
+        blocks = [B.tensor(L)]
+        assert len(lower(blocks, N, GPU_BASE)) == 5
+        assert len(lower(blocks, N, GPU_BASIC_FUSE)) == 1
+
+    def test_caccum_fusion(self):
+        blocks = [B.caccum(L, 8)]
+        assert len(lower(blocks, N, GPU_BASE)) == 16
+        assert len(lower(blocks, N, GPU_BASIC_FUSE)) == 1
+
+
+class TestAutFusion:
+    def test_aut_accum_single_kernel(self):
+        blocks = [B.aut_accum(L + AUX, 8)]
+        fused = lower(blocks, N, GPU_ALL_FUSE)
+        assert len(fused) == 1
+        assert fused.kernels[0].category == OpCategory.AUTOMORPHISM
+
+    def test_unfused_emits_per_rotation_kernels(self):
+        blocks = [B.aut_accum(L + AUX, 8)]
+        unfused = lower(blocks, N, GPU_BASIC_FUSE)
+        auts = [k for k in unfused
+                if k.category == OpCategory.AUTOMORPHISM]
+        assert len(auts) == 8
+        assert len(unfused) == 8 + 7       # + accumulation kernels
+
+    def test_fusion_reduces_automorphism_traffic(self):
+        blocks = [B.aut_accum(L + AUX, 8)]
+        fused = lower(blocks, N, GPU_ALL_FUSE).total_gpu_bytes()
+        unfused = lower(blocks, N, GPU_BASIC_FUSE).total_gpu_bytes()
+        assert fused < unfused
+
+
+class TestExtraFusion:
+    def test_moddown_ep_fused_only_with_extra_fuse(self):
+        blocks = [B.mod_down(L, AUX)]
+        base = lower(blocks, N, GPU_BASIC_FUSE)
+        extra = lower(blocks, N, GPU_EXTRA_FUSE)
+        base_ew = [k for k in base if k.category == OpCategory.ELEMENTWISE]
+        extra_ew = [k for k in extra if k.category == OpCategory.ELEMENTWISE]
+        assert len(extra_ew) <= len(base_ew)
+
+
+class TestOffload:
+    def test_elementwise_becomes_pim_kernels(self):
+        blocks = [B.key_mult(L, AUX, D), B.pmult_pair(L)]
+        trace = lower(blocks, N, PIM_FULL)
+        pim = trace.pim_kernels()
+        assert len(pim) == 2
+        assert pim[0].instruction == "PAccum"
+        assert pim[0].fan_in == D
+        assert pim[1].instruction == "PMult"
+
+    def test_unfused_offload_uses_simple_instructions(self):
+        blocks = [B.key_mult(L, AUX, D)]
+        trace = lower(blocks, N, PIM_BASE)
+        instructions = {k.instruction for k in trace.pim_kernels()}
+        assert instructions == {"Mult", "Add"}
+
+    def test_modup_gains_writeback_when_offloading(self):
+        blocks = [B.mod_up(L, AUX, D)]
+        gpu_only = lower(blocks, N, GPU_ALL_FUSE)
+        offloaded = lower(blocks, N, PIM_FULL)
+        wb_gpu = [k for k in gpu_only.gpu_kernels()
+                  if k.has_tag("writeback")]
+        wb_pim = [k for k in offloaded.gpu_kernels()
+                  if k.has_tag("writeback")]
+        assert not wb_gpu
+        assert len(wb_pim) == 1
+        # §V-D: up to 68MB written back for ModUp(a) at D=4.
+        assert wb_pim[0].bytes_written == pytest.approx(
+            D * (L + AUX) * N * 4)
+
+    def test_no_cp_flag_propagates(self):
+        blocks = [B.key_mult(L, AUX, D)]
+        trace = lower(blocks, N, PIM_NO_CP)
+        assert all(not k.column_partitioned for k in trace.pim_kernels())
+        trace_cp = lower(blocks, N, PIM_FULL)
+        assert all(k.column_partitioned for k in trace_cp.pim_kernels())
+
+    def test_ntt_never_offloads(self):
+        # §V-A: compute-bound (I)NTT/BConv stay on the GPU.
+        blocks = [B.mod_up(L, AUX, D), B.key_mult(L, AUX, D),
+                  B.mod_down(L, AUX)]
+        trace = lower(blocks, N, PIM_FULL)
+        for kernel in trace.pim_kernels():
+            assert kernel.category == OpCategory.ELEMENTWISE
+        gpu_cats = {k.category for k in trace.gpu_kernels()}
+        assert OpCategory.NTT in gpu_cats
+        assert OpCategory.BCONV in gpu_cats
+
+    def test_automorphism_never_offloads(self):
+        blocks = [B.aut_accum(L, 4), B.automorphism_pair(L)]
+        trace = lower(blocks, N, PIM_FULL)
+        assert not trace.pim_kernels()
+
+
+class TestLoweringMisc:
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ParameterError):
+            lower([B.Block(kind="warp", limbs=1)], N, GPU_BASE)
+
+    def test_describe(self):
+        assert GPU_BASE.describe() == "Base"
+        assert "PIM" in PIM_FULL.describe()
+        assert "w/o CP" in PIM_NO_CP.describe()
+        assert "BasicFuse" in PIM_BASIC_FUSE.describe()
+
+    def test_trace_helpers(self):
+        blocks = [B.hadd(L), B.rescale_pair(L)]
+        trace = lower(blocks, N, GPU_ALL_FUSE, label="t")
+        assert trace.label == "t"
+        assert trace.count(OpCategory.ELEMENTWISE) == 1
+        assert trace.count(OpCategory.NTT) == 4
+        doubled = trace.repeated(2)
+        assert len(doubled) == 2 * len(trace)
+
+    def test_hadd_block(self):
+        trace = lower([B.hadd(L)], N, GPU_BASE)
+        kernel = trace.kernels[0]
+        assert isinstance(kernel, GpuKernel)
+        assert kernel.category == OpCategory.ELEMENTWISE

@@ -1,0 +1,128 @@
+"""Property-based invariants of the lowering compiler and scheduler.
+
+Random block programs are generated with hypothesis; the invariants
+must hold for *any* program, not just the curated workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import blocks as B
+from repro.core.fusion import (GPU_ALL_FUSE, GPU_BASE, GPU_BASIC_FUSE,
+                               PIM_FULL, PIM_NO_CP, lower)
+from repro.core.scheduler import Scheduler
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB
+from repro.gpu.model import GpuModel
+from repro.pim.configs import A100_NEAR_BANK
+from repro.pim.executor import PimExecutor
+
+N = 2 ** 16
+AUX, DNUM = 14, 4
+
+
+@st.composite
+def block_programs(draw):
+    """A random program of 1-8 blocks with random limb counts."""
+    makers = [
+        lambda limbs: B.mod_up(limbs, AUX, DNUM),
+        lambda limbs: B.key_mult(limbs, AUX, DNUM),
+        lambda limbs: B.pmult_pair(limbs),
+        lambda limbs: B.mac_pair(limbs),
+        lambda limbs: B.aut_accum(limbs + AUX, 4),
+        lambda limbs: B.mod_down(limbs, AUX),
+        lambda limbs: B.rescale_pair(max(limbs, 2)),
+        lambda limbs: B.tensor(limbs),
+        lambda limbs: B.hadd(limbs),
+        lambda limbs: B.caccum(limbs, 8),
+    ]
+    count = draw(st.integers(1, 8))
+    program = []
+    for _ in range(count):
+        maker = draw(st.sampled_from(makers))
+        limbs = draw(st.integers(2, 54))
+        program.append(maker(limbs))
+    return program
+
+
+def _schedule(trace):
+    scheduler = Scheduler(GpuModel(A100_80GB),
+                          PimExecutor(A100_NEAR_BANK))
+    return scheduler.run(trace)
+
+
+class TestLoweringInvariants:
+    @given(block_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_lowering_is_deterministic(self, program):
+        a = lower(program, N, PIM_FULL)
+        b = lower(program, N, PIM_FULL)
+        assert [k.name for k in a] == [k.name for k in b]
+
+    @given(block_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_basic_fusion_never_increases_gpu_traffic(self, program):
+        unfused = lower(program, N, GPU_BASE).total_gpu_bytes()
+        fused = lower(program, N, GPU_BASIC_FUSE).total_gpu_bytes()
+        assert fused <= unfused + 1e-6
+
+    @given(block_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_offload_moves_only_elementwise(self, program):
+        trace = lower(program, N, PIM_FULL)
+        for kernel in trace.pim_kernels():
+            assert kernel.category == OpCategory.ELEMENTWISE
+        # NTT/BConv work is identical with and without offloading.
+        gpu_trace = lower(program, N, GPU_ALL_FUSE)
+        compute = lambda t, c: sum(k.mod_ops for k in t.gpu_kernels()
+                                   if k.category == c)
+        for category in (OpCategory.NTT, OpCategory.BCONV):
+            assert compute(trace, category) == pytest.approx(
+                compute(gpu_trace, category))
+
+    @given(block_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_offload_reduces_gpu_elementwise_bytes(self, program):
+        gpu_trace = lower(program, N, GPU_ALL_FUSE)
+        pim_trace = lower(program, N, PIM_FULL)
+        ew_bytes = lambda t: sum(k.total_bytes for k in t.gpu_kernels()
+                                 if k.category == OpCategory.ELEMENTWISE)
+        assert ew_bytes(pim_trace) <= ew_bytes(gpu_trace) + 1e-6
+
+
+class TestSchedulerInvariants:
+    @given(block_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_report_accounting_closes(self, program):
+        report = _schedule(lower(program, N, PIM_FULL))
+        assert report.total_time == pytest.approx(
+            report.gpu_time + report.pim_time + report.transition_time)
+        assert report.total_time >= 0
+        assert report.energy > 0
+        assert sum(report.time_by_category.values()) == pytest.approx(
+            report.gpu_time + report.pim_time)
+
+    @given(block_programs(), block_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_concatenation_is_nearly_additive(self, first, second):
+        t1 = _schedule(lower(first, N, PIM_FULL)).total_time
+        t2 = _schedule(lower(second, N, PIM_FULL)).total_time
+        combined = _schedule(lower(first + second, N, PIM_FULL)).total_time
+        # Only a transition overhead at the seam can differ.
+        assert combined == pytest.approx(
+            t1 + t2, abs=2 * A100_80GB.pim_transition_overhead + 1e-9)
+
+    @given(block_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_no_cp_is_never_faster(self, program):
+        with_cp = _schedule(lower(program, N, PIM_FULL)).total_time
+        without = _schedule(lower(program, N, PIM_NO_CP)).total_time
+        assert without >= with_cp - 1e-12
+
+    @given(block_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_pipelining_bound_is_a_lower_bound(self, program):
+        report = _schedule(lower(program, N, PIM_FULL))
+        assert report.pipelining_bound() <= report.total_time + 1e-12
+        assert report.pipelining_headroom() >= 1.0

@@ -1,0 +1,106 @@
+"""Tests for the recording evaluator (functional -> performance bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AnaheimFramework
+from repro.core.recorder import RecordingEvaluator, scale_blocks
+from repro.ckks.keys import KeyGenerator
+from repro.gpu.configs import A100_80GB
+from repro.params import paper_params, toy_params
+from repro.pim.configs import A100_NEAR_BANK
+
+
+@pytest.fixture(scope="module")
+def recording_ctx():
+    params = toy_params(degree=2 ** 8, level_count=6, aux_count=2)
+    keygen = KeyGenerator(params, seed=5)
+    keys = keygen.generate(rotations=[1, 2], include_conjugation=True)
+    return RecordingEvaluator(params, keys)
+
+
+@pytest.fixture()
+def message(recording_ctx):
+    rng = np.random.default_rng(0)
+    n = recording_ctx.params.slot_count
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestRecording:
+    def test_still_computes_correctly(self, recording_ctx, message):
+        ct = recording_ctx.encrypt_message(message)
+        out = recording_ctx.multiply(ct, ct)
+        got = recording_ctx.decrypt_message(out)
+        assert np.abs(got - message ** 2).max() < 5e-3
+
+    def test_multiply_records_hmult_shape(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        recording_ctx.multiply(ct, ct)
+        kinds = [b.kind for b in recording_ctx.recorded]
+        assert kinds == ["tensor", "modup", "keymult", "moddown_pair",
+                         "hadd", "rescale_pair"]
+
+    def test_rotate_records_hrot_shape(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        recording_ctx.rotate(ct, 1)
+        kinds = [b.kind for b in recording_ctx.recorded]
+        assert "automorphism_pair" in kinds
+        assert "keymult" in kinds
+
+    def test_zero_rotation_records_nothing(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        recording_ctx.rotate(ct, 0)
+        assert recording_ctx.recorded == []
+
+    def test_add_and_plain_ops(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        p = recording_ctx.encoder.encode(message)
+        recording_ctx.add(ct, ct)
+        recording_ctx.mul_plain(ct, p)
+        kinds = [b.kind for b in recording_ctx.recorded]
+        assert kinds == ["hadd", "pmult_pair", "rescale_pair"]
+
+    def test_limbs_track_levels(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        deep = recording_ctx.multiply(ct, ct)
+        recording_ctx.multiply(deep, deep)
+        tensors = [b for b in recording_ctx.recorded if b.kind == "tensor"]
+        assert tensors[0].limbs > tensors[1].limbs
+
+
+class TestScalingToPaperParams:
+    def test_scaled_program_costs_at_paper_scale(self, recording_ctx,
+                                                 message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        out = recording_ctx.multiply(ct, ct)
+        recording_ctx.rotate(out, 2)
+        target = paper_params()
+        blocks = scale_blocks(recording_ctx.recorded,
+                              recording_ctx.params, target)
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        runs = framework.compare(blocks, target.degree, label="recorded")
+        gpu = runs["gpu"].report
+        pim = runs["pim"].report
+        assert gpu.total_time > 0
+        assert pim.total_time < gpu.total_time
+        assert pim.pim_time > 0
+
+    def test_limb_ratio(self, recording_ctx, message):
+        recording_ctx.reset_recording()
+        ct = recording_ctx.encrypt_message(message)
+        recording_ctx.multiply(ct, ct)
+        target = paper_params()
+        blocks = scale_blocks(recording_ctx.recorded,
+                              recording_ctx.params, target)
+        tensor = next(b for b in blocks if b.kind == "tensor")
+        # 6 functional limbs -> 54 paper limbs: a full-level op maps to 54.
+        assert tensor.limbs == 54
+        keymult = next(b for b in blocks if b.kind == "keymult")
+        assert keymult.aux == target.aux_count
+        assert keymult.dnum == target.dnum

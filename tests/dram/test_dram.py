@@ -1,0 +1,111 @@
+"""Tests for the DRAM substrate: geometry, timing, energy, banks."""
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.configs import GDDR6X_4090, HBM2_A100, timing_for
+from repro.dram.energy import DEFAULT_ENERGY
+from repro.dram.geometry import CHUNK_BITS, ELEMENTS_PER_CHUNK, DramGeometry
+from repro.errors import LayoutError, ParameterError
+
+
+class TestGeometry:
+    def test_a100_configuration(self):
+        assert HBM2_A100.die_groups == 5           # five HBM stacks
+        assert HBM2_A100.banks_per_group == 512    # 8 dies x 64 banks
+        assert HBM2_A100.total_banks == 2560
+
+    def test_4090_configuration(self):
+        assert GDDR6X_4090.die_groups == 3
+        assert GDDR6X_4090.banks_per_group == 128  # 4 dies x 32 banks
+        assert GDDR6X_4090.total_dies == 12
+
+    def test_fig7_running_example(self):
+        # Fig. 7: "16 chunks (128 elements) are allocated to a bank per
+        # limb" on the A100 at N = 2^16.
+        assert HBM2_A100.elements_per_bank(2 ** 16) == 128
+        assert HBM2_A100.chunks_per_bank(2 ** 16) == 16
+
+    def test_chunks_per_row(self):
+        # An 8Kb row holds 32 chunks of 256 bits (§VI-B).
+        assert HBM2_A100.chunks_per_row == 32
+        assert CHUNK_BITS == 256
+        assert ELEMENTS_PER_CHUNK == 8
+
+    def test_indivisible_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            HBM2_A100.elements_per_bank(1000)
+
+    def test_row_must_hold_whole_chunks(self):
+        with pytest.raises(ParameterError):
+            DramGeometry(name="bad", die_groups=1, dies_per_group=1,
+                         banks_per_die=1, row_bits=300)
+
+
+class TestTiming:
+    def test_turnaround_is_pre_plus_act(self):
+        timing = timing_for(HBM2_A100)
+        assert timing.row_turnaround == pytest.approx(
+            timing.t_rp + timing.t_rcd)
+
+    def test_both_configs_have_timings(self):
+        assert timing_for(HBM2_A100).t_rcd > 0
+        assert timing_for(GDDR6X_4090).t_rcd > 0
+
+
+class TestEnergy:
+    def test_path_segments_order(self):
+        e = DEFAULT_ENERGY
+        assert e.near_bank_pj_per_bit < e.logic_die_pj_per_bit
+        assert e.logic_die_pj_per_bit < e.gpu_access_pj_per_bit
+
+    def test_paper_energy_ratio(self):
+        # Fig. 4b: PIM yields ~2.87x DRAM access energy reduction.
+        ratio = (DEFAULT_ENERGY.gpu_access_pj_per_bit
+                 / DEFAULT_ENERGY.near_bank_pj_per_bit)
+        assert 2.0 < ratio < 4.0
+
+
+class TestBank:
+    def setup_method(self):
+        self.bank = Bank(HBM2_A100, rows=8)
+
+    def test_activate_read_write(self):
+        data = np.arange(8, dtype=np.int64)
+        self.bank.activate(3)
+        self.bank.write_chunk(3, 5, data)
+        assert np.array_equal(self.bank.read_chunk(3, 5), data)
+        assert self.bank.stats.activates == 1
+        assert self.bank.stats.chunk_reads == 1
+        assert self.bank.stats.chunk_writes == 1
+
+    def test_closed_row_access_rejected(self):
+        with pytest.raises(LayoutError):
+            self.bank.read_chunk(0, 0)
+
+    def test_wrong_open_row_rejected(self):
+        self.bank.activate(1)
+        with pytest.raises(LayoutError):
+            self.bank.read_chunk(2, 0)
+
+    def test_activate_implies_precharge(self):
+        self.bank.activate(0)
+        self.bank.activate(1)
+        assert self.bank.stats.activates == 2
+        assert self.bank.stats.precharges == 1
+        assert self.bank.open_row == 1
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(LayoutError):
+            self.bank.activate(100)
+
+    def test_chunk_write_shape_enforced(self):
+        self.bank.activate(0)
+        with pytest.raises(LayoutError):
+            self.bank.write_chunk(0, 0, np.zeros(4, dtype=np.int64))
+
+    def test_stats_reset(self):
+        self.bank.activate(0)
+        self.bank.stats.reset()
+        assert self.bank.stats.activates == 0

@@ -1,0 +1,165 @@
+"""Tests for the GPU roofline model, kernels, cache, and library profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import OpCategory
+from repro.gpu import kernels as gk
+from repro.gpu.cache import CacheModel
+from repro.gpu.configs import (A100_80GB, CHEDDAR, HUNDRED_X, LIBRARIES,
+                               PHANTOM, RTX_4090)
+from repro.gpu.model import GpuModel
+
+N = 2 ** 16
+L = 54
+
+
+class TestKernelBuilders:
+    def test_ntt_counts(self):
+        k = gk.ntt_kernel(L, N)
+        assert k.mod_ops == L * (N // 2) * 16
+        assert k.bytes_read == k.bytes_written == L * N * 4
+
+    def test_bconv_counts(self):
+        k = gk.bconv_kernel(14, 54, N)
+        assert k.mod_ops == (14 * 54 + 14) * N
+        assert k.bytes_read == 14 * N * 4
+        assert k.bytes_written == 54 * N * 4
+
+    def test_elementwise_streaming_split(self):
+        k = gk.elementwise_kernel("mul", L, N, reads=2, writes=1,
+                                  streaming_reads=1)
+        assert k.streaming_bytes == L * N * 4
+        assert k.total_bytes == 3 * L * N * 4
+
+    def test_automorphism_is_pure_movement(self):
+        k = gk.automorphism_kernel(L, N, polys=2)
+        assert k.mod_ops == 0
+        assert k.category == OpCategory.AUTOMORPHISM
+
+    def test_writeback_kernel(self):
+        k = gk.writeback_kernel(8, N)
+        assert k.category == OpCategory.TRANSFER
+        assert k.streaming_bytes == k.bytes_written
+
+
+class TestRoofline:
+    def test_elementwise_is_memory_bound(self):
+        model = GpuModel(A100_80GB)
+        k = gk.elementwise_kernel("add", L, N, reads=2, writes=1)
+        cost = model.kernel_cost(k)
+        assert cost.bound == "memory"
+
+    def test_ntt_is_compute_bound_on_a100(self):
+        # §V-A / Fig. 4a: quadrupled bandwidth barely improves ModSwitch.
+        # The deployed path applies the cache model to the footprint.
+        cache = CacheModel(l2_bytes=A100_80GB.l2_cache_bytes)
+        kernel = gk.ntt_kernel(L, N)
+        model = GpuModel(A100_80GB)
+        cost = model.kernel_cost(kernel, dram_bytes=cache.dram_bytes(kernel))
+        assert cost.compute_time > cost.memory_time
+
+    def test_ntt_near_roofline_knee_on_4090(self):
+        # The 4090 trades bandwidth for compute; its NTT sits near the
+        # knee (neither side dominates by more than ~2x).
+        cache = CacheModel(l2_bytes=RTX_4090.l2_cache_bytes)
+        kernel = gk.ntt_kernel(L, N)
+        model = GpuModel(RTX_4090)
+        cost = model.kernel_cost(kernel, dram_bytes=cache.dram_bytes(kernel))
+        ratio = cost.memory_time / cost.compute_time
+        assert 0.5 < ratio < 2.0
+
+    def test_elementwise_intensity_below_two(self):
+        # §IV-D: element-wise ops show < 2 ops/byte.
+        model = GpuModel(A100_80GB)
+        k = gk.elementwise_kernel("mac", L, N, reads=3, writes=1,
+                                  ops_per_element=1.0)
+        assert model.arithmetic_intensity(k) < 2.0
+
+    def test_ridge_points(self):
+        # §IV-D: GPUs are best suited for 10-40+ ops/byte.
+        assert 9 < A100_80GB.roofline_ridge < 14
+        assert 40 < RTX_4090.roofline_ridge < 48
+
+    def test_dram_bytes_override(self):
+        model = GpuModel(A100_80GB)
+        k = gk.elementwise_kernel("add", L, N, reads=2, writes=1)
+        full = model.kernel_cost(k)
+        halved = model.kernel_cost(k, dram_bytes=k.total_bytes / 2)
+        assert halved.memory_time == pytest.approx(full.memory_time / 2)
+
+    def test_launch_overhead_included(self):
+        model = GpuModel(A100_80GB)
+        k = gk.elementwise_kernel("tiny", 1, 64, reads=1, writes=1)
+        cost = model.kernel_cost(k)
+        assert cost.time >= A100_80GB.kernel_launch_overhead
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_time_monotone_in_limbs(self, limbs):
+        model = GpuModel(A100_80GB)
+        t1 = model.kernel_cost(gk.ntt_kernel(limbs, N)).time
+        t2 = model.kernel_cost(gk.ntt_kernel(limbs + 1, N)).time
+        assert t2 > t1
+
+
+class TestLibraryProfiles:
+    def test_cheddar_fastest(self):
+        k = gk.ntt_kernel(L, N)
+        times = {name: GpuModel(A100_80GB, lib).kernel_cost(k).time
+                 for name, lib in LIBRARIES.items()}
+        assert times["Cheddar"] < times["100x"]
+        assert times["Cheddar"] < times["Phantom"]
+
+    def test_cheddar_ntt_ratio_matches_fig2a(self):
+        # §IV-A: (I)NTT gets 1.73-1.81x faster with Cheddar.
+        k = gk.ntt_kernel(L, N)
+        cheddar = GpuModel(A100_80GB, CHEDDAR).kernel_cost(k).time
+        hundredx = GpuModel(A100_80GB, HUNDRED_X).kernel_cost(k).time
+        phantom = GpuModel(A100_80GB, PHANTOM).kernel_cost(k).time
+        assert hundredx / cheddar == pytest.approx(1.74, rel=0.05)
+        assert phantom / cheddar == pytest.approx(1.80, rel=0.05)
+
+    def test_elementwise_library_insensitive(self):
+        # Fig. 2a: HADD/PMULT are the same across libraries.
+        k = gk.elementwise_kernel("add", L, N, reads=2, writes=1)
+        cheddar = GpuModel(A100_80GB, CHEDDAR).kernel_cost(k).time
+        phantom = GpuModel(A100_80GB, PHANTOM).kernel_cost(k).time
+        assert phantom / cheddar < 1.1
+
+
+class TestEnergy:
+    def test_energy_positive_and_scales(self):
+        model = GpuModel(A100_80GB)
+        k1 = gk.ntt_kernel(10, N)
+        k2 = gk.ntt_kernel(40, N)
+        e1 = model.kernel_energy(k1, model.kernel_cost(k1))
+        e2 = model.kernel_energy(k2, model.kernel_cost(k2))
+        assert 0 < e1 < e2
+
+    def test_memory_bound_kernel_pays_little_core_power(self):
+        model = GpuModel(A100_80GB)
+        k = gk.elementwise_kernel("add", L, N, reads=2, writes=1)
+        cost = model.kernel_cost(k)
+        energy = model.kernel_energy(k, cost)
+        core_only = A100_80GB.core_dynamic_power * cost.compute_time
+        assert core_only < 0.5 * energy
+
+
+class TestCacheModel:
+    def test_streaming_always_misses(self):
+        cache = CacheModel(l2_bytes=40e6)
+        k = gk.elementwise_kernel("evk", L, N, reads=2, writes=1,
+                                  streaming_reads=2)
+        assert cache.dram_bytes(k) >= k.streaming_bytes
+
+    def test_hit_rate_decays_with_pressure(self):
+        small = CacheModel(l2_bytes=40e6, working_set_bytes=40e6)
+        big = CacheModel(l2_bytes=40e6, working_set_bytes=160e6)
+        assert big.hit_rate(OpCategory.NTT) < small.hit_rate(OpCategory.NTT)
+
+    def test_dram_bytes_bounded_by_footprint(self):
+        cache = CacheModel(l2_bytes=40e6)
+        k = gk.ntt_kernel(L, N)
+        assert 0 < cache.dram_bytes(k) <= k.total_bytes

@@ -1,0 +1,111 @@
+"""Cross-validation: functional PIM execution vs the analytic model.
+
+The analytic executor (used by every benchmark) predicts DRAM command
+counts from the ISA descriptors; the functional unit actually issues
+them against simulated banks.  For matching geometry, buffer size, and
+layout, the two must agree — for every instruction.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import modmath
+from repro.dram.bank import Bank
+from repro.dram.geometry import DramGeometry
+from repro.pim import isa
+from repro.pim.layout import BankLayout
+from repro.pim.unit import PimUnit, store_poly
+
+#: Single-bank geometry mirroring the Fig. 7 example: 16 chunks per
+#: poly slice, 32-chunk rows.
+GEOMETRY = DramGeometry(name="xcheck", die_groups=1, dies_per_group=1,
+                        banks_per_die=1)
+Q = modmath.generate_primes(1, 64, bits=27)[0]
+CHUNKS = 16
+
+#: Instructions with functional handlers and a fan-in choice.
+CASES = [("Move", 1), ("Neg", 1), ("Add", 1), ("Sub", 1), ("Mult", 1),
+         ("MAC", 1), ("PMult", 1), ("PMAC", 1), ("CAdd", 1), ("CMult", 1),
+         ("CMAC", 1), ("Tensor", 1), ("TensorSq", 1), ("ModDownEp", 1),
+         ("PAccum", 2), ("PAccum", 4), ("CAccum", 2), ("CAccum", 4)]
+
+
+def _run_functional(name, fan_in, buffer_entries):
+    inst = isa.instruction(name)
+    bank = Bank(GEOMETRY, rows=128)
+    # Column-group width = chunk granularity G, the Fig. 7 discipline —
+    # capped so the widest PolyGroup still fits in one row (the same
+    # bound the analytic executor applies).
+    g = buffer_entries // inst.buffer_polys(fan_in)
+    row_cap = GEOMETRY.chunks_per_row // inst.widest_group(fan_in)
+    g = max(1, min(g, row_cap))
+    width = g
+    layout = BankLayout(GEOMETRY, chunks_per_poly=CHUNKS, width=width,
+                        total_rows=128)
+    unit = PimUnit(bank, Q, buffer_entries)
+    rng = np.random.default_rng(0)
+
+    groups = []
+    for count in inst.scaled_reads(fan_in):
+        group = layout.allocate(count)
+        for placement in group.placements:
+            store_poly(bank, placement,
+                       rng.integers(0, Q, CHUNKS * 8, dtype=np.int64))
+        groups.append(group.placements)
+    dst = layout.allocate(inst.writes)
+    consts = [3, 5, 7, 11, 13][:max(1, fan_in + 1)]
+    bank.stats.reset()
+    unit.execute(name, dsts=dst.placements, src_groups=groups,
+                 constants=consts, fan_in=fan_in)
+    return bank.stats, g
+
+
+class TestCommandCountsMatchAnalyticModel:
+    @pytest.mark.parametrize("name,fan_in", CASES)
+    def test_chunk_traffic(self, name, fan_in):
+        """Column accesses = total_polys x chunks, exactly as the
+        analytic executor charges."""
+        inst = isa.instruction(name)
+        stats, _ = _run_functional(name, fan_in, buffer_entries=16)
+        assert stats.chunk_reads == inst.read_polys(fan_in) * CHUNKS
+        assert stats.chunk_writes == inst.writes * CHUNKS
+
+    @pytest.mark.parametrize("name,fan_in", CASES)
+    def test_activation_count(self, name, fan_in):
+        """ACTs = iterations x row-group phases (the Alg. 1 loop),
+        when the CG width matches the chunk granularity G."""
+        inst = isa.instruction(name)
+        stats, g = _run_functional(name, fan_in, buffer_entries=16)
+        if g < 1:
+            pytest.skip("unsupported at B=16")
+        iterations = math.ceil(CHUNKS / g)
+        expected = iterations * inst.row_groups(fan_in)
+        assert stats.activates == expected
+
+    @given(st.sampled_from(CASES), st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_invariant_under_buffer_size(self, case, buffer):
+        """Data volume is layout/buffer independent; only ACTs change."""
+        name, fan_in = case
+        inst = isa.instruction(name)
+        if buffer < inst.min_buffer(fan_in):
+            return
+        stats, _ = _run_functional(name, fan_in, buffer)
+        assert stats.chunk_reads == inst.read_polys(fan_in) * CHUNKS
+        assert stats.chunk_writes == inst.writes * CHUNKS
+
+    @pytest.mark.parametrize("name,fan_in", [("PAccum", 4), ("PMAC", 1),
+                                             ("MAC", 1)])
+    def test_larger_buffer_never_increases_activations(self, name, fan_in):
+        inst = isa.instruction(name)
+        counts = []
+        for buffer in (8, 16, 32, 64):
+            if buffer < inst.min_buffer(fan_in):
+                continue
+            stats, _ = _run_functional(name, fan_in, buffer)
+            counts.append(stats.activates)
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,176 @@
+"""Integration: real CKKS polynomials through the functional PIM device.
+
+Full §VI-B mapping: RNS limbs distributed over die groups, coefficients
+over banks; Table II instructions executed all-bank and compared against
+the CKKS layer's own arithmetic — including an actual KeyMult evaluated
+with PAccum⟨D⟩, the paper's flagship offload (Alg. 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import modmath
+from repro.ckks.keyswitch import key_mult
+from repro.ckks.keys import EvaluationKey
+from repro.ckks.rns import RnsPolynomial
+from repro.dram.geometry import DramGeometry
+from repro.errors import LayoutError, ParameterError
+from repro.pim.device import PimDevice
+
+#: A small but multi-group, multi-bank geometry for functional tests.
+GEOMETRY = DramGeometry(name="test", die_groups=2, dies_per_group=1,
+                        banks_per_die=4, rows_per_bank=256)
+DEGREE = 256                     # 64 elements = 8 chunks per bank
+BASIS = tuple(modmath.generate_primes(5, DEGREE, bits=27))
+
+
+@pytest.fixture()
+def device():
+    return PimDevice(GEOMETRY, DEGREE, BASIS, buffer_entries=16)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+def _random_poly(rng):
+    return RnsPolynomial.random_uniform(DEGREE, BASIS, rng, is_ntt=True)
+
+
+class TestMapping:
+    def test_limb_to_group_round(self, device):
+        assert device.limb_group(0) == 0
+        assert device.limb_group(1) == 1
+        assert device.limb_group(2) == 0
+        assert device.limb_round(2) == 1
+        assert device.limb_rounds == 3        # ceil(5 limbs / 2 groups)
+
+    def test_store_load_roundtrip(self, device, rng):
+        handle = device.allocate("x", slots=2)
+        poly = _random_poly(rng)
+        device.store(handle, 0, poly)
+        back = device.load(handle, 0)
+        assert np.array_equal(back.coeffs, poly.coeffs)
+        assert back.basis == BASIS
+
+    def test_wrong_basis_rejected(self, device, rng):
+        handle = device.allocate("x", slots=1)
+        other = RnsPolynomial.random_uniform(DEGREE, BASIS[:3], rng)
+        with pytest.raises(ParameterError):
+            device.store(handle, 0, other)
+
+    def test_slot_bounds(self, device, rng):
+        handle = device.allocate("x", slots=1)
+        with pytest.raises(LayoutError):
+            device.store(handle, 1, _random_poly(rng))
+
+
+class TestElementwiseOnDevice:
+    def test_add(self, device, rng):
+        a, b = _random_poly(rng), _random_poly(rng)
+        src = device.allocate("src", slots=2)
+        dst = device.allocate("dst", slots=1)
+        device.store(src, 0, a)
+        device.store(src, 1, b)
+        device.execute("Add", dsts=[(dst, 0)],
+                       src_groups=[[(src, 0), (src, 1)]])
+        got = device.load(dst, 0)
+        assert np.array_equal(got.coeffs, (a + b).coeffs)
+
+    def test_mult_matches_ntt_domain_product(self, device, rng):
+        a, b = _random_poly(rng), _random_poly(rng)
+        src = device.allocate("src", slots=2)
+        dst = device.allocate("dst", slots=1)
+        device.store(src, 0, a)
+        device.store(src, 1, b)
+        device.execute("Mult", dsts=[(dst, 0)],
+                       src_groups=[[(src, 0), (src, 1)]])
+        got = device.load(dst, 0)
+        assert np.array_equal(got.coeffs, (a * b).coeffs)
+
+    def test_per_limb_constants(self, device, rng):
+        a = _random_poly(rng)
+        src = device.allocate("src", slots=1)
+        dst = device.allocate("dst", slots=1)
+        device.store(src, 0, a)
+        constants = [rng.integers(1, q) for q in BASIS]
+        device.execute("CMult", dsts=[(dst, 0)],
+                       src_groups=[[(src, 0)]], constants=constants)
+        got = device.load(dst, 0)
+        expect = a.scalar_mul([int(c) for c in constants])
+        assert np.array_equal(got.coeffs, expect.coeffs)
+
+    def test_mod_down_ep(self, device, rng):
+        a, b = _random_poly(rng), _random_poly(rng)
+        src = device.allocate("src", slots=2)
+        dst = device.allocate("dst", slots=1)
+        device.store(src, 0, a)
+        device.store(src, 1, b)
+        constants = [modmath.mod_inverse(7, q) for q in BASIS]
+        device.execute("ModDownEp", dsts=[(dst, 0)],
+                       src_groups=[[(src, 0), (src, 1)]],
+                       constants=constants)
+        got = device.load(dst, 0)
+        expect = (a - b).scalar_mul(constants)
+        assert np.array_equal(got.coeffs, expect.coeffs)
+
+
+class TestKeyMultOnDevice:
+    """The flagship offload: KeyMult as PAccum⟨D⟩ (Alg. 1)."""
+
+    def test_paccum_matches_ckks_key_mult(self, device, rng):
+        dnum = 3
+        digits = [_random_poly(rng) for _ in range(dnum)]
+        evk = EvaluationKey(
+            b_polys=[_random_poly(rng) for _ in range(dnum)],
+            a_polys=[_random_poly(rng) for _ in range(dnum)])
+        expect_b, expect_a = key_mult(digits, evk)
+
+        # PolyGroup0: evk halves interleaved (the "plaintexts" of
+        # PAccum); PolyGroup1: digit pairs (a_i = b_i = digit_i ... the
+        # ISA computes x = sum a_i*p_i, y = sum b_i*p_i).
+        pg0 = device.allocate("evk_b", slots=dnum)
+        pg1 = device.allocate("inputs", slots=2 * dnum)
+        out = device.allocate("acc", slots=2)
+        # x accumulates digit_i * evk_b_i, y accumulates digit_i * evk_a_i:
+        # feed p_i = digit_i, a_i = evk.b_i, b_i = evk.a_i.
+        for i in range(dnum):
+            device.store(pg0, i, digits[i])
+            device.store(pg1, 2 * i, evk.b_polys[i])
+            device.store(pg1, 2 * i + 1, evk.a_polys[i])
+        device.execute(
+            "PAccum", dsts=[(out, 0), (out, 1)],
+            src_groups=[[(pg0, i) for i in range(dnum)],
+                        [(pg1, i) for i in range(2 * dnum)]],
+            fan_in=dnum)
+        got_b = device.load(out, 0)
+        got_a = device.load(out, 1)
+        assert np.array_equal(got_b.coeffs, expect_b.coeffs)
+        assert np.array_equal(got_a.coeffs, expect_a.coeffs)
+
+    def test_column_partitioning_saves_activations_device_wide(self, rng):
+        # PAccum<4> at B=16 gives G=2, matching the column-group width
+        # (Fig. 7: the runtime partitions rows so G chunks of each poly
+        # share a row) — the regime where CP's ACT/PRE savings apply.
+        def run(naive):
+            device = PimDevice(GEOMETRY, DEGREE, BASIS, buffer_entries=16)
+            pg0 = device.allocate("p", slots=4, naive=naive)
+            pg1 = device.allocate("ab", slots=8, naive=naive)
+            out = device.allocate("xy", slots=2, naive=naive)
+            for i in range(4):
+                device.store(pg0, i, _random_poly(rng))
+            for i in range(8):
+                device.store(pg1, i, _random_poly(rng))
+            device.device.reset_stats()
+            device.execute(
+                "PAccum", dsts=[(out, 0), (out, 1)],
+                src_groups=[[(pg0, i) for i in range(4)],
+                            [(pg1, i) for i in range(8)]],
+                fan_in=4)
+            return device.device.aggregate_stats()
+
+        cp = run(naive=False)
+        naive = run(naive=True)
+        assert naive.activates > 2 * cp.activates
+        assert naive.chunk_reads == cp.chunk_reads   # same data volume

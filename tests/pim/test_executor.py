@@ -1,0 +1,134 @@
+"""Tests for the analytic PIM executor (Alg. 1 timing/energy model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import PimKernel
+from repro.errors import ParameterError
+from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK, PIM_CONFIGS,
+                               RTX4090_NEAR_BANK, with_buffer)
+from repro.pim.executor import PimExecutor
+
+N = 2 ** 16
+
+
+def _kernel(instruction="Add", limbs=68, fan_in=1, cp=True):
+    return PimKernel(name=instruction, instruction=instruction, limbs=limbs,
+                     degree=N, fan_in=fan_in, column_partitioned=cp)
+
+
+class TestConfigs:
+    def test_bandwidth_multipliers_match_table_iii(self):
+        # Table III: 16x / 4x / 8x (we land within ~10%).
+        assert A100_NEAR_BANK.bandwidth_multiplier == pytest.approx(16, rel=0.15)
+        assert A100_CUSTOM_HBM.bandwidth_multiplier == pytest.approx(4, rel=0.15)
+        assert RTX4090_NEAR_BANK.bandwidth_multiplier == pytest.approx(8, rel=0.15)
+
+    def test_mmac_throughput_matches_table_iii(self):
+        assert A100_NEAR_BANK.mmac_tops_per_die == pytest.approx(0.194, rel=0.05)
+        assert RTX4090_NEAR_BANK.mmac_tops_per_die == pytest.approx(0.168, rel=0.05)
+
+    def test_buffer_sizes(self):
+        assert A100_NEAR_BANK.buffer_entries == 16
+        assert A100_CUSTOM_HBM.buffer_entries == 16
+        assert RTX4090_NEAR_BANK.buffer_entries == 32
+
+    def test_area_under_ten_percent(self):
+        # §VII-A: PIM area overhead within 10% of the DRAM dies.
+        for config in PIM_CONFIGS.values():
+            assert config.area_fraction < 0.10
+
+
+class TestSupport:
+    def test_small_buffer_rejects_compound(self):
+        ex = PimExecutor(with_buffer(A100_NEAR_BANK, 4))
+        assert not ex.supports("PAccum", 4)
+        assert not ex.supports("Tensor")
+        assert ex.supports("Add")
+        with pytest.raises(ParameterError):
+            ex.cost(_kernel("PAccum", fan_in=4))
+
+    def test_default_buffers_support_everything(self):
+        for config in PIM_CONFIGS.values():
+            ex = PimExecutor(config)
+            assert ex.supports("PAccum", 4)
+            assert ex.supports("Tensor")
+
+    def test_chunk_granularity_alg1(self):
+        ex = PimExecutor(A100_NEAR_BANK)
+        assert ex.chunk_granularity("PAccum", 4) == 16 // 6
+
+
+class TestCostModel:
+    def test_time_scales_with_limbs(self):
+        ex = PimExecutor(A100_NEAR_BANK)
+        t5 = ex.cost(_kernel(limbs=5)).time
+        t50 = ex.cost(_kernel(limbs=50)).time
+        assert t50 > t5 * 5  # ceil(limbs/die_groups) rounds
+
+    def test_column_partitioning_is_faster(self):
+        ex = PimExecutor(A100_NEAR_BANK)
+        for name, fan_in in (("PAccum", 4), ("PMAC", 1), ("Add", 1)):
+            cp = ex.cost(_kernel(name, fan_in=fan_in, cp=True))
+            naive = ex.cost(_kernel(name, fan_in=fan_in, cp=False))
+            assert naive.time > cp.time
+            assert naive.activations > cp.activations
+
+    def test_paccum_no_cp_slowdown_band(self):
+        # Fig. 10: w/o CP, element-wise times are ~2.2x slower overall;
+        # for PAccum the per-instruction gap is larger.
+        ex = PimExecutor(A100_NEAR_BANK)
+        cp = ex.cost(_kernel("PAccum", fan_in=4, cp=True)).time
+        naive = ex.cost(_kernel("PAccum", fan_in=4, cp=False)).time
+        assert 1.5 < naive / cp < 6.0
+
+    def test_larger_buffer_reduces_time_until_saturation(self):
+        # Fig. 9: performance improves with B then saturates.
+        times = []
+        for b in (8, 16, 32, 64):
+            ex = PimExecutor(with_buffer(A100_NEAR_BANK, b))
+            times.append(ex.cost(_kernel("PAccum", fan_in=4)).time)
+        assert times == sorted(times, reverse=True)
+        gain_early = times[0] / times[1]
+        gain_late = times[2] / times[3]
+        assert gain_early > gain_late    # diminishing returns
+
+    def test_custom_hbm_lower_act_share(self):
+        # §VII-B: custom-HBM hides ACT/PRE better (one unit streams 8
+        # banks per activation pair) — its ACT-time share is smaller.
+        near = PimExecutor(A100_NEAR_BANK)
+        custom = PimExecutor(A100_CUSTOM_HBM)
+        k = _kernel("Add")
+        near_cost = near.cost(k)
+        custom_cost = custom.cost(k)
+        # Same activation count, but custom streams 8x the data per act.
+        assert custom_cost.activations == near_cost.activations
+        assert custom_cost.time > near_cost.time   # 4x vs 16x bandwidth
+
+    def test_energy_components_positive(self):
+        ex = PimExecutor(A100_NEAR_BANK)
+        cost = ex.cost(_kernel("Mult"))
+        assert cost.energy > 0
+        assert cost.internal_bytes == 3 * 68 * N * 4
+
+    def test_trace_cost_additive(self):
+        ex = PimExecutor(A100_NEAR_BANK)
+        kernels = [_kernel("Add"), _kernel("Mult")]
+        total = ex.trace_cost(kernels)
+        parts = [ex.cost(k) for k in kernels]
+        assert total.time == pytest.approx(sum(p.time for p in parts))
+        assert total.energy == pytest.approx(sum(p.energy for p in parts))
+
+    @given(st.integers(1, 68), st.sampled_from(["Add", "Mult", "MAC",
+                                                "PMult", "ModDownEp"]))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_properties(self, limbs, instruction):
+        """Time, energy, and traffic are positive and monotone in limbs."""
+        ex = PimExecutor(A100_NEAR_BANK)
+        small = ex.cost(_kernel(instruction, limbs=limbs))
+        bigger = ex.cost(_kernel(instruction, limbs=limbs + 5))
+        assert small.time > 0
+        assert small.energy > 0
+        assert bigger.time >= small.time
+        assert bigger.internal_bytes > small.internal_bytes

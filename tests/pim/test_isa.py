@@ -1,0 +1,78 @@
+"""Tests for the PIM instruction set descriptors (Table II)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pim import isa
+
+
+class TestInstructionTable:
+    def test_all_table_ii_instructions_present(self):
+        expected = {"Move", "Neg", "Add", "Sub", "Mult", "MAC", "PMult",
+                    "PMAC", "CAdd", "CSub", "CMult", "CMAC", "Tensor",
+                    "TensorSq", "ModDownEp", "PAccum", "CAccum"}
+        assert expected <= set(isa.INSTRUCTIONS)
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ParameterError):
+            isa.instruction("Frobnicate")
+
+
+class TestPAccum:
+    def test_alg1_chunk_granularity(self):
+        # Alg. 1: G = floor(B/6) for PAccum<4> (4 plaintexts + x + y).
+        inst = isa.instruction("PAccum")
+        assert inst.buffer_polys(4) == 6
+
+    def test_poly_counts(self):
+        inst = isa.instruction("PAccum")
+        assert inst.scaled_reads(4) == (4, 8)   # p_k, then (a_k, b_k)
+        assert inst.total_polys(4) == 14
+        assert inst.writes == 2
+
+    def test_row_groups_vs_naive(self):
+        # §VI-C: naive layout costs 4x/8x/2x more ACT for the three
+        # phases — 14 activations vs 3 per iteration.
+        inst = isa.instruction("PAccum")
+        assert inst.row_groups(4) == 3
+        assert inst.naive_row_groups(4) == 14
+
+    def test_unsupported_at_small_buffer(self):
+        # Fig. 9: "some compound PIM instructions (e.g., Tensor and
+        # PAccum<4>) are not supported when using a small B".
+        assert isa.instruction("PAccum").min_buffer(4) > 4
+        assert isa.instruction("Tensor").min_buffer() > 4
+        assert isa.instruction("CAccum").min_buffer(4) <= 4
+
+
+class TestBasicInstructions:
+    def test_move_is_pure_copy(self):
+        inst = isa.instruction("Move")
+        assert inst.ops_per_element == 0.0
+        assert inst.total_polys() == 2
+
+    def test_add_colocates_operands(self):
+        inst = isa.instruction("Add")
+        assert inst.reads_by_group == (2,)
+        assert inst.row_groups() == 2          # one src group + dst
+        assert inst.naive_row_groups() == 3
+
+    def test_pmac_shape(self):
+        inst = isa.instruction("PMAC")
+        assert inst.total_polys() == 7          # p + a,b,c,d + x,y
+        assert inst.writes == 2
+
+    def test_tensor_shape(self):
+        inst = isa.instruction("Tensor")
+        assert inst.total_polys() == 7          # a,b,c,d + x,y,z
+        assert inst.writes == 3
+        assert inst.ops_per_element == 2.0
+
+    def test_compound_scaling(self):
+        caccum = isa.instruction("CAccum")
+        assert caccum.read_polys(8) == 16
+        assert caccum.total_polys(8) == 18
+
+    def test_non_compound_ignores_fan_in(self):
+        add = isa.instruction("Add")
+        assert add.total_polys(4) == add.total_polys(1)

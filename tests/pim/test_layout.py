@@ -1,0 +1,76 @@
+"""Tests for the column-partitioning layout (§VI-B, Fig. 7)."""
+
+import pytest
+
+from repro.dram.configs import HBM2_A100
+from repro.errors import LayoutError
+from repro.pim.layout import BankLayout, PolyPlacement
+
+
+class TestPolyPlacement:
+    def test_wrapped_addressing(self):
+        # Width-2 column group starting at chunk column 4.
+        p = PolyPlacement(base_row=3, rows=8, col_offset=4, width=2,
+                          chunks=16)
+        assert p.location(0) == (3, 4)
+        assert p.location(1) == (3, 5)
+        assert p.location(2) == (4, 4)      # wraps into the next row
+        assert p.location(15) == (10, 5)
+
+    def test_out_of_range_chunk(self):
+        p = PolyPlacement(base_row=0, rows=1, col_offset=0, width=16,
+                          chunks=16)
+        with pytest.raises(LayoutError):
+            p.location(16)
+
+    def test_rows_for_window(self):
+        p = PolyPlacement(base_row=2, rows=8, col_offset=0, width=2,
+                          chunks=16)
+        assert p.rows_for_window(0, 2) == [2]
+        assert p.rows_for_window(0, 4) == [2, 3]
+        assert p.rows_for_window(14, 16) == [9]
+
+
+class TestBankLayout:
+    def test_fig7_example(self):
+        # 16 chunks per limb per bank, width 2 -> 16 column groups of
+        # 8 rows each (Fig. 7's 16-CG case).
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=2)
+        assert layout.slots_per_row == 16
+        assert layout.rows_per_group == 8
+
+    def test_polygroup_shares_rows(self):
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=2)
+        group = layout.allocate(4)
+        rows = {p.base_row for p in group.placements}
+        assert len(rows) == 1
+        offsets = [p.col_offset for p in group.placements]
+        assert offsets == [0, 2, 4, 6]
+
+    def test_naive_layout_separates_rows(self):
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=2)
+        group = layout.allocate_naive(4)
+        rows = {p.base_row for p in group.placements}
+        assert len(rows) == 4
+
+    def test_groups_do_not_overlap(self):
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=2)
+        g1 = layout.allocate(2)
+        g2 = layout.allocate(2)
+        assert g1[0].base_row != g2[0].base_row
+
+    def test_too_many_polys_rejected(self):
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=8)
+        with pytest.raises(LayoutError):
+            layout.allocate(5)   # 32/8 = 4 column groups max
+
+    def test_rows_exhausted(self):
+        layout = BankLayout(HBM2_A100, chunks_per_poly=16, width=2,
+                            total_rows=8)
+        layout.allocate(1)
+        with pytest.raises(LayoutError):
+            layout.allocate(1)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(LayoutError):
+            BankLayout(HBM2_A100, chunks_per_poly=16, width=64)

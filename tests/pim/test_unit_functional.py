@@ -1,0 +1,284 @@
+"""Functional PIM unit tests: real data through banks, MMACs, buffers.
+
+Every Table II instruction executes against bank storage and is checked
+against a numpy reference; DRAM command counts are checked against the
+analytic model's expectations, including the column-partitioning
+ACT/PRE advantage (Alg. 1, §VI-C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import modmath
+from repro.dram.bank import Bank
+from repro.dram.configs import HBM2_A100
+from repro.errors import ParameterError
+from repro.pim import isa
+from repro.pim.layout import BankLayout
+from repro.pim.mmac import MmacArray
+from repro.pim.buffer import DataBuffer
+from repro.pim.unit import PimUnit, load_poly, store_poly
+
+Q = modmath.generate_primes(1, 64, bits=27)[0]
+CHUNKS = 16
+N_ELEMENTS = CHUNKS * 8
+
+
+@pytest.fixture()
+def rig():
+    """(bank, layout, unit, rng) with a fresh bank per test."""
+    bank = Bank(HBM2_A100, rows=64)
+    layout = BankLayout(HBM2_A100, chunks_per_poly=CHUNKS, width=2)
+    unit = PimUnit(bank, Q, buffer_entries=16)
+    rng = np.random.default_rng(7)
+    return bank, layout, unit, rng
+
+
+def _polys(rng, count):
+    return [rng.integers(0, Q, N_ELEMENTS, dtype=np.int64)
+            for _ in range(count)]
+
+
+def _store_group(bank, layout, values, naive=False):
+    group = (layout.allocate_naive(len(values)) if naive
+             else layout.allocate(len(values)))
+    for placement, value in zip(group.placements, values):
+        store_poly(bank, placement, value)
+    return group
+
+
+class TestMmac:
+    def test_lane_ops(self):
+        mmac = MmacArray(Q)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, Q, 8, dtype=np.int64)
+        b = rng.integers(0, Q, 8, dtype=np.int64)
+        c = rng.integers(0, Q, 8, dtype=np.int64)
+        assert np.array_equal(mmac.mul(a, b), a * b % Q)
+        assert np.array_equal(mmac.mac(a, b, c), (a * b + c) % Q)
+        assert np.array_equal(mmac.add(a, b), (a + b) % Q)
+        assert np.array_equal(mmac.sub(a, b), (a - b) % Q)
+        assert np.array_equal(mmac.neg(a), (-a) % Q)
+
+    def test_28_bit_truncation(self):
+        mmac = MmacArray(Q)
+        wide = np.full(8, (1 << 31) - 1, dtype=np.int64)  # 32-bit word
+        narrow = wide & ((1 << 28) - 1)
+        assert np.array_equal(mmac.passthrough(wide), narrow)
+
+    def test_wide_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            MmacArray(1 << 29)
+
+
+class TestDataBuffer:
+    def test_capacity_and_peak(self):
+        buf = DataBuffer(4)
+        chunk = np.arange(8, dtype=np.int64)
+        for i in range(4):
+            buf.write(i, chunk)
+        assert buf.peak_used == 4
+        with pytest.raises(ParameterError):
+            buf.write(4, chunk)
+
+    def test_read_before_write_rejected(self):
+        buf = DataBuffer(2)
+        with pytest.raises(ParameterError):
+            buf.read(0)
+
+    def test_accumulate(self):
+        buf = DataBuffer(2)
+        buf.write(0, np.full(8, Q - 1, dtype=np.int64))
+        buf.accumulate(0, np.full(8, 2, dtype=np.int64), Q)
+        assert np.array_equal(buf.read(0), np.full(8, 1))
+
+
+class TestUnaryBinaryInstructions:
+    @pytest.mark.parametrize("name,nsrc,ref", [
+        ("Move", 1, lambda s: s[0]),
+        ("Neg", 1, lambda s: (-s[0]) % Q),
+        ("Add", 2, lambda s: (s[0] + s[1]) % Q),
+        ("Sub", 2, lambda s: (s[0] - s[1]) % Q),
+        ("Mult", 2, lambda s: s[0] * s[1] % Q),
+        ("MAC", 3, lambda s: (s[0] * s[1] + s[2]) % Q),
+    ])
+    def test_matches_numpy(self, rig, name, nsrc, ref):
+        bank, layout, unit, rng = rig
+        srcs = _polys(rng, nsrc)
+        src_group = _store_group(bank, layout, srcs)
+        dst_group = layout.allocate(1)
+        unit.execute(name, dsts=dst_group.placements,
+                     src_groups=[src_group.placements])
+        got = load_poly(bank, dst_group[0])
+        assert np.array_equal(got, ref(srcs))
+
+    @pytest.mark.parametrize("name,ref", [
+        ("CAdd", lambda a, c: (a + c) % Q),
+        ("CSub", lambda a, c: (a - c) % Q),
+        ("CMult", lambda a, c: c * a % Q),
+    ])
+    def test_constant_instructions(self, rig, name, ref):
+        bank, layout, unit, rng = rig
+        (a,) = _polys(rng, 1)
+        const = 123457 % Q
+        src_group = _store_group(bank, layout, [a])
+        dst_group = layout.allocate(1)
+        unit.execute(name, dsts=dst_group.placements,
+                     src_groups=[src_group.placements], constants=[const])
+        assert np.array_equal(load_poly(bank, dst_group[0]), ref(a, const))
+
+    def test_cmac(self, rig):
+        bank, layout, unit, rng = rig
+        a, b = _polys(rng, 2)
+        const = 98765 % Q
+        src_group = _store_group(bank, layout, [a, b])
+        dst_group = layout.allocate(1)
+        unit.execute("CMAC", dsts=dst_group.placements,
+                     src_groups=[src_group.placements], constants=[const])
+        assert np.array_equal(load_poly(bank, dst_group[0]),
+                              (const * a + b) % Q)
+
+    def test_mod_down_ep(self, rig):
+        bank, layout, unit, rng = rig
+        a, b = _polys(rng, 2)
+        inv_p = modmath.mod_inverse(12345, Q)
+        src_group = _store_group(bank, layout, [a, b])
+        dst_group = layout.allocate(1)
+        unit.execute("ModDownEp", dsts=dst_group.placements,
+                     src_groups=[src_group.placements], constants=[inv_p])
+        assert np.array_equal(load_poly(bank, dst_group[0]),
+                              inv_p * ((a - b) % Q) % Q)
+
+
+class TestPairAndCompoundInstructions:
+    def test_pmult(self, rig):
+        bank, layout, unit, rng = rig
+        p, a, b = _polys(rng, 3)
+        pg = _store_group(bank, layout, [p])
+        ab = _store_group(bank, layout, [a, b])
+        dst = layout.allocate(2)
+        unit.execute("PMult", dsts=dst.placements,
+                     src_groups=[pg.placements, ab.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), a * p % Q)
+        assert np.array_equal(load_poly(bank, dst[1]), b * p % Q)
+
+    def test_pmac(self, rig):
+        bank, layout, unit, rng = rig
+        p, a, b, c, d = _polys(rng, 5)
+        pg = _store_group(bank, layout, [p])
+        abcd = _store_group(bank, layout, [a, b, c, d])
+        dst = layout.allocate(2)
+        unit.execute("PMAC", dsts=dst.placements,
+                     src_groups=[pg.placements, abcd.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), (a * p + c) % Q)
+        assert np.array_equal(load_poly(bank, dst[1]), (b * p + d) % Q)
+
+    def test_tensor(self, rig):
+        bank, layout, unit, rng = rig
+        a, b, c, d = _polys(rng, 4)
+        src = _store_group(bank, layout, [a, b, c, d])
+        dst = layout.allocate(3)
+        unit.execute("Tensor", dsts=dst.placements,
+                     src_groups=[src.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), a * c % Q)
+        assert np.array_equal(load_poly(bank, dst[1]),
+                              (a * d + b * c) % Q)
+        assert np.array_equal(load_poly(bank, dst[2]), b * d % Q)
+
+    def test_tensor_sq(self, rig):
+        bank, layout, unit, rng = rig
+        a, b = _polys(rng, 2)
+        src = _store_group(bank, layout, [a, b])
+        dst = layout.allocate(3)
+        unit.execute("TensorSq", dsts=dst.placements,
+                     src_groups=[src.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), a * a % Q)
+        assert np.array_equal(load_poly(bank, dst[1]), 2 * a * b % Q)
+        assert np.array_equal(load_poly(bank, dst[2]), b * b % Q)
+
+    def test_paccum4(self, rig):
+        bank, layout, unit, rng = rig
+        ps = _polys(rng, 4)
+        abs_ = _polys(rng, 8)
+        pg = _store_group(bank, layout, ps)
+        ab = _store_group(bank, layout, abs_)
+        dst = layout.allocate(2)
+        unit.execute("PAccum", dsts=dst.placements,
+                     src_groups=[pg.placements, ab.placements], fan_in=4)
+        x_ref = sum(a * p % Q for a, p in zip(abs_[0::2], ps)) % Q
+        y_ref = sum(b * p % Q for b, p in zip(abs_[1::2], ps)) % Q
+        assert np.array_equal(load_poly(bank, dst[0]), x_ref)
+        assert np.array_equal(load_poly(bank, dst[1]), y_ref)
+
+    def test_caccum(self, rig):
+        bank, layout, unit, rng = rig
+        abs_ = _polys(rng, 6)
+        consts = [11, 22, 33, 44]
+        src = _store_group(bank, layout, abs_)
+        dst = layout.allocate(2)
+        unit.execute("CAccum", dsts=dst.placements,
+                     src_groups=[src.placements], constants=consts, fan_in=3)
+        x_ref = (consts[0] + sum(c * a for c, a in
+                                 zip(consts[1:], abs_[0::2]))) % Q
+        y_ref = (consts[0] + sum(c * b for c, b in
+                                 zip(consts[1:], abs_[1::2]))) % Q
+        assert np.array_equal(load_poly(bank, dst[0]), x_ref)
+        assert np.array_equal(load_poly(bank, dst[1]), y_ref)
+
+
+class TestCommandCounting:
+    def test_paccum_activation_count_matches_alg1(self, rig):
+        bank, layout, unit, rng = rig
+        pg = _store_group(bank, layout, _polys(rng, 4))
+        ab = _store_group(bank, layout, _polys(rng, 8))
+        dst = layout.allocate(2)
+        bank.stats.reset()
+        unit.execute("PAccum", dsts=dst.placements,
+                     src_groups=[pg.placements, ab.placements], fan_in=4)
+        # G = floor(16/6) = 2 -> 8 iterations x 3 row groups = 24 ACTs.
+        assert bank.stats.activates == 24
+        # 14 polys x 16 chunks of column traffic.
+        assert bank.stats.chunk_reads == 12 * CHUNKS
+        assert bank.stats.chunk_writes == 2 * CHUNKS
+
+    def test_naive_layout_needs_more_activations(self, rig):
+        bank, layout, unit, rng = rig
+        ps = _polys(rng, 4)
+        abs_ = _polys(rng, 8)
+        cp_acts = _run_paccum(HBM2_A100, ps, abs_, naive=False)
+        naive_acts = _run_paccum(HBM2_A100, ps, abs_, naive=True)
+        # §VI-C: naive contiguous allocation needs 4x/8x/2x more
+        # ACT/PRE for the three phases (14 vs 3 per iteration).
+        assert naive_acts > 3 * cp_acts
+
+    def test_buffer_too_small_rejected(self, rig):
+        bank, layout, _, rng = rig
+        small_unit = PimUnit(bank, Q, buffer_entries=4)
+        pg = _store_group(bank, layout, _polys(rng, 4))
+        ab = _store_group(bank, layout, _polys(rng, 8))
+        dst = layout.allocate(2)
+        with pytest.raises(ParameterError):
+            small_unit.execute("PAccum", dsts=dst.placements,
+                               src_groups=[pg.placements, ab.placements],
+                               fan_in=4)
+
+    def test_wrong_source_shape_rejected(self, rig):
+        bank, layout, unit, rng = rig
+        src = _store_group(bank, layout, _polys(rng, 1))
+        dst = layout.allocate(1)
+        with pytest.raises(ParameterError):
+            unit.execute("Add", dsts=dst.placements,
+                         src_groups=[src.placements])
+
+
+def _run_paccum(geometry, ps, abs_, naive):
+    bank = Bank(geometry, rows=64)
+    layout = BankLayout(geometry, chunks_per_poly=CHUNKS, width=2)
+    unit = PimUnit(bank, Q, buffer_entries=16)
+    pg = _store_group(bank, layout, ps, naive=naive)
+    ab = _store_group(bank, layout, abs_, naive=naive)
+    dst = layout.allocate_naive(2) if naive else layout.allocate(2)
+    bank.stats.reset()
+    unit.execute("PAccum", dsts=dst.placements,
+                 src_groups=[pg.placements, ab.placements], fan_in=4)
+    return bank.stats.activates

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "Boot"])
+        assert args.gpu == "a100"
+        assert args.pim == "near-bank"
+        assert args.library == "Cheddar"
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "Nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Boot", "HELR", "Sort", "RNN", "ResNet20"):
+            assert name in out
+
+    def test_run_with_pim(self, capsys):
+        assert main(["run", "--workload", "Boot", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Anaheim" in out
+        assert "EDP gain" in out
+        assert "Element-wise" in out
+
+    def test_run_gpu_only(self, capsys):
+        assert main(["run", "--workload", "HELR", "--pim", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "HELR" in out
+
+    def test_run_oom(self, capsys):
+        code = main(["run", "--workload", "ResNet20", "--gpu", "rtx4090"])
+        assert code == 1
+        assert "OoM" in capsys.readouterr().out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "--rotations", "4", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU |" in out
+        assert "PIM |" in out
+
+    def test_microbench(self, capsys):
+        assert main(["microbench", "--buffer", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "PAccum" in out
+        assert "unsupported" not in out.split("PAccum")[0]
+
+    def test_microbench_small_buffer_marks_unsupported(self, capsys):
+        assert main(["microbench", "--buffer", "4"]) == 0
+        assert "unsupported" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples run end-to-end.
+
+The long-running examples are exercised with reduced work where they
+expose knobs; the quick ones run as-is.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name):
+    return runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "bootstrap_demo.py",
+        "encrypted_logistic_regression.py",
+        "pim_functional_demo.py",
+        "design_space_exploration.py",
+    ])
+    def test_loads_without_running_main(self, name):
+        module = _run(name)
+        entry_points = {"main", "encrypted_arithmetic", "buffer_sweep"}
+        assert entry_points & set(module)
+
+
+class TestQuickExamplesExecute:
+    def test_quickstart(self, capsys):
+        module = _run("quickstart.py")
+        module["encrypted_arithmetic"]()
+        module["anaheim_performance_model"]()
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "max error" in out
+
+    def test_pim_functional_demo(self, capsys):
+        module = _run("pim_functional_demo.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "column partitioning saves" in out
+        assert "verified against numpy" in out
+
+    def test_logistic_regression(self, capsys):
+        module = _run("encrypted_logistic_regression.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "classification agreement" in out

@@ -1,0 +1,93 @@
+"""Tests for parameter sets and security accounting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import (MAX_LOG_PQ_128, CkksParams, PaperParams,
+                          paper_params, params_for_dnum, toy_params)
+
+
+class TestCkksParams:
+    def test_create_generates_valid_primes(self):
+        params = toy_params(degree=256, level_count=4, aux_count=2)
+        assert params.level_count == 4
+        assert params.aux_count == 2
+        for q in params.moduli + params.aux_moduli:
+            assert (q - 1) % (2 * 256) == 0
+
+    def test_dnum(self):
+        params = toy_params(degree=256, level_count=5, aux_count=2)
+        assert params.dnum == 3
+
+    def test_sizes(self):
+        params = toy_params(degree=256, level_count=4, aux_count=2)
+        assert params.limb_bytes() == 256 * 4
+        assert params.poly_bytes() == 4 * 256 * 4
+        assert params.ciphertext_bytes() == 2 * 4 * 256 * 4
+        assert params.evk_bytes() == 2 * 2 * (4 + 2) * 256 * 4
+
+    def test_at_level(self):
+        params = toy_params(degree=256, level_count=5, aux_count=2)
+        lowered = params.at_level(3)
+        assert lowered.moduli == params.moduli[:3]
+        assert lowered.aux_moduli == params.aux_moduli
+
+    def test_at_level_bounds(self):
+        params = toy_params(degree=256, level_count=5, aux_count=2)
+        with pytest.raises(ParameterError):
+            params.at_level(0)
+        with pytest.raises(ParameterError):
+            params.at_level(6)
+
+    def test_distinct_primes(self):
+        params = toy_params(degree=256, level_count=6, aux_count=3)
+        all_primes = params.moduli + params.aux_moduli
+        assert len(set(all_primes)) == len(all_primes)
+
+
+class TestPaperParams:
+    def test_default_matches_table_iv(self):
+        params = paper_params()
+        assert params.degree == 2 ** 16
+        assert params.level_count == 54
+        assert params.aux_count == 14
+        assert params.dnum == 4
+
+    def test_meets_128_bit_security(self):
+        assert paper_params().meets_128_bit_security()
+
+    def test_evk_size_matches_paper(self):
+        # §III-A: "an evk [can be as large as] 136MB".
+        evk_mb = paper_params().evk_bytes() / 2 ** 20
+        assert 130 <= evk_mb <= 145
+
+    def test_poly_size_matches_paper(self):
+        # §III-A: "a polynomial can be as large as 17MB" (L+α limbs).
+        params = paper_params()
+        poly_mb = params.poly_bytes(params.level_count
+                                    + params.aux_count) / 2 ** 20
+        assert 16 <= poly_mb <= 18
+
+    def test_with_levels(self):
+        params = paper_params().with_levels(24)
+        assert params.level_count == 24
+        assert params.aux_count == 14
+
+
+class TestParamsForDnum:
+    @pytest.mark.parametrize("dnum", [2, 3, 4, 6])
+    def test_feasible_and_secure(self, dnum):
+        params = params_for_dnum(dnum)
+        assert params.dnum == dnum
+        assert params.log_pq < MAX_LOG_PQ_128[2 ** 16]
+
+    def test_larger_dnum_allows_more_levels(self):
+        l2 = params_for_dnum(2).level_count
+        l4 = params_for_dnum(4).level_count
+        l6 = params_for_dnum(6).level_count
+        assert l2 < l4 <= l6
+
+    def test_d4_matches_table_iv(self):
+        params = params_for_dnum(4)
+        assert params.level_count >= 52
+        assert params.aux_count <= 14

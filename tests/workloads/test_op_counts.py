@@ -1,0 +1,77 @@
+"""Tests for the closed-form op/byte counts (§IV-D arithmetic intensity)."""
+
+import pytest
+
+from repro.params import paper_params
+from repro.workloads import op_counts as oc
+
+P = paper_params()
+N = P.degree
+L, AUX, D = P.level_count, P.aux_count, P.dnum
+
+
+class TestPrimitiveCounts:
+    def test_ntt_count(self):
+        count = oc.ntt_count(1, N)
+        assert count.mod_ops == (N / 2) * 16
+        assert count.bytes_touched == 2 * N * 4
+
+    def test_bconv_count(self):
+        count = oc.bconv_count(AUX, L, N)
+        assert count.mod_ops == (AUX * L + AUX) * N
+        assert count.bytes_touched == (AUX + L) * N * 4
+
+    def test_elementwise_intensity_below_two(self):
+        # §IV-D: "element-wise ops show less than 2 ops/byte".
+        for operands, ops in ((3, 1.0), (4, 1.0), (14, 8.0)):
+            count = oc.elementwise_count(L, N, operands, ops)
+            assert count.ops_per_byte < 2.0
+
+    def test_ntt_intensity_exceeds_elementwise(self):
+        ntt = oc.ntt_count(L, N)
+        ew = oc.elementwise_count(L, N, operands=3)
+        assert ntt.ops_per_byte > 5 * ew.ops_per_byte
+
+    def test_bconv_intensity_high(self):
+        count = oc.bconv_count(AUX, L, N)
+        assert count.ops_per_byte > 2.0
+
+    def test_automorphism_is_pure_movement(self):
+        count = oc.automorphism_count(L, N)
+        assert count.mod_ops == 0
+        assert count.ops_per_byte == 0.0
+
+
+class TestCompositeCounts:
+    def test_addition_and_scaling(self):
+        a = oc.ntt_count(1, N)
+        total = a + a
+        assert total.mod_ops == 2 * a.mod_ops
+        assert a.times(3).bytes_touched == 3 * a.bytes_touched
+
+    def test_mod_up_structure(self):
+        count = oc.mod_up_count(L, AUX, D, N)
+        # At least the INTT(L) plus D NTT pipelines.
+        assert count.mod_ops > oc.ntt_count(L, N).mod_ops * 2
+
+    def test_hrot_vs_hmult(self):
+        hrot = oc.hrot_count(L, AUX, D, N)
+        hmult = oc.hmult_count(L, AUX, D, N)
+        # HMULT adds the tensor stage; both share the key-switch core.
+        assert hmult.mod_ops > hrot.mod_ops - oc.automorphism_count(
+            L, N).mod_ops
+        assert 0.5 < hmult.mod_ops / hrot.mod_ops < 2.0
+
+    def test_keymult_is_memory_bound_shaped(self):
+        count = oc.key_mult_count(L, AUX, D, N)
+        assert count.ops_per_byte < 2.0
+
+    def test_counts_match_trace_builders(self):
+        """The closed forms agree with the lowered traces (same model)."""
+        from repro.core.fusion import GPU_ALL_FUSE, lower
+        from repro.workloads.basic_functions import hmult_blocks
+        trace = lower(hmult_blocks(L, AUX, D, rescale=False), N,
+                      GPU_ALL_FUSE)
+        trace_ops = trace.total_mod_ops()
+        closed = oc.hmult_count(L, AUX, D, N).mod_ops
+        assert trace_ops == pytest.approx(closed, rel=0.2)

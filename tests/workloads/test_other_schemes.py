@@ -1,0 +1,92 @@
+"""Tests for the BGV/BFV/TFHE extension traces (§VIII-C)."""
+
+import pytest
+
+from repro.core.framework import AnaheimFramework
+from repro.core.fusion import GPU_ALL_FUSE, PIM_FULL, lower
+from repro.core.trace import OpCategory
+from repro.gpu.configs import A100_80GB
+from repro.params import paper_params
+from repro.pim.configs import A100_NEAR_BANK
+from repro.workloads.other_schemes import (TfheParams, bfv_hmult_blocks,
+                                           bgv_hmult_blocks,
+                                           tfhe_gate_bootstrap_blocks)
+
+P = paper_params()
+L, AUX, D = P.level_count, P.aux_count, P.dnum
+
+
+class TestBgvBfvTraces:
+    def test_bgv_structure_matches_ckks_hmult(self):
+        from repro.workloads.basic_functions import hmult_blocks
+        bgv = lower(bgv_hmult_blocks(L, AUX, D), P.degree, GPU_ALL_FUSE)
+        ckks = lower(hmult_blocks(L, AUX, D), P.degree, GPU_ALL_FUSE)
+        # Same KeyMult core -> same element-wise kernel count.
+        assert (bgv.count(OpCategory.ELEMENTWISE)
+                == ckks.count(OpCategory.ELEMENTWISE))
+
+    def test_bfv_has_more_ntt_work_than_bgv(self):
+        bgv = lower(bgv_hmult_blocks(L, AUX, D), P.degree, GPU_ALL_FUSE)
+        bfv = lower(bfv_hmult_blocks(L, AUX, D), P.degree, GPU_ALL_FUSE)
+        ntt_ops = lambda t: sum(k.mod_ops for k in t.gpu_kernels()
+                                if k.category == OpCategory.NTT)
+        assert ntt_ops(bfv) > 1.5 * ntt_ops(bgv)
+
+    @pytest.mark.parametrize("builder", [bgv_hmult_blocks,
+                                         bfv_hmult_blocks])
+    def test_keymult_offloads_to_pim(self, builder):
+        trace = lower(builder(L, AUX, D), P.degree, PIM_FULL)
+        instructions = {k.instruction for k in trace.pim_kernels()}
+        assert "PAccum" in instructions
+
+    def test_anaheim_speeds_up_bgv(self):
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        runs = framework.compare(bgv_hmult_blocks(L, AUX, D), P.degree)
+        gpu = runs["gpu"].report
+        pim = runs["pim"].report
+        assert pim.total_time < gpu.total_time
+        assert 1.0 < gpu.total_time / pim.total_time < 2.5
+
+    def test_bfv_multiplication_is_near_breakeven(self):
+        """A scheme-dependent finding: BFV's scale-invariant multiply is
+        dominated by basis-extension (I)NTT/BConv compute, so a single
+        multiplication gains little from PIM — consistent with the
+        paper's caveat that "thorough analyses for these schemes must
+        precede" (§VIII-C)."""
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        runs = framework.compare(bfv_hmult_blocks(L, AUX, D), P.degree)
+        gpu = runs["gpu"].report
+        pim = runs["pim"].report
+        ratio = gpu.total_time / pim.total_time
+        assert 0.9 < ratio < 1.3
+        # The compute share explains it.
+        modswitch = (gpu.category_share(OpCategory.NTT)
+                     + gpu.category_share(OpCategory.BCONV))
+        assert modswitch > 0.7
+
+
+class TestTfheTrace:
+    def test_gate_bootstrap_builds(self):
+        params = TfheParams(lwe_dimension=16)   # shortened for the test
+        trace = lower(tfhe_gate_bootstrap_blocks(params), params.degree,
+                      GPU_ALL_FUSE)
+        assert len(trace) == 16 * 6
+
+    def test_ggsw_mac_offloads_as_paccum(self):
+        params = TfheParams(lwe_dimension=8)
+        trace = lower(tfhe_gate_bootstrap_blocks(params), params.degree,
+                      PIM_FULL)
+        paccum = [k for k in trace.pim_kernels()
+                  if k.instruction == "PAccum"]
+        assert len(paccum) == 8
+        assert all(k.fan_in == params.decomposition for k in paccum)
+
+    def test_pipelining_headroom_is_marginal_for_anaheim(self):
+        """§V-C: once element-wise work shrinks, pipelining GPU and PIM
+        kernels would buy little — checked on a real hybrid schedule."""
+        from repro.workloads.bootstrap_trace import bootstrap_blocks
+        blocks, _ = bootstrap_blocks(P)
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        report = framework.run(blocks, P.degree, PIM_FULL).report
+        headroom = report.pipelining_headroom()
+        assert 1.0 <= headroom < 1.35

@@ -1,0 +1,139 @@
+"""Tests for workload trace builders: basic functions, transforms, boot."""
+
+import pytest
+
+from repro.core.fusion import GPU_ALL_FUSE, lower
+from repro.core.trace import OpCategory
+from repro.params import paper_params, params_for_dnum
+from repro.workloads.basic_functions import (BASIC_FUNCTIONS, hmult_blocks,
+                                             hrot_blocks)
+from repro.workloads.bootstrap_trace import (bootstrap_blocks,
+                                             factor_diagonals, t_boot_eff)
+from repro.workloads.linear_transform_trace import (bsgs_split,
+                                                    count_ntt_limbs,
+                                                    transform_blocks)
+
+P = paper_params()
+N = P.degree
+L, AUX, D = P.level_count, P.aux_count, P.dnum
+
+
+class TestBasicFunctions:
+    def test_all_four_build(self):
+        for name, factory in BASIC_FUNCTIONS.items():
+            blocks = factory(L, AUX, D)
+            trace = lower(blocks, N, GPU_ALL_FUSE)
+            assert len(trace) > 0
+
+    def test_hmult_has_all_phases(self):
+        trace = lower(hmult_blocks(L, AUX, D), N, GPU_ALL_FUSE)
+        categories = {k.category for k in trace.gpu_kernels()}
+        assert OpCategory.NTT in categories
+        assert OpCategory.BCONV in categories
+        assert OpCategory.ELEMENTWISE in categories
+
+    def test_hrot_has_automorphism(self):
+        trace = lower(hrot_blocks(L, AUX, D), N, GPU_ALL_FUSE)
+        assert trace.count(OpCategory.AUTOMORPHISM) == 1
+
+    def test_hadd_is_single_elementwise(self):
+        trace = lower(BASIC_FUNCTIONS["HADD"](L, AUX, D), N, GPU_ALL_FUSE)
+        assert len(trace) == 1
+        assert trace.kernels[0].category == OpCategory.ELEMENTWISE
+
+
+class TestLinearTransform:
+    def test_bsgs_split(self):
+        baby, giant = bsgs_split(63)
+        assert baby * giant >= 63
+        assert abs(baby - giant) <= 1
+
+    def test_minks_uses_single_evk(self):
+        _, base_stats = transform_blocks(L, AUX, D, 16, method="base")
+        _, minks_stats = transform_blocks(L, AUX, D, 16, method="minks")
+        assert minks_stats.evk_count == 2
+        assert base_stats.evk_count > 1
+
+    def test_minks_compute_equals_base(self):
+        # §III-B: "MinKS does not alter the amount of computation".
+        base_blocks, _ = transform_blocks(L, AUX, D, 16, method="base")
+        minks_blocks, _ = transform_blocks(L, AUX, D, 16, method="minks")
+        base_ops = lower(base_blocks, N, GPU_ALL_FUSE).total_mod_ops()
+        minks_ops = lower(minks_blocks, N, GPU_ALL_FUSE).total_mod_ops()
+        assert base_ops == pytest.approx(minks_ops)
+
+    def test_hoisting_reduces_ntt_count(self):
+        # Fig. 1 table: hoisting cuts the (I)NTT count substantially
+        # (2.47x for the full CoeffToSlot).
+        base_blocks, _ = transform_blocks(L, AUX, D, 63, method="base")
+        hoist_blocks, _ = transform_blocks(L, AUX, D, 63, method="hoist")
+        base_ntt = count_ntt_limbs(base_blocks, N)
+        hoist_ntt = count_ntt_limbs(hoist_blocks, N)
+        assert 1.5 < base_ntt / hoist_ntt < 4.0
+
+    def test_hoisting_uses_larger_plaintexts(self):
+        # Fig. 1 table: hoisting's plaintexts live in the extended
+        # modulus PQ.
+        _, base_stats = transform_blocks(L, AUX, D, 63, method="base")
+        _, hoist_stats = transform_blocks(L, AUX, D, 63, method="hoist")
+        assert hoist_stats.plaintext_limbs > base_stats.plaintext_limbs
+
+    def test_reorder_removes_per_rotation_automorphism(self):
+        # §V-B: reordering eliminates 2K extra reads and writes.
+        reordered, _ = transform_blocks(L, AUX, D, 30, method="hoist",
+                                        reorder=True)
+        original, _ = transform_blocks(L, AUX, D, 30, method="hoist",
+                                       reorder=False)
+        t_reordered = lower(reordered, N, GPU_ALL_FUSE)
+        t_original = lower(original, N, GPU_ALL_FUSE)
+        aut_bytes = lambda t: sum(
+            k.total_bytes for k in t.gpu_kernels()
+            if k.category == OpCategory.AUTOMORPHISM)
+        assert aut_bytes(t_original) > aut_bytes(t_reordered)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            transform_blocks(L, AUX, D, 8, method="alien")
+
+
+class TestBootstrapTrace:
+    def test_default_level_schedule(self):
+        # "L changes as 2 -> 54 -> 24 during bootstrapping. L_eff = 11."
+        _, meta = bootstrap_blocks(P)
+        assert meta.level_out == 24
+        assert meta.l_eff == 11
+
+    def test_factor_diagonals_shrink_with_fft_iter(self):
+        diags = [factor_diagonals(2 ** 15, f) for f in (3, 4, 5, 6)]
+        assert diags == sorted(diags, reverse=True)
+
+    def test_higher_fft_iter_lowers_l_eff(self):
+        # Fig. 3: each fftIter increase drops L_eff.
+        effs = []
+        for fft in (3, 4, 5, 6):
+            _, meta = bootstrap_blocks(P, fft_iter_cts=fft, fft_iter_stc=fft)
+            effs.append(meta.l_eff)
+        assert effs == sorted(effs, reverse=True)
+        assert effs[0] > effs[-1]
+
+    def test_evk_count_scale(self):
+        _, meta = bootstrap_blocks(P)
+        # Dozens of evks per linear transform collection (§II-C).
+        assert 30 < meta.evk_count < 200
+
+    def test_sparse_slots_reduce_work(self):
+        full, _ = bootstrap_blocks(P)
+        sparse, _ = bootstrap_blocks(P, slot_count=256)
+        full_ops = lower(full, N, GPU_ALL_FUSE).total_mod_ops()
+        sparse_ops = lower(sparse, N, GPU_ALL_FUSE).total_mod_ops()
+        assert sparse_ops < full_ops
+
+    def test_t_boot_eff(self):
+        _, meta = bootstrap_blocks(P)
+        assert t_boot_eff(0.033, meta) == pytest.approx(0.003)
+
+    def test_dnum_sweep_feasible(self):
+        for dnum in (2, 3, 4):
+            params = params_for_dnum(dnum)
+            _, meta = bootstrap_blocks(params)
+            assert meta.l_eff >= 1
