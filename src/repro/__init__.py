@@ -29,6 +29,7 @@ from repro.core.framework import AnaheimFramework
 from repro.core.fusion import LoweringOptions
 from repro.core.scheduler import ScheduleReport, Scheduler
 from repro.gpu.configs import A100_80GB, CHEDDAR, GPUS, LIBRARIES, RTX_4090
+from repro.obs.tracer import Tracer
 from repro.params import CkksParams, PaperParams, paper_params, toy_params
 from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK, PIM_CONFIGS,
                                RTX4090_NEAR_BANK)
@@ -51,6 +52,7 @@ __all__ = [
     "RTX_4090",
     "ScheduleReport",
     "Scheduler",
+    "Tracer",
     "paper_params",
     "toy_params",
 ]

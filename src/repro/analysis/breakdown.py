@@ -31,6 +31,8 @@ def breakdown_row(label: str, report: ScheduleReport) -> BreakdownRow:
 def merge_reports(reports, label: str = "") -> ScheduleReport:
     """Sum several schedule reports into one (sequential composition)."""
     reports = list(reports)
+    if not reports:
+        return ScheduleReport(label=label)
     merged = reports[0].scaled(1.0)
     merged.label = label or merged.label
     for report in reports[1:]:

@@ -5,8 +5,12 @@ Usage examples::
     anaheim-repro list
     anaheim-repro run --workload Boot --gpu a100 --pim near-bank
     anaheim-repro run --workload HELR --gpu rtx4090 --breakdown
+    anaheim-repro run --workload Boot --json --trace-out trace.json
     anaheim-repro gantt --rotations 8
     anaheim-repro microbench --buffer 16
+    anaheim-repro profile --workload HELR
+    anaheim-repro bench --workload Boot --dir baselines
+    anaheim-repro bench --workload Boot --dir baselines --check
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -14,14 +18,23 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.reporting import (format_ratio, format_seconds,
                                       format_table)
 from repro.core.framework import AnaheimFramework
 from repro.core.gantt import render_breakdown, render_gantt
-from repro.core.trace import PimKernel
+from repro.core.scheduler import ScheduleReport, Segment
+from repro.core.trace import OpCategory, PimKernel
 from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
+from repro.obs.baseline import (baseline_path, check_baseline, load_baseline,
+                                write_baseline)
+from repro.obs.export import (chrome_trace_from_report,
+                              chrome_trace_from_tracer, merge_traces,
+                              report_dict, run_manifest, write_json)
+from repro.obs.profile import render_counters, render_span_tree
+from repro.obs.tracer import Tracer
 from repro.params import paper_params
 from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK,
                                RTX4090_NEAR_BANK, with_buffer)
@@ -45,6 +58,49 @@ def _pim_for(gpu_name: str, pim_name: str):
     return table[key]
 
 
+# -- Observability plumbing shared by the subcommands --------------------------
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit results as JSON on stdout")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace-event file "
+                             "(load in Perfetto / chrome://tracing)")
+    parser.add_argument("--manifest", metavar="FILE",
+                        help="write a full JSON run manifest "
+                             "(configs, provenance, all report metrics)")
+
+
+def _write_artifact(path, document, kind: str, quiet: bool) -> None:
+    try:
+        write_json(path, document)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {kind} to {path}: {exc}")
+    if not quiet:
+        print(f"wrote {kind} to {path}")
+
+
+def _emit_artifacts(args, trace_doc=None, manifest=None) -> None:
+    quiet = getattr(args, "json", False)
+    if getattr(args, "trace_out", None) and trace_doc is not None:
+        _write_artifact(args.trace_out, trace_doc, "trace", quiet)
+    if getattr(args, "manifest", None) and manifest is not None:
+        _write_artifact(args.manifest, manifest, "manifest", quiet)
+
+
+def _check_memory(workload, gpu, quiet: bool = False) -> bool:
+    if workload.memory.fits(gpu.dram_capacity):
+        return True
+    if not quiet:
+        print(f"{workload.name} needs {workload.memory.describe()} but "
+              f"{gpu.name} has {gpu.dram_capacity / 1e9:.0f}GB: OoM")
+    return False
+
+
+# -- Subcommands ---------------------------------------------------------------
+
+
 def cmd_list(_args) -> int:
     rows = []
     params = paper_params()
@@ -62,15 +118,27 @@ def cmd_run(args) -> int:
     gpu = GPUS[args.gpu]
     params = paper_params()
     workload = apps.build(args.workload, params)
-    if not workload.memory.fits(gpu.dram_capacity):
-        print(f"{args.workload} needs {workload.memory.describe()} but "
-              f"{gpu.name} has {gpu.dram_capacity / 1e9:.0f}GB: OoM")
+    if not _check_memory(workload, gpu):
         return 1
     library = LIBRARIES[args.library]
+    keep = args.trace_out is not None
     if args.pim == "none":
-        framework = AnaheimFramework(gpu, library=library)
-        report = framework.run(workload.blocks, params.degree,
-                               label=args.workload).report
+        framework = AnaheimFramework(gpu, library=library,
+                                     keep_segments=keep)
+        result = framework.run(workload.blocks, params.degree,
+                               label=args.workload)
+        report = result.report
+        manifest = run_manifest(report, gpu=gpu, pim=None, library=library,
+                                options=result.options,
+                                workload=args.workload,
+                                degree=params.degree)
+        _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
+                        manifest=manifest)
+        if args.json:
+            print(json.dumps({"workload": args.workload, "gpu": gpu.name,
+                              "pim": None, "library": args.library,
+                              "report": report_dict(report)}, indent=2))
+            return 0
         print(f"{args.workload} on {gpu.name} ({args.library}): "
               f"{format_seconds(report.total_time)}, "
               f"{report.energy:.2f}J")
@@ -78,10 +146,27 @@ def cmd_run(args) -> int:
             print(render_breakdown({args.workload: report}))
         return 0
     pim = _pim_for(args.gpu, args.pim)
-    framework = AnaheimFramework(gpu, pim, library=library)
+    framework = AnaheimFramework(gpu, pim, library=library,
+                                 keep_segments=keep)
     runs = framework.compare(workload.blocks, params.degree,
                              label=args.workload)
     base, anaheim = runs["gpu"].report, runs["pim"].report
+    trace_doc = merge_traces(chrome_trace_from_report(base, pid=0),
+                             chrome_trace_from_report(anaheim, pid=1))
+    manifest = run_manifest(anaheim, gpu=gpu, pim=pim, library=library,
+                            options=runs["pim"].options,
+                            workload=args.workload, degree=params.degree,
+                            extra={"baseline_report": report_dict(base)})
+    _emit_artifacts(args, trace_doc=trace_doc, manifest=manifest)
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload, "gpu": gpu.name, "pim": pim.name,
+            "library": args.library,
+            "baseline": report_dict(base),
+            "anaheim": report_dict(anaheim),
+            "edp_gain": edp_improvement(base, anaheim),
+        }, indent=2))
+        return 0
     rows = [
         ["baseline GPU", format_seconds(base.total_time),
          f"{base.energy:.2f}J", "-"],
@@ -104,9 +189,19 @@ def cmd_gantt(args) -> int:
                            params.dnum, rotations=args.rotations)
     framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
                                  keep_segments=True)
-    report = framework.run(blocks, params.degree,
-                           label=f"hoisted transform K={args.rotations}"
-                           ).report
+    result = framework.run(blocks, params.degree,
+                           label=f"hoisted transform K={args.rotations}")
+    report = result.report
+    manifest = run_manifest(report, gpu=A100_80GB, pim=A100_NEAR_BANK,
+                            options=result.options,
+                            workload=f"hoisted-transform-K{args.rotations}",
+                            degree=params.degree)
+    _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
+                    manifest=manifest)
+    if args.json:
+        print(json.dumps({"report": report_dict(report, segments=True)},
+                         indent=2))
+        return 0
     print(render_gantt(report, width=args.width))
     print("  [N=(I)NTT  B=BConv  e=element-wise  A=automorphism  "
           "w=write-back  P=PIM]")
@@ -119,12 +214,16 @@ def cmd_microbench(args) -> int:
     config = with_buffer(A100_NEAR_BANK, args.buffer)
     executor = PimExecutor(config)
     rows = []
+    records = []
+    report = ScheduleReport(label=f"{config.name} microbench B={args.buffer}")
+    clock = 0.0
     from repro.pim import isa
     for name in sorted(isa.INSTRUCTIONS):
         inst = isa.instruction(name)
         fan_in = 4 if inst.compound else 1
         if not executor.supports(name, fan_in):
             rows.append([name, "unsupported", "-", "-"])
+            records.append({"instruction": name, "supported": False})
             continue
         kernel = PimKernel(name=name, instruction=name, limbs=limbs,
                            degree=params.degree, fan_in=fan_in)
@@ -132,10 +231,122 @@ def cmd_microbench(args) -> int:
         rows.append([name, format_seconds(cost.time),
                      f"{cost.energy * 1e3:.2f}mJ",
                      f"{cost.activations}"])
+        records.append({"instruction": name, "supported": True,
+                        "time": cost.time, "energy": cost.energy,
+                        "activations": cost.activations,
+                        "internal_bytes": cost.internal_bytes})
+        report.segments.append(Segment(
+            start=clock, end=clock + cost.time, device="pim",
+            name=name, category=OpCategory.ELEMENTWISE))
+        clock += cost.time
+        report.pim_time += cost.time
+        report.energy_pim += cost.energy
+    report.total_time = clock
+    manifest = run_manifest(report, pim=config,
+                            workload=f"microbench-B{args.buffer}",
+                            degree=params.degree,
+                            extra={"instructions": records})
+    _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
+                    manifest=manifest)
+    if args.json:
+        print(json.dumps({"config": config.name, "buffer": args.buffer,
+                          "limbs": limbs, "instructions": records},
+                         indent=2))
+        return 0
     print(format_table(["instruction", "time", "energy", "ACT pairs"],
                        rows, title=f"{config.name}, B={args.buffer}, "
                                    f"{limbs} limbs"))
     return 0
+
+
+def _bench_framework(args):
+    """(framework, pim-or-None, workload) for bench/profile runs."""
+    gpu = GPUS[args.gpu]
+    params = paper_params()
+    workload = apps.build(args.workload, params)
+    if not _check_memory(workload, gpu):
+        return None
+    library = LIBRARIES[args.library]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    framework = AnaheimFramework(
+        gpu, pim, library=library,
+        keep_segments=getattr(args, "trace_out", None) is not None,
+        tracer=getattr(args, "_tracer", None))
+    return framework, pim, workload, params
+
+
+def cmd_bench(args) -> int:
+    built = _bench_framework(args)
+    if built is None:
+        return 1
+    framework, pim, workload, params = built
+    report = framework.run(workload.blocks, params.degree,
+                           label=args.workload).report
+    config = {"gpu": framework.gpu.name,
+              "pim": pim.name if pim else None,
+              "library": args.library}
+    if args.check:
+        path = baseline_path(args.dir, args.workload)
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro bench "
+                  f"--workload {args.workload}` first")
+            return 2
+        baseline = load_baseline(args.dir, args.workload)
+        regressions = check_baseline(baseline, report,
+                                     tolerance=args.tolerance)
+        if regressions:
+            print(f"{args.workload}: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"{args.workload}: all metrics within ±{args.tolerance:.0%} "
+              f"of {path}")
+        return 0
+    path = write_baseline(args.dir, args.workload, report, config=config)
+    print(f"wrote baseline {path} "
+          f"(total {format_seconds(report.total_time)}, "
+          f"{report.energy:.2f}J)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    tracer = Tracer()
+    args._tracer = tracer
+    built = _bench_framework(args)
+    if built is None:
+        return 1
+    framework, pim, workload, params = built
+    report = framework.run(workload.blocks, params.degree,
+                           label=args.workload).report
+    target = f"{framework.gpu.name}" + (f" + {pim.name}" if pim else "")
+    print(f"{args.workload} on {target}: simulated "
+          f"{format_seconds(report.total_time)}, modeled in "
+          f"{format_seconds(tracer.total_time())} wall clock")
+    print()
+    print(render_span_tree(tracer))
+    print()
+    print(render_counters(tracer))
+    if args.trace_out:
+        print()
+        _write_artifact(args.trace_out,
+                        merge_traces(chrome_trace_from_tracer(tracer),
+                                     chrome_trace_from_report(report)),
+                        "trace", quiet=False)
+    return 0
+
+
+# -- Parser --------------------------------------------------------------------
+
+
+def _add_target_flags(parser, default_pim: str = "near-bank") -> None:
+    parser.add_argument("--workload", required=True,
+                        choices=sorted(apps.WORKLOADS))
+    parser.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    parser.add_argument("--pim", default=default_pim,
+                        choices=["near-bank", "custom-hbm", "none"])
+    parser.add_argument("--library", default="Cheddar",
+                        choices=sorted(LIBRARIES))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,31 +358,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the evaluation workloads")
 
     run = sub.add_parser("run", help="model a workload on a configuration")
-    run.add_argument("--workload", required=True,
-                     choices=sorted(apps.WORKLOADS))
-    run.add_argument("--gpu", default="a100", choices=sorted(GPUS))
-    run.add_argument("--pim", default="near-bank",
-                     choices=["near-bank", "custom-hbm", "none"])
-    run.add_argument("--library", default="Cheddar",
-                     choices=sorted(LIBRARIES))
+    _add_target_flags(run)
     run.add_argument("--breakdown", action="store_true",
                      help="print the per-category time breakdown")
+    _add_obs_flags(run)
 
     gantt = sub.add_parser("gantt",
                            help="Gantt chart of a hoisted linear transform")
     gantt.add_argument("--rotations", type=int, default=8)
     gantt.add_argument("--width", type=int, default=100)
+    _add_obs_flags(gantt)
 
     micro = sub.add_parser("microbench",
                            help="per-instruction PIM cost table")
     micro.add_argument("--buffer", type=int, default=16)
+    _add_obs_flags(micro)
+
+    bench = sub.add_parser(
+        "bench", help="write or check a BENCH_<workload>.json baseline")
+    _add_target_flags(bench)
+    bench.add_argument("--dir", default=".",
+                       help="directory holding baseline files")
+    bench.add_argument("--check", action="store_true",
+                       help="compare a fresh run against the stored "
+                            "baseline; exit nonzero on regression")
+    bench.add_argument("--tolerance", type=float, default=0.02,
+                       help="relative tolerance per metric (default 0.02)")
+
+    profile = sub.add_parser(
+        "profile", help="span-tree wall-clock profile of one modeled run")
+    _add_target_flags(profile)
+    profile.add_argument("--trace-out", metavar="FILE",
+                         help="also write wall-clock spans + simulated "
+                              "schedule as a Chrome trace file")
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
-                "microbench": cmd_microbench}
+                "microbench": cmd_microbench, "bench": cmd_bench,
+                "profile": cmd_profile}
     return handlers[args.command](args)
 
 

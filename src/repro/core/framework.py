@@ -16,6 +16,7 @@ from repro.core.scheduler import ScheduleReport, Scheduler
 from repro.gpu.cache import CacheModel
 from repro.gpu.configs import CHEDDAR, GpuConfig, LibraryProfile
 from repro.gpu.model import GpuModel
+from repro.obs.tracer import maybe_span
 from repro.pim.configs import PimConfig
 from repro.pim.executor import PimExecutor
 
@@ -34,12 +35,15 @@ class AnaheimFramework:
     def __init__(self, gpu: GpuConfig, pim: PimConfig | None = None,
                  library: LibraryProfile = CHEDDAR,
                  working_set_bytes: float = 0.0,
-                 keep_segments: bool = False):
+                 keep_segments: bool = False,
+                 tracer=None):
         self.gpu = gpu
         self.pim = pim
         self.library = library
-        self.gpu_model = GpuModel(gpu, library)
-        self.pim_executor = PimExecutor(pim) if pim is not None else None
+        self.tracer = tracer
+        self.gpu_model = GpuModel(gpu, library, tracer=tracer)
+        self.pim_executor = (PimExecutor(pim, tracer=tracer)
+                             if pim is not None else None)
         self.cache = CacheModel(l2_bytes=gpu.l2_cache_bytes,
                                 working_set_bytes=working_set_bytes)
         self.keep_segments = keep_segments
@@ -58,11 +62,18 @@ class AnaheimFramework:
             options = self.default_options()
         if options.offload and self.pim_executor is None:
             raise ValueError("offloading requested without a PIM device")
-        trace = lower(blocks, degree, options, label=label)
-        scheduler = Scheduler(self.gpu_model, self.pim_executor,
-                              cache=self.cache,
-                              keep_segments=self.keep_segments)
-        report = scheduler.run(trace)
+        with maybe_span(self.tracer, "framework.run", label=label,
+                        options=options.describe()):
+            with maybe_span(self.tracer, "framework.lower"):
+                trace = lower(blocks, degree, options, label=label,
+                              tracer=self.tracer)
+            scheduler = Scheduler(self.gpu_model, self.pim_executor,
+                                  cache=self.cache,
+                                  keep_segments=self.keep_segments,
+                                  tracer=self.tracer)
+            with maybe_span(self.tracer, "framework.schedule",
+                            kernels=len(trace)):
+                report = scheduler.run(trace)
         return ExecutionResult(report=report, options=options)
 
     def compare(self, blocks, degree: int, label: str = "") -> dict:
@@ -70,7 +81,7 @@ class AnaheimFramework:
         baseline = AnaheimFramework(
             self.gpu, pim=None, library=self.library,
             working_set_bytes=self.cache.working_set_bytes,
-            keep_segments=self.keep_segments)
+            keep_segments=self.keep_segments, tracer=self.tracer)
         out = {"gpu": baseline.run(blocks, degree, GPU_ALL_FUSE,
                                    label=f"{label} (GPU)")}
         if self.pim is not None:

@@ -72,19 +72,31 @@ PIM_NO_CP = LoweringOptions(basic_fuse=True, aut_fuse=True, offload=True,
 class Lowering:
     """Lowers block lists for one parameter set and option level."""
 
-    def __init__(self, degree: int, options: LoweringOptions):
+    def __init__(self, degree: int, options: LoweringOptions, tracer=None):
         self.degree = degree
         self.options = options
+        self.tracer = tracer
 
     # -- Entry point -----------------------------------------------------------
 
     def lower(self, blocks, label: str = "") -> Trace:
         trace = Trace(label=label)
+        tracer = self.tracer
         for block in blocks:
             handler = getattr(self, f"_lower_{block.kind}", None)
             if handler is None:
                 raise ParameterError(f"unknown block kind {block.kind!r}")
-            trace.extend(handler(block))
+            if tracer is None:
+                trace.extend(handler(block))
+                continue
+            with tracer.span(f"lower.{block.kind}", limbs=block.limbs):
+                kernels = handler(block)
+            tracer.count("lower.blocks")
+            tracer.count(f"lower.blocks.{block.kind}")
+            for kernel in kernels:
+                device = "pim" if isinstance(kernel, PimKernel) else "gpu"
+                tracer.count(f"lower.kernels.{device}")
+            trace.extend(kernels)
         return trace
 
     # -- Element-wise emission (GPU kernel or PIM instruction) ------------------
@@ -276,6 +288,6 @@ class Lowering:
 
 
 def lower(blocks, degree: int, options: LoweringOptions,
-          label: str = "") -> Trace:
+          label: str = "", tracer=None) -> Trace:
     """Convenience wrapper: lower a block list into a kernel trace."""
-    return Lowering(degree, options).lower(blocks, label=label)
+    return Lowering(degree, options, tracer=tracer).lower(blocks, label=label)

@@ -4,14 +4,21 @@ from __future__ import annotations
 
 from repro.core.scheduler import ScheduleReport
 
-#: Glyph per (device, category) for the chart body.
+#: Glyph per (device, category) for the chart body.  Every
+#: :class:`~repro.core.trace.OpCategory` is mapped on both devices
+#: (uppercase = GPU, lowercase = PIM, with P kept for the dominant
+#: PIM element-wise kernels) so no schedule ever renders as ``?``.
 _GLYPHS = {
     ("gpu", "ntt"): "N",
     ("gpu", "bconv"): "B",
     ("gpu", "elementwise"): "e",
     ("gpu", "automorphism"): "A",
     ("gpu", "transfer"): "w",
+    ("pim", "ntt"): "n",
+    ("pim", "bconv"): "b",
     ("pim", "elementwise"): "P",
+    ("pim", "automorphism"): "a",
+    ("pim", "transfer"): "t",
 }
 
 
@@ -45,6 +52,8 @@ def render_gantt(report: ScheduleReport, width: int = 100) -> str:
 def render_breakdown(reports: dict, unit: float = 1e-3,
                      unit_label: str = "ms") -> str:
     """Tabular per-category time breakdown for several reports."""
+    if not reports:
+        return "(no reports to break down)"
     categories = []
     for report in reports.values():
         for label in report.breakdown():

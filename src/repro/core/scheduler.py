@@ -136,18 +136,40 @@ class Scheduler:
     def __init__(self, gpu_model: GpuModel,
                  pim_executor: PimExecutor | None = None,
                  cache: CacheModel | None = None,
-                 keep_segments: bool = True):
+                 keep_segments: bool = True,
+                 tracer=None):
         self.gpu_model = gpu_model
         self.pim_executor = pim_executor
         self.cache = cache or CacheModel(
             l2_bytes=gpu_model.config.l2_cache_bytes)
         self.keep_segments = keep_segments
+        self.tracer = tracer
+
+    # -- Per-kernel dispatch (split out so tracing wraps one call) ----------
+
+    def _dispatch_pim(self, kernel: PimKernel, report: ScheduleReport) -> float:
+        cost = self.pim_executor.cost(kernel)
+        report.pim_time += cost.time
+        report.pim_internal_bytes += cost.internal_bytes
+        report.pim_activations += cost.activations
+        report.energy_pim += cost.energy
+        return cost.time
+
+    def _dispatch_gpu(self, kernel: GpuKernel, report: ScheduleReport) -> float:
+        dram = self.cache.dram_bytes(kernel)
+        cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
+        report.gpu_time += cost.time
+        report.gpu_dram_bytes += cost.dram_bytes
+        report.energy_gpu_dynamic += self.gpu_model.kernel_energy(
+            kernel, cost)
+        return cost.time
 
     def run(self, trace: Trace) -> ScheduleReport:
         report = ScheduleReport(label=trace.label)
         clock = 0.0
         previous_device = None
         overhead = self.gpu_model.config.pim_transition_overhead
+        tracer = self.tracer
         for kernel in trace:
             if isinstance(kernel, PimKernel):
                 if self.pim_executor is None:
@@ -155,25 +177,23 @@ class Scheduler:
                         "trace contains PIM kernels but no PIM executor "
                         "was provided")
                 device = "pim"
-                cost = self.pim_executor.cost(kernel)
-                duration = cost.time
-                report.pim_time += duration
-                report.pim_internal_bytes += cost.internal_bytes
-                report.pim_activations += cost.activations
-                report.energy_pim += cost.energy
+                dispatch = self._dispatch_pim
             else:
                 device = "gpu"
-                dram = self.cache.dram_bytes(kernel)
-                cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
-                duration = cost.time
-                report.gpu_time += duration
-                report.gpu_dram_bytes += cost.dram_bytes
-                report.energy_gpu_dynamic += self.gpu_model.kernel_energy(
-                    kernel, cost)
+                dispatch = self._dispatch_gpu
+            if tracer is None:
+                duration = dispatch(kernel, report)
+            else:
+                name = f"dispatch.{device}.{kernel.category.value}"
+                with tracer.span(name, kernel=kernel.name):
+                    duration = dispatch(kernel, report)
+                tracer.count(f"scheduler.kernels.{device}")
             if previous_device is not None and previous_device != device:
                 clock += overhead
                 report.transition_time += overhead
                 report.transitions += 1
+                if tracer is not None:
+                    tracer.count("scheduler.transitions")
             start = clock
             clock += duration
             report.time_by_category[kernel.category] = (

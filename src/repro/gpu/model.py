@@ -33,9 +33,11 @@ class KernelCost:
 class GpuModel:
     """Costs GPU kernels against a :class:`GpuConfig` and library profile."""
 
-    def __init__(self, config: GpuConfig, library: LibraryProfile = CHEDDAR):
+    def __init__(self, config: GpuConfig, library: LibraryProfile = CHEDDAR,
+                 tracer=None):
         self.config = config
         self.library = library
+        self.tracer = tracer
 
     # -- Calibrated sustained rates -------------------------------------------
 
@@ -84,6 +86,10 @@ class GpuModel:
         bw = cfg.dram_bandwidth * self._bandwidth_efficiency(kernel.category)
         memory_time = dram_bytes / bw if dram_bytes else 0.0
         time = max(compute_time, memory_time) + cfg.kernel_launch_overhead
+        if self.tracer is not None:
+            self.tracer.count("gpu.kernel_costs")
+            self.tracer.count(f"gpu.kernel_costs.{kernel.category.value}")
+            self.tracer.count("gpu.dram_bytes", dram_bytes)
         return KernelCost(time=time, compute_time=compute_time,
                           memory_time=memory_time, dram_bytes=dram_bytes)
 

@@ -1,0 +1,51 @@
+"""Observability: tracing, exporters, run manifests, and baselines.
+
+This package makes runs of the reproduction *measurable*:
+
+* :mod:`repro.obs.tracer` — a lightweight span/counter tracer threaded
+  through lowering, scheduling, and the device cost models (opt-in:
+  every instrumented call site is a single ``is None`` check when
+  tracing is off).
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) generated from tracer spans or from
+  a :class:`~repro.core.scheduler.ScheduleReport`'s simulated Gantt
+  segments, plus a full JSON run manifest with config provenance.
+* :mod:`repro.obs.baseline` — ``BENCH_<workload>.json`` performance
+  baselines and a tolerance-based regression check.
+* :mod:`repro.obs.profile` — aggregated span-tree rendering with
+  self/cumulative times (the ``anaheim-repro profile`` output).
+* :mod:`repro.obs.provenance` — git SHA, environment, and dataclass
+  serialization helpers used by the manifest.
+"""
+
+from repro.obs.baseline import (BaselineRegression, baseline_metrics,
+                                baseline_path, check_baseline, load_baseline,
+                                write_baseline)
+from repro.obs.export import (chrome_trace_from_report,
+                              chrome_trace_from_tracer, report_dict,
+                              run_manifest, write_json)
+from repro.obs.profile import render_counters, render_span_tree
+from repro.obs.provenance import config_dict, environment_info, git_sha
+from repro.obs.tracer import Span, Tracer, maybe_span
+
+__all__ = [
+    "BaselineRegression",
+    "Span",
+    "Tracer",
+    "baseline_metrics",
+    "baseline_path",
+    "check_baseline",
+    "chrome_trace_from_report",
+    "chrome_trace_from_tracer",
+    "config_dict",
+    "environment_info",
+    "git_sha",
+    "load_baseline",
+    "maybe_span",
+    "render_counters",
+    "render_span_tree",
+    "report_dict",
+    "run_manifest",
+    "write_baseline",
+    "write_json",
+]

@@ -1,0 +1,96 @@
+"""Performance baselines and regression checking.
+
+``anaheim-repro bench`` writes one ``BENCH_<workload>.json`` per
+workload/configuration; ``anaheim-repro bench --check`` re-runs the
+model and compares every recorded metric against the baseline with a
+relative tolerance, exiting nonzero on regression.  Because the
+performance model is deterministic, an unchanged tree reproduces its
+baseline exactly — any drift is a real modeling change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.scheduler import ScheduleReport
+from repro.obs.provenance import environment_info
+
+#: Metrics recorded in a baseline and compared by ``check``.
+BASELINE_METRICS = ("total_time", "gpu_time", "pim_time",
+                    "transition_time", "energy", "edp", "gpu_dram_bytes")
+
+
+@dataclass(frozen=True)
+class BaselineRegression:
+    """One metric outside tolerance."""
+
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return (f"{self.metric}: baseline {self.baseline:.6g} -> "
+                f"current {self.current:.6g} ({self.ratio:+.2%} of baseline, "
+                f"tolerance ±{self.tolerance:.0%})".replace("+", ""))
+
+
+def baseline_path(directory, workload: str) -> Path:
+    return Path(directory) / f"BENCH_{workload}.json"
+
+
+def baseline_metrics(report: ScheduleReport) -> dict:
+    return {name: getattr(report, name) if hasattr(report, name)
+            else None for name in BASELINE_METRICS}
+
+
+def write_baseline(directory, workload: str, report: ScheduleReport,
+                   config: dict | None = None) -> Path:
+    path = baseline_path(directory, workload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "workload": workload,
+        "config": config or {},
+        "environment": environment_info(),
+        "metrics": baseline_metrics(report),
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(directory, workload: str) -> dict:
+    with open(baseline_path(directory, workload)) as fh:
+        return json.load(fh)
+
+
+def check_baseline(baseline: dict, report: ScheduleReport,
+                   tolerance: float = 0.02) -> list:
+    """Regressions of ``report`` against a stored baseline.
+
+    A metric regresses when it deviates from the baseline by more than
+    ``tolerance`` *in either direction* — an unexplained speedup is as
+    suspicious as a slowdown in a deterministic model.
+    """
+    current = baseline_metrics(report)
+    regressions = []
+    for metric, reference in baseline.get("metrics", {}).items():
+        value = current.get(metric)
+        if value is None or reference is None:
+            continue
+        if reference == 0:
+            deviation = 0.0 if value == 0 else float("inf")
+        else:
+            deviation = abs(value - reference) / abs(reference)
+        if deviation > tolerance:
+            regressions.append(BaselineRegression(
+                metric=metric, baseline=reference, current=value,
+                tolerance=tolerance))
+    return regressions

@@ -1,0 +1,146 @@
+"""Exporters: Chrome trace-event JSON and the run manifest.
+
+Two timelines can be exported in the trace-event format that
+``chrome://tracing`` and Perfetto load:
+
+* the **simulated** schedule — every
+  :class:`~repro.core.scheduler.Segment` of a
+  :class:`~repro.core.scheduler.ScheduleReport` becomes a complete
+  (``ph="X"``) event on a GPU or PIM track, so the paper's Gantt chart
+  (Fig. 4a) is browsable interactively;
+* the **wall-clock** tracer spans — where the reproduction itself
+  spends time (lowering, scheduling, cost models).
+
+The run manifest is a single JSON document carrying full provenance:
+hardware/library configs, lowering options, environment, and every
+report metric (time, energy, EDP, DRAM traffic).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.scheduler import ScheduleReport
+from repro.core.trace import CATEGORY_LABELS
+from repro.obs.provenance import config_dict, environment_info
+from repro.obs.tracer import Tracer
+
+#: Trace-event thread ids per simulated device track.
+_DEVICE_TIDS = {"gpu": 1, "pim": 2}
+
+
+def _metadata_events(pid: int, process: str, threads: dict) -> list:
+    events = [{"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+               "args": {"name": process}}]
+    for tid, name in threads.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": name}})
+    return events
+
+
+def chrome_trace_from_report(report: ScheduleReport, pid: int = 0) -> dict:
+    """Trace-event document for a report's simulated Gantt segments.
+
+    Simulated seconds map to trace microseconds 1:1 (the trace-event
+    ``ts``/``dur`` unit), so durations read directly in Perfetto.
+    """
+    events = _metadata_events(
+        pid, f"simulated: {report.label or 'schedule'}",
+        {tid: device.upper() for device, tid in _DEVICE_TIDS.items()})
+    for segment in report.segments:
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": _DEVICE_TIDS.get(segment.device, 9),
+            "ts": segment.start * 1e6,
+            "dur": segment.duration * 1e6,
+            "name": segment.name,
+            "cat": segment.category.value,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_from_tracer(tracer: Tracer, pid: int = 100) -> dict:
+    """Trace-event document for the tracer's wall-clock spans."""
+    events = _metadata_events(pid, "anaheim-repro (wall clock)",
+                              {1: "main"})
+    for span in tracer.spans:
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": 1,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "name": span.name,
+            "cat": "tracer",
+            "args": config_dict(span.tags),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_traces(*documents: dict) -> dict:
+    """Concatenate several trace-event documents into one."""
+    events = []
+    for doc in documents:
+        events.extend(doc.get("traceEvents", []))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def report_dict(report: ScheduleReport, segments: bool = False) -> dict:
+    """Every metric the figures use, as plain JSON-safe values."""
+    out = {
+        "label": report.label,
+        "total_time": report.total_time,
+        "gpu_time": report.gpu_time,
+        "pim_time": report.pim_time,
+        "transition_time": report.transition_time,
+        "transitions": report.transitions,
+        "time_by_category": {CATEGORY_LABELS[cat]: seconds
+                             for cat, seconds
+                             in report.time_by_category.items()},
+        "gpu_dram_bytes": report.gpu_dram_bytes,
+        "pim_internal_bytes": report.pim_internal_bytes,
+        "pim_activations": report.pim_activations,
+        "energy_gpu_dynamic": report.energy_gpu_dynamic,
+        "energy_gpu_idle": report.energy_gpu_idle,
+        "energy_pim": report.energy_pim,
+        "energy": report.energy,
+        "edp": report.edp,
+        "pipelining_bound": report.pipelining_bound(),
+        "pipelining_headroom": report.pipelining_headroom(),
+    }
+    if segments:
+        out["segments"] = [{"start": s.start, "end": s.end,
+                            "device": s.device, "name": s.name,
+                            "category": s.category.value}
+                           for s in report.segments]
+    return out
+
+
+def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
+                 library=None, options=None, workload: str = "",
+                 degree: int | None = None, extra: dict | None = None) -> dict:
+    """Full provenance + results document for one execution."""
+    manifest = {
+        "tool": "anaheim-repro",
+        "workload": workload,
+        "degree": degree,
+        "environment": environment_info(),
+        "config": {
+            "gpu": config_dict(gpu),
+            "pim": config_dict(pim),
+            "library": config_dict(library),
+            "lowering_options": config_dict(options),
+            "lowering_level": options.describe() if options else None,
+        },
+        "report": report_dict(report),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_json(path, document: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -47,8 +47,9 @@ ZERO_COST = PimCost(0.0, 0.0, 0, 0, 0.0)
 class PimExecutor:
     """Costs :class:`PimKernel` descriptors against a :class:`PimConfig`."""
 
-    def __init__(self, config: PimConfig):
+    def __init__(self, config: PimConfig, tracer=None):
         self.config = config
+        self.tracer = tracer
 
     def supports(self, instruction: str, fan_in: int = 1) -> bool:
         """Whether the data buffer is large enough (Fig. 9: small B
@@ -114,6 +115,11 @@ class PimExecutor:
         energy = (total_acts * cfg.energy.act_energy
                   + internal_bytes * 8.0 * cfg.access_pj_per_bit() * 1e-12
                   + ops * cfg.mmac_pj_per_op * 1e-12)
+        if self.tracer is not None:
+            self.tracer.count("pim.kernel_costs")
+            self.tracer.count(f"pim.kernel_costs.{kernel.instruction}")
+            self.tracer.count("pim.activations", total_acts)
+            self.tracer.count("pim.internal_bytes", internal_bytes)
         return PimCost(time=time, energy=energy, activations=total_acts,
                        chunk_accesses=total_chunks,
                        internal_bytes=internal_bytes)

@@ -1,0 +1,107 @@
+"""Tests for the tracer threading through the execution stack."""
+
+import pytest
+
+from repro.core.framework import AnaheimFramework
+from repro.gpu.configs import A100_80GB
+from repro.obs.tracer import Tracer
+from repro.params import paper_params
+from repro.pim.configs import A100_NEAR_BANK
+from repro.workloads.linear_transform_trace import hoisted_block
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    params = paper_params()
+    return (hoisted_block(params.level_count, params.aux_count,
+                          params.dnum, rotations=4),
+            params.degree)
+
+
+class TestOptIn:
+    def test_default_framework_has_no_tracer(self, blocks):
+        program, degree = blocks
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        result = framework.run(program, degree)
+        assert result.report.total_time > 0
+        # Observability is opt-in: nothing holds a tracer by default.
+        assert framework.tracer is None
+        assert framework.gpu_model.tracer is None
+        assert framework.pim_executor.tracer is None
+
+    def test_default_path_records_zero_spans(self, blocks):
+        program, degree = blocks
+        witness = Tracer()          # exists but is never passed in
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK)
+        framework.run(program, degree)
+        assert witness.spans == []
+        assert witness.counters == {}
+
+    def test_results_identical_with_and_without_tracer(self, blocks):
+        program, degree = blocks
+        plain = AnaheimFramework(A100_80GB, A100_NEAR_BANK).run(
+            program, degree).report
+        traced = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                  tracer=Tracer()).run(program, degree).report
+        assert traced.total_time == pytest.approx(plain.total_time)
+        assert traced.energy == pytest.approx(plain.energy)
+        assert traced.transitions == plain.transitions
+
+
+class TestTracedRun:
+    @pytest.fixture(scope="class")
+    def traced(self, blocks):
+        program, degree = blocks
+        tracer = Tracer()
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                     tracer=tracer)
+        report = framework.run(program, degree, label="traced").report
+        return tracer, report
+
+    def test_framework_phases_spanned(self, traced):
+        tracer, _ = traced
+        names = {s.name for s in tracer.spans}
+        assert "framework.run" in names
+        assert "framework.lower" in names
+        assert "framework.schedule" in names
+
+    def test_lowering_passes_spanned_per_block_kind(self, traced):
+        tracer, _ = traced
+        assert tracer.find("lower.modup")
+        assert tracer.counters["lower.blocks"] > 0
+        assert tracer.counters["lower.kernels.gpu"] > 0
+        assert tracer.counters["lower.kernels.pim"] > 0
+
+    def test_scheduler_dispatch_spanned(self, traced):
+        tracer, report = traced
+        gpu_dispatches = [s for s in tracer.spans
+                          if s.name.startswith("dispatch.gpu.")]
+        pim_dispatches = [s for s in tracer.spans
+                          if s.name.startswith("dispatch.pim.")]
+        assert len(gpu_dispatches) == tracer.counters["scheduler.kernels.gpu"]
+        assert len(pim_dispatches) == tracer.counters["scheduler.kernels.pim"]
+        assert tracer.counters["scheduler.transitions"] == report.transitions
+
+    def test_device_models_count_costings(self, traced):
+        tracer, report = traced
+        assert (tracer.counters["gpu.kernel_costs"]
+                == tracer.counters["scheduler.kernels.gpu"])
+        assert (tracer.counters["pim.kernel_costs"]
+                == tracer.counters["scheduler.kernels.pim"])
+        assert tracer.counters["pim.activations"] == report.pim_activations
+        assert tracer.counters["gpu.dram_bytes"] == pytest.approx(
+            report.gpu_dram_bytes)
+
+    def test_spans_nest_under_framework_run(self, traced):
+        tracer, _ = traced
+        (root,) = tracer.roots()
+        assert root.name == "framework.run"
+        assert all(s.duration >= 0 for s in tracer.spans)
+
+    def test_compare_shares_one_tracer(self, blocks):
+        program, degree = blocks
+        tracer = Tracer()
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                     tracer=tracer)
+        framework.compare(program, degree, label="cmp")
+        assert len(tracer.find("framework.run")) == 2

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -60,3 +62,118 @@ class TestCommands:
     def test_microbench_small_buffer_marks_unsupported(self, capsys):
         assert main(["microbench", "--buffer", "4"]) == 0
         assert "unsupported" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_run_json_is_parseable(self, capsys):
+        assert main(["run", "--workload", "HELR", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "HELR"
+        assert doc["anaheim"]["total_time"] > 0
+        assert doc["baseline"]["total_time"] > doc["anaheim"]["total_time"]
+        assert doc["edp_gain"] > 1.0
+
+    def test_run_gpu_only_json(self, capsys):
+        assert main(["run", "--workload", "HELR", "--pim", "none",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pim"] is None
+        assert doc["report"]["pim_time"] == 0.0
+
+    def test_run_trace_out_writes_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["run", "--workload", "HELR", "--trace-out",
+                     str(path)]) == 0
+        doc = json.loads(path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events
+        assert all("ts" in e and "dur" in e for e in events)
+        # Both the GPU-baseline (pid 0) and Anaheim (pid 1) schedules.
+        assert {e["pid"] for e in events} == {0, 1}
+        assert {e["tid"] for e in events if e["pid"] == 1} == {1, 2}
+
+    def test_run_manifest_has_provenance(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--workload", "HELR", "--manifest",
+                     str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["config"]["gpu"]["name"] == "A100 80GB"
+        assert doc["report"]["energy"] > 0
+        assert "baseline_report" in doc
+
+    def test_gantt_json_and_trace(self, capsys, tmp_path):
+        path = tmp_path / "gantt.json"
+        assert main(["gantt", "--rotations", "4", "--json",
+                     "--trace-out", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["report"]["segments"]
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_unwritable_trace_path_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["gantt", "--rotations", "2", "--trace-out",
+                  str(tmp_path / "no" / "such" / "dir" / "t.json")])
+        assert "cannot write trace" in str(err.value)
+
+    def test_microbench_json(self, capsys):
+        assert main(["microbench", "--buffer", "16", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {r["instruction"] for r in doc["instructions"]}
+        assert "PAccum" in names
+        assert all(r["time"] > 0 for r in doc["instructions"]
+                   if r["supported"])
+
+
+class TestBench:
+    def test_write_then_check_passes(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "HELR", "--dir",
+                     str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_HELR.json").exists()
+        assert main(["bench", "--workload", "HELR", "--dir", str(tmp_path),
+                     "--check"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_perturbed_baseline_fails_check(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "HELR", "--dir",
+                     str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_HELR.json"
+        doc = json.loads(path.read_text())
+        doc["metrics"]["total_time"] *= 1.10
+        path.write_text(json.dumps(doc))
+        assert main(["bench", "--workload", "HELR", "--dir", str(tmp_path),
+                     "--check"]) == 1
+        assert "total_time" in capsys.readouterr().out
+
+    def test_loose_tolerance_accepts_perturbation(self, tmp_path):
+        assert main(["bench", "--workload", "HELR", "--dir",
+                     str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_HELR.json"
+        doc = json.loads(path.read_text())
+        doc["metrics"]["total_time"] *= 1.05
+        path.write_text(json.dumps(doc))
+        assert main(["bench", "--workload", "HELR", "--dir", str(tmp_path),
+                     "--check", "--tolerance", "0.2"]) == 0
+
+    def test_check_without_baseline_errors(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "HELR", "--dir", str(tmp_path),
+                     "--check"]) == 2
+        assert "no baseline" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_prints_span_tree(self, capsys):
+        assert main(["profile", "--workload", "HELR"]) == 0
+        out = capsys.readouterr().out
+        assert "framework.run" in out
+        assert "framework.schedule" in out
+        assert "dispatch.pim.elementwise" in out
+        assert "scheduler.kernels.gpu" in out
+        assert "self" in out  # profile columns
+
+    def test_profile_trace_out(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(["profile", "--workload", "HELR", "--pim", "none",
+                     "--trace-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "framework.run" in names
