@@ -13,7 +13,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.ckks.rns import RnsPolynomial
+from repro.ckks.rns import RnsPolynomial, modulus_column
 from repro.errors import ParameterError
 
 
@@ -57,12 +57,10 @@ def apply_automorphism(poly: RnsPolynomial, galois: int) -> RnsPolynomial:
     was_ntt = poly.is_ntt
     coeff_poly = poly.from_ntt()
     dest, flip = _permutation(poly.degree, galois)
-    out = np.empty_like(coeff_poly.coeffs)
-    for i, q in enumerate(poly.basis):
-        limb = coeff_poly.coeffs[i]
-        permuted = np.zeros(poly.degree, dtype=np.int64)
-        values = np.where(flip & (limb != 0), q - limb, limb)
-        permuted[dest] = values
-        out[i] = permuted
+    coeffs = coeff_poly.coeffs
+    q_col = modulus_column(poly.basis)
+    values = np.where(flip[None, :] & (coeffs != 0), q_col - coeffs, coeffs)
+    out = np.empty_like(coeffs)
+    out[:, dest] = values
     result = RnsPolynomial(out, poly.basis, is_ntt=False)
     return result.to_ntt() if was_ntt else result

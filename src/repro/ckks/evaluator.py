@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks import automorphism
+from repro.ckks import automorphism, instrument
 from repro.ckks.cipher import (Ciphertext, Plaintext, check_same_basis,
                                check_same_scale)
 from repro.ckks.encoder import CkksEncoder
@@ -33,6 +33,10 @@ class CkksEvaluator:
             moduli=tuple(params.moduli),
             aux_moduli=tuple(params.aux_moduli),
             aux_count=params.aux_count)
+        #: NTT-applied monomial multipliers keyed by (power, basis) —
+        #: mul_by_i alone is called once per bootstrap stage, and the
+        #: monomial only depends on the power and the basis.
+        self._monomial_cache: dict = {}
 
     # -- Encryption --------------------------------------------------------
 
@@ -196,13 +200,20 @@ class CkksEvaluator:
         the real/imaginary halves during bootstrapping.
         """
         degree = self.params.degree
-        coeffs = [0] * degree
         power = power % (2 * degree)
-        if power < degree:
-            coeffs[power] = 1
+        key = (power, x.basis)
+        mono = self._monomial_cache.get(key)
+        if mono is None:
+            instrument.count("ckks.monomial_cache.miss")
+            coeffs = [0] * degree
+            if power < degree:
+                coeffs[power] = 1
+            else:
+                coeffs[power - degree] = -1
+            mono = RnsPolynomial.from_int_coeffs(coeffs, x.basis).to_ntt()
+            self._monomial_cache[key] = mono
         else:
-            coeffs[power - degree] = -1
-        mono = RnsPolynomial.from_int_coeffs(coeffs, x.basis).to_ntt()
+            instrument.count("ckks.monomial_cache.hit")
         return Ciphertext(b=x.b * mono, a=x.a * mono, scale=x.scale)
 
     def mul_by_i(self, x: Ciphertext) -> Ciphertext:

@@ -1,0 +1,45 @@
+"""Opt-in counters for the batched CKKS kernel engine.
+
+The executable CKKS layer is a library of free functions and cached
+contexts, so it cannot thread a :class:`~repro.obs.tracer.Tracer`
+through every call the way the performance models do.  Instead, a
+module-level tracer can be attached around a region of interest
+(``bench functional`` and ``profile`` do this) and the engine reports
+where its speedup comes from:
+
+* ``ckks.batch_ntt.forward`` / ``ckks.batch_ntt.inverse`` — batched
+  limb-plane transforms (each replaces ``L`` per-limb transforms).
+* ``ckks.batch_ntt.limbs`` — limbs transformed in those calls.
+* ``ckks.scratch.hit`` / ``ckks.scratch.miss`` — butterfly scratch
+  buffers reused vs freshly allocated.
+* ``ckks.diag_cache.hit`` / ``ckks.diag_cache.miss`` — encoded
+  plaintext diagonals served from the :class:`LinearTransform` cache.
+* ``ckks.monomial_cache.hit`` / ``ckks.monomial_cache.miss`` — cached
+  ``X^k`` multiplier polynomials in the evaluator.
+* ``ckks.bconv.batched`` / ``ckks.bconv.chunks`` — vectorized BConv
+  calls and the chunked int64 reduction passes they needed.
+
+When no tracer is attached every counting site is a single ``is None``
+branch, keeping the default path free of overhead.
+"""
+
+from __future__ import annotations
+
+_tracer = None
+
+
+def set_tracer(tracer) -> None:
+    """Attach a tracer collecting engine counters (``None`` detaches)."""
+    global _tracer
+    _tracer = tracer
+
+
+def get_tracer():
+    """The currently attached tracer, or ``None``."""
+    return _tracer
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the attached tracer, if any."""
+    if _tracer is not None:
+        _tracer.count(name, value)

@@ -15,8 +15,8 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.ckks import modmath
-from repro.ckks.rns import RnsPolynomial, basis_product
+from repro.ckks import instrument, modmath
+from repro.ckks.rns import RnsPolynomial, basis_product, modulus_column
 from repro.errors import ParameterError
 
 
@@ -51,25 +51,40 @@ def basis_convert(poly: RnsPolynomial, dst_basis: tuple) -> RnsPolynomial:
     if poly.is_ntt:
         raise ParameterError("BConv requires coefficient-domain input")
     src_basis = poly.basis
-    q_hat_inv, q_hat_mod, src_prod_mod = _bconv_tables(
-        src_basis, tuple(dst_basis))
-    # y_i = x_i * (Q̂_i)^{-1} mod q_i
+    dst_basis = tuple(dst_basis)
+    q_hat_inv, q_hat_mod, src_prod_mod = _bconv_tables(src_basis, dst_basis)
+    instrument.count("ckks.bconv.batched")
+    # y_i = x_i * (Q̂_i)^{-1} mod q_i — one pass over the whole matrix.
     y = np.empty_like(poly.coeffs)
+    modmath.mod_mul_into(poly.coeffs, q_hat_inv.reshape(-1, 1),
+                         modulus_column(src_basis), y)
+    # The uncorrected sum equals x + u * Q_src with u = round(sum y_i/q_i)
+    # for centered x; subtract u * Q_src to recenter.  Summed limb by
+    # limb to keep the float rounding identical to the reference.
     frac = np.zeros(poly.degree, dtype=np.float64)
     for i, q in enumerate(src_basis):
-        y[i] = modmath.mod_mul_scalar(poly.coeffs[i], int(q_hat_inv[i]), q)
         frac += y[i] / q
-    # The uncorrected sum equals x + u * Q_src with u = round(sum y_i/q_i)
-    # for centered x; subtract u * Q_src to recenter.
     u = np.round(frac).astype(np.int64)
-    out = np.empty((len(dst_basis), poly.degree), dtype=np.int64)
-    for j, p in enumerate(dst_basis):
-        acc = np.zeros(poly.degree, dtype=np.int64)
-        for i in range(len(src_basis)):
-            acc = (acc + y[i] * q_hat_mod[i, j]) % p
-        acc = (acc - u % p * src_prod_mod[j]) % p
-        out[j] = acc
-    return RnsPolynomial(out, tuple(dst_basis), is_ntt=False)
+    # acc[j] = Σ_i y_i · (Q̂_i mod p_j): a (|dst| × |src|) @ (|src| × N)
+    # product.  Every term is below max(q)·max(p) < 2^62, so instead of
+    # reducing after each limb we accumulate `chunk` limbs at a time in
+    # int64 and reduce once per chunk.
+    dst_col = modulus_column(dst_basis)
+    max_term = (max(src_basis) - 1) * (max(dst_basis) - 1)
+    headroom = (1 << 63) - 1 - (max(dst_basis) - 1)
+    chunk = max(1, headroom // max_term)
+    acc = np.zeros((len(dst_basis), poly.degree), dtype=np.int64)
+    for start in range(0, len(src_basis), chunk):
+        stop = start + chunk
+        np.add(acc, q_hat_mod[start:stop].T @ y[start:stop], out=acc)
+        np.remainder(acc, dst_col, out=acc)
+        instrument.count("ckks.bconv.chunks")
+    # u is a small non-negative integer (< |src|), so u·(Q_src mod p)
+    # stays far below the int64 bound before its reduction.
+    corr = np.multiply(u[None, :], src_prod_mod.reshape(-1, 1))
+    np.remainder(corr, dst_col, out=corr)
+    modmath.mod_sub_into(acc, corr, dst_col, out=acc)
+    return RnsPolynomial(acc, dst_basis, is_ntt=False)
 
 
 @dataclass(frozen=True)
@@ -107,19 +122,28 @@ class DigitDecomposition:
         return [g % q for q in self.full_basis]
 
 
-def mod_up(poly: RnsPolynomial, group: tuple,
-           target_basis: tuple) -> RnsPolynomial:
+def mod_up(poly: RnsPolynomial, group: tuple, target_basis: tuple,
+           coeff: RnsPolynomial | None = None) -> RnsPolynomial:
     """ModUp: extend one decomposition digit to ``target_basis``.
 
     ``group`` are the digit's primes (a subset of both ``poly.basis``
     and ``target_basis``).  Input must be NTT-applied; output is
     NTT-applied over ``target_basis``.  Internally: INTT → BConv → NTT —
     exactly the paper's ModSwitch structure.
+
+    ``coeff`` optionally supplies the coefficient-domain copy of
+    ``poly`` so callers extending several digits (ModUp of every
+    decomposition group) run the INTT once for all limbs instead of
+    once per digit; limb-wise the transform is independent, so
+    restricting before or after the INTT is bit-identical.
     """
     limbs = poly.restrict(group)
-    coeff = limbs.from_ntt()
+    if coeff is None:
+        coeff_group = limbs.from_ntt()
+    else:
+        coeff_group = coeff.restrict(group)
     rest = tuple(q for q in target_basis if q not in group)
-    extended = basis_convert(coeff, rest).to_ntt()
+    extended = basis_convert(coeff_group, rest).to_ntt()
     combined = limbs.to_ntt().concat(extended)
     return combined.restrict(target_basis)
 
@@ -180,13 +204,14 @@ def decompose_digits(poly: RnsPolynomial, decomp: DigitDecomposition):
     """
     current = poly.basis
     target = current + decomp.aux_moduli
+    coeff = poly.from_ntt()    # shared INTT for every digit's ModUp
     digits = []
     indices = []
     for j in range(decomp.dnum):
         group = tuple(q for q in decomp.group(j) if q in current)
         if not group:
             continue
-        digits.append(mod_up(poly, group, target))
+        digits.append(mod_up(poly, group, target, coeff=coeff))
         indices.append(j)
     return digits, indices, target
 

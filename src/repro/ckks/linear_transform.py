@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks import automorphism
+from repro.ckks import automorphism, instrument
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.keys import EvaluationKey, KeyGenerator
 from repro.ckks.keyswitch import decompose_digits, key_mult, mod_down
@@ -66,6 +66,11 @@ class LinearTransform:
                 raise ParameterError(
                     f"diagonal {shift} has {diag.size} slots; expected {n}")
             self.diagonals[int(shift) % n] = diag
+        #: Encoded plaintext diagonals keyed by (shift, roll, basis,
+        #: scale) — the diagonals are fixed at construction, so repeated
+        #: apply() calls reuse the encodings instead of re-running
+        #: encoder.encode (the dominant cost of small transforms).
+        self._plaintext_cache: dict = {}
 
     @classmethod
     def from_matrix(cls, evaluator, matrix: np.ndarray) -> "LinearTransform":
@@ -111,13 +116,35 @@ class LinearTransform:
     def _encode_diag(self, diag: np.ndarray, basis: tuple):
         return self.evaluator.encoder.encode(diag, basis=basis)
 
+    def _cached_diag(self, shift: int, roll: int, basis: tuple):
+        """Encoded ``np.roll(diagonals[shift], roll)`` — cached.
+
+        Every strategy encodes deterministic transforms of the stored
+        diagonals, so (shift, roll, basis, scale) identifies the
+        plaintext exactly.  Consumers never mutate plaintext polynomials
+        (all RNS ops allocate fresh outputs), so sharing is safe.
+        """
+        scale = self.evaluator.params.scale
+        key = (shift, roll, basis, scale)
+        plaintext = self._plaintext_cache.get(key)
+        if plaintext is None:
+            instrument.count("ckks.diag_cache.miss")
+            diag = self.diagonals[shift]
+            if roll:
+                diag = np.roll(diag, roll)
+            plaintext = self._encode_diag(diag, basis)
+            self._plaintext_cache[key] = plaintext
+        else:
+            instrument.count("ckks.diag_cache.hit")
+        return plaintext
+
     def _apply_baseline(self, ct: Ciphertext) -> Ciphertext:
         """K HROTs, each a full ModUp→KeyMult→ModDown, then PMULT+add."""
         ev = self.evaluator
         acc = None
-        for shift, diag in sorted(self.diagonals.items()):
+        for shift in sorted(self.diagonals):
             rotated = ev.rotate(ct, shift) if shift else ct
-            p = self._encode_diag(diag, rotated.basis)
+            p = self._cached_diag(shift, 0, rotated.basis)
             term = ev.mul_plain(rotated, p, rescale=False)
             acc = term if acc is None else ev.add(acc, term)
         return ev.rescale(acc)
@@ -137,7 +164,7 @@ class LinearTransform:
             while position < shift:
                 state = ev.rotate(state, 1)
                 position += 1
-            p = self._encode_diag(self.diagonals[shift], state.basis)
+            p = self._cached_diag(shift, 0, state.basis)
             term = ev.mul_plain(state, p, rescale=False)
             acc = term if acc is None else ev.add(acc, term)
         return ev.rescale(acc)
@@ -152,13 +179,12 @@ class LinearTransform:
             if k not in baby_rotated:
                 baby_rotated[k] = ev.rotate(ct, k)
         outer: dict = {}
-        for shift, diag in self.diagonals.items():
+        for shift in self.diagonals:
             k = shift % baby
             g = shift - k
             # Pre-rotate the diagonal right by g so the giant rotation
             # can be applied after the inner accumulation.
-            pre = np.roll(diag, g)
-            p = self._encode_diag(pre, baby_rotated[k].basis)
+            p = self._cached_diag(shift, g, baby_rotated[k].basis)
             term = ev.mul_plain(baby_rotated[k], p, rescale=False)
             outer[g] = term if g not in outer else ev.add(outer[g], term)
         acc = None
@@ -184,10 +210,11 @@ class LinearTransform:
         acc_a_pq = None
         acc_b_q = None     # message-part accumulator, basis Q
         acc_a_q = None
-        for shift, diag in sorted(self.diagonals.items()):
-            p_hat = np.roll(diag, shift)     # p ≫ R preprocessing (§V-B)
+        for shift in sorted(self.diagonals):
+            # p ≫ R preprocessing (§V-B): the diagonal is pre-rotated by
+            # its own shift before encoding.
             if shift == 0:
-                p = self._encode_diag(p_hat, ct.basis)
+                p = self._cached_diag(0, 0, ct.basis)
                 term_b = ct.b * p.poly
                 term_a = ct.a * p.poly
                 acc_b_q = term_b if acc_b_q is None else acc_b_q + term_b
@@ -196,8 +223,8 @@ class LinearTransform:
             evk = self._hoisting_key(shift)
             galois = automorphism.galois_element(shift, degree)
             kb, ka = self._key_mult_restricted(digits, indices, target, evk)
-            p_ext = self._encode_diag(p_hat, target)   # extended modulus
-            p_q = self._encode_diag(p_hat, ct.basis)
+            p_ext = self._cached_diag(shift, shift, target)  # extended modulus
+            p_q = self._cached_diag(shift, shift, ct.basis)
             term_b = automorphism.apply_automorphism(kb * p_ext.poly, galois)
             term_a = automorphism.apply_automorphism(ka * p_ext.poly, galois)
             msg_b = automorphism.apply_automorphism(ct.b * p_q.poly, galois)

@@ -174,8 +174,76 @@ def mod_mul_scalar(a: np.ndarray, c: int, q: int) -> np.ndarray:
 
 
 def mod_mac(a: np.ndarray, b: np.ndarray, acc: np.ndarray, q: int) -> np.ndarray:
-    """Element-wise ``(a * b + acc) mod q``."""
-    return (a * b % q + acc) % q
+    """Element-wise ``(a * b + acc) mod q``.
+
+    ``a·b mod q`` and ``acc`` both lie in ``[0, q)``, so their sum is
+    below ``2q`` and one conditional subtraction replaces the second
+    ``%`` pass.
+    """
+    c = a * b % q + acc
+    return np.where(c >= q, c - q, c)
+
+
+# ---------------------------------------------------------------------------
+# Allocation-free (``out=``-style) variants.  Same semantics as the pure
+# functions above, but every intermediate lands in caller-provided (or a
+# single bool) scratch — no ``np.where`` temporaries.  ``q`` may be a
+# scalar or any array broadcastable against ``out`` (e.g. the ``(L, 1)``
+# per-limb modulus column of an RNS matrix), which is what lets one call
+# process every limb of a polynomial at once.
+# ---------------------------------------------------------------------------
+
+def _mask(out: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    return np.empty(out.shape, dtype=bool) if mask is None else mask
+
+
+def mod_add_into(a, b, q, out: np.ndarray,
+                 mask: np.ndarray | None = None) -> np.ndarray:
+    """``out[:] = (a + b) mod q`` with one conditional subtraction."""
+    mask = _mask(out, mask)
+    np.add(a, b, out=out)
+    np.greater_equal(out, q, out=mask)
+    np.subtract(out, q, out=out, where=mask)
+    return out
+
+
+def mod_sub_into(a, b, q, out: np.ndarray,
+                 mask: np.ndarray | None = None) -> np.ndarray:
+    """``out[:] = (a - b) mod q`` with one conditional addition."""
+    mask = _mask(out, mask)
+    np.subtract(a, b, out=out)
+    np.less(out, 0, out=mask)
+    np.add(out, q, out=out, where=mask)
+    return out
+
+
+def mod_neg_into(a, q, out: np.ndarray,
+                 mask: np.ndarray | None = None) -> np.ndarray:
+    """``out[:] = (-a) mod q`` (safe when ``out`` aliases ``a``)."""
+    mask = _mask(out, mask)
+    np.not_equal(a, 0, out=mask)
+    np.subtract(q, a, out=out)
+    np.multiply(out, mask, out=out)
+    return out
+
+
+def mod_mul_into(a, b, q, out: np.ndarray) -> np.ndarray:
+    """``out[:] = (a * b) mod q`` — operands must be residues in [0, q)."""
+    np.multiply(a, b, out=out)
+    np.remainder(out, q, out=out)
+    return out
+
+
+def mod_mac_into(a, b, acc, q, out: np.ndarray,
+                 mask: np.ndarray | None = None) -> np.ndarray:
+    """``out[:] = (a * b + acc) mod q`` with a single ``%`` pass."""
+    mask = _mask(out, mask)
+    np.multiply(a, b, out=out)
+    np.remainder(out, q, out=out)
+    np.add(out, acc, out=out)
+    np.greater_equal(out, q, out=mask)
+    np.subtract(out, q, out=out, where=mask)
+    return out
 
 
 def barrett_precompute(q: int, width: int = 64) -> int:

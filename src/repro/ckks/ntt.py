@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ckks import modmath
+from repro.ckks import instrument, modmath
 from repro.errors import ParameterError
 
 
@@ -106,6 +106,122 @@ class NttContext:
             t *= 2
             m = h
         return a * self.n_inv % q
+
+
+class BatchNttContext:
+    """Stacked NTT tables for a whole RNS basis.
+
+    The per-prime :class:`NttContext` twiddle tables are stacked into
+    ``(L, N)`` limb planes, with the per-limb modulus broadcast as an
+    ``(L, 1)`` column, so *one* vectorized butterfly pass transforms all
+    limbs of a polynomial — replacing the Python loop over primes.  The
+    butterflies run through the allocation-free :mod:`modmath`
+    primitives against scratch buffers cached per input shape, so the
+    hot path allocates nothing beyond the output array.
+
+    Each pass performs exactly the element-wise operations of the
+    per-limb reference, so results are bit-identical to running
+    :class:`NttContext` limb by limb (the property tests assert this).
+    """
+
+    def __init__(self, degree: int, basis: tuple, contexts=None):
+        basis = tuple(basis)
+        if not basis:
+            raise ParameterError("batched NTT needs at least one prime")
+        if contexts is None:
+            contexts = [NttContext(degree, q) for q in basis]
+        self.degree = degree
+        self.basis = basis
+        limbs = len(basis)
+        self.q_col = np.array(basis, dtype=np.int64).reshape(limbs, 1)
+        self.psis = np.stack([c.psis for c in contexts])          # (L, N)
+        self.inv_psis = np.stack([c.inv_psis for c in contexts])  # (L, N)
+        self.n_inv_col = np.array([c.n_inv for c in contexts],
+                                  dtype=np.int64).reshape(limbs, 1)
+        self._scratch: dict = {}
+
+    def _buffers(self, shape: tuple):
+        """(u, v, mask) scratch of ``shape``, reused across calls."""
+        buffers = self._scratch.get(shape)
+        if buffers is None:
+            buffers = (np.empty(shape, dtype=np.int64),
+                       np.empty(shape, dtype=np.int64),
+                       np.empty(shape, dtype=bool))
+            self._scratch[shape] = buffers
+            instrument.count("ckks.scratch.miss")
+        else:
+            instrument.count("ckks.scratch.hit")
+        return buffers
+
+    def _prepare(self, array: np.ndarray, kind: str) -> np.ndarray:
+        limbs = len(self.basis)
+        if array.ndim < 2 or array.shape[-1] != self.degree:
+            raise ParameterError("last axis must equal the ring degree")
+        if array.shape[-2] != limbs:
+            raise ParameterError(
+                f"second-to-last axis has {array.shape[-2]} limbs; "
+                f"basis has {limbs}")
+        instrument.count(f"ckks.batch_ntt.{kind}")
+        instrument.count("ckks.batch_ntt.limbs",
+                         limbs * int(np.prod(array.shape[:-2], dtype=np.int64)
+                                     or 1))
+        return np.ascontiguousarray(array, dtype=np.int64).copy()
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT of every limb plane (axes ``(..., L, N)``)."""
+        a = self._prepare(coeffs, "forward")
+        n = self.degree
+        limbs = len(self.basis)
+        lead = a.shape[:-2]
+        u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
+        q3 = self.q_col.reshape(limbs, 1, 1)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            b = a.reshape(lead + (limbs, m, 2, t))
+            s = self.psis[:, m:2 * m].reshape(limbs, m, 1)
+            shape = lead + (limbs, m, t)
+            u = u_buf.reshape(shape)
+            v = v_buf.reshape(shape)
+            mask = mask_buf.reshape(shape)
+            np.copyto(u, b[..., 0, :])
+            np.multiply(b[..., 1, :], s, out=v)
+            np.remainder(v, q3, out=v)
+            modmath.mod_add_into(u, v, q3, out=b[..., 0, :], mask=mask)
+            modmath.mod_sub_into(u, v, q3, out=b[..., 1, :], mask=mask)
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT of every limb plane."""
+        a = self._prepare(values, "inverse")
+        n = self.degree
+        limbs = len(self.basis)
+        lead = a.shape[:-2]
+        u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
+        q3 = self.q_col.reshape(limbs, 1, 1)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            b = a.reshape(lead + (limbs, h, 2, t))
+            s = self.inv_psis[:, h:2 * h].reshape(limbs, h, 1)
+            shape = lead + (limbs, h, t)
+            u = u_buf.reshape(shape)
+            v = v_buf.reshape(shape)
+            mask = mask_buf.reshape(shape)
+            np.copyto(u, b[..., 0, :])
+            np.copyto(v, b[..., 1, :])
+            modmath.mod_add_into(u, v, q3, out=b[..., 0, :], mask=mask)
+            modmath.mod_sub_into(u, v, q3, out=b[..., 1, :], mask=mask)
+            np.multiply(b[..., 1, :], s, out=b[..., 1, :])
+            np.remainder(b[..., 1, :], q3, out=b[..., 1, :])
+            t *= 2
+            m = h
+        np.multiply(a, self.n_inv_col, out=a)
+        np.remainder(a, self.q_col, out=a)
+        return a
 
 
 def negacyclic_convolution(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

@@ -75,12 +75,20 @@ class ChebyshevEvaluator:
             return scaled
         return ev.add_scalar(scaled, -(a + b) / (b - a))
 
-    def _basis(self, t1: Ciphertext, degree: int) -> dict:
-        """All Chebyshev basis ciphertexts T_1..T_degree.
+    def _basis(self, t1: Ciphertext, degree: int,
+               needed=None) -> dict:
+        """Chebyshev basis ciphertexts up to T_degree.
 
         Operand scales are re-aligned exactly (``adjust_scale_to``)
         before the ``T_{a+b} = 2·T_a·T_b - T_{a-b}`` subtraction, so the
         basis accumulates no scale-drift error even at high degree.
+
+        ``needed`` restricts construction to those indices plus their
+        index-halving dependency closure — an odd target function (like
+        EvalMod's scaled sine) has near-zero even coefficients, so this
+        skips almost half the homomorphic multiplications.  Each built
+        ``T_k`` is identical either way: ``build`` is a pure memoized
+        recursion, so omitting unused indices cannot change the rest.
         """
         ev = self.evaluator
         basis = {1: t1}
@@ -105,8 +113,10 @@ class ChebyshevEvaluator:
             basis[k] = term
             return term
 
-        for k in range(2, degree + 1):
-            build(k)
+        targets = range(2, degree + 1) if needed is None else sorted(needed)
+        for k in targets:
+            if k >= 1:
+                build(k)
         return basis
 
     def evaluate(self, ct: Ciphertext, coeffs: np.ndarray,
@@ -121,7 +131,9 @@ class ChebyshevEvaluator:
             zero = ev.mul_scalar(ct, 0.0)
             return ev.add_scalar(zero, complex(coeffs[0]))
         t1 = ct if interval == (-1.0, 1.0) else self._normalize(ct, interval)
-        basis = self._basis(t1, degree)
+        needed = [k for k in range(1, degree + 1)
+                  if abs(coeffs[k]) >= 1e-14]
+        basis = self._basis(t1, degree, needed=needed)
         # Linear combination: drop every term to the deepest level and
         # pick per-term plaintext scales that land all products on one
         # common scale, so the accumulation is drift-free.

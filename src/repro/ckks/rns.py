@@ -14,7 +14,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.ckks import modmath
-from repro.ckks.ntt import NttContext
+from repro.ckks.ntt import BatchNttContext, NttContext
 from repro.errors import ParameterError
 
 
@@ -22,6 +22,23 @@ from repro.errors import ParameterError
 def ntt_context(degree: int, q: int) -> NttContext:
     """Shared, cached NTT tables per (degree, prime)."""
     return NttContext(degree, q)
+
+
+@lru_cache(maxsize=None)
+def batch_ntt_context(degree: int, basis: tuple) -> BatchNttContext:
+    """Shared, cached batched NTT engine per (degree, basis).
+
+    Built from the cached per-prime contexts so both paths share the
+    exact same twiddle tables.
+    """
+    return BatchNttContext(
+        degree, basis, contexts=[ntt_context(degree, q) for q in basis])
+
+
+@lru_cache(maxsize=None)
+def modulus_column(basis: tuple) -> np.ndarray:
+    """``(L, 1)`` int64 column of the basis primes for broadcasting."""
+    return np.array(basis, dtype=np.int64).reshape(len(basis), 1)
 
 
 def basis_product(basis: tuple) -> int:
@@ -97,21 +114,21 @@ class RnsPolynomial:
         return self.coeffs.shape[0]
 
     def to_ntt(self) -> "RnsPolynomial":
-        """Return the NTT-applied copy (no-op if already applied)."""
+        """Return the NTT-applied copy (no-op if already applied).
+
+        All limbs are transformed in one batched butterfly pass
+        (bit-identical to looping :class:`NttContext` over the primes).
+        """
         if self.is_ntt:
             return self.copy()
-        out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = ntt_context(self.degree, q).forward(self.coeffs[i])
+        out = batch_ntt_context(self.degree, self.basis).forward(self.coeffs)
         return RnsPolynomial(out, self.basis, is_ntt=True)
 
     def from_ntt(self) -> "RnsPolynomial":
         """Return the coefficient-domain copy (no-op if already there)."""
         if not self.is_ntt:
             return self.copy()
-        out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = ntt_context(self.degree, q).inverse(self.coeffs[i])
+        out = batch_ntt_context(self.degree, self.basis).inverse(self.coeffs)
         return RnsPolynomial(out, self.basis, is_ntt=False)
 
     def copy(self) -> "RnsPolynomial":
@@ -128,21 +145,20 @@ class RnsPolynomial:
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
         out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = modmath.mod_add(self.coeffs[i], other.coeffs[i], q)
+        modmath.mod_add_into(self.coeffs, other.coeffs,
+                             modulus_column(self.basis), out)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
         out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = modmath.mod_sub(self.coeffs[i], other.coeffs[i], q)
+        modmath.mod_sub_into(self.coeffs, other.coeffs,
+                             modulus_column(self.basis), out)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
         out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = modmath.mod_neg(self.coeffs[i], q)
+        modmath.mod_neg_into(self.coeffs, modulus_column(self.basis), out)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -151,8 +167,8 @@ class RnsPolynomial:
         if not self.is_ntt:
             raise ParameterError("polynomial mult requires NTT form")
         out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = modmath.mod_mul(self.coeffs[i], other.coeffs[i], q)
+        modmath.mod_mul_into(self.coeffs, other.coeffs,
+                             modulus_column(self.basis), out)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def scalar_mul(self, constants) -> "RnsPolynomial":
@@ -161,9 +177,11 @@ class RnsPolynomial:
             constants = [constants] * self.limb_count
         if len(constants) != self.limb_count:
             raise ParameterError("need one constant per limb")
+        q_col = modulus_column(self.basis)
+        col = np.array([int(c) % q for c, q in zip(constants, self.basis)],
+                       dtype=np.int64).reshape(-1, 1)
         out = np.empty_like(self.coeffs)
-        for i, q in enumerate(self.basis):
-            out[i] = modmath.mod_mul_scalar(self.coeffs[i], int(constants[i]), q)
+        modmath.mod_mul_into(self.coeffs, col, q_col, out)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     # -- Basis manipulation -----------------------------------------------------

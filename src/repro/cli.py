@@ -28,8 +28,9 @@ from repro.core.gantt import render_breakdown, render_gantt
 from repro.core.scheduler import ScheduleReport, Segment
 from repro.core.trace import OpCategory, PimKernel
 from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
-from repro.obs.baseline import (baseline_path, check_baseline, load_baseline,
-                                write_baseline)
+from repro.obs.baseline import (baseline_path, check_baseline,
+                                check_baseline_metrics, load_baseline,
+                                write_baseline, write_baseline_metrics)
 from repro.obs.export import (chrome_trace_from_report,
                               chrome_trace_from_tracer, merge_traces,
                               report_dict, run_manifest, write_json)
@@ -275,7 +276,49 @@ def _bench_framework(args):
     return framework, pim, workload, params
 
 
+def _run_functional(args, tracer=None) -> dict:
+    from repro.ckks.bench import run_functional_bench
+    return run_functional_bench(repeats=getattr(args, "repeats", 3),
+                                tracer=tracer)
+
+
+def _bench_functional(args) -> int:
+    """Wall-clock bench of the executable CKKS layer (no modeled run)."""
+    tracer = Tracer()
+    result = _run_functional(args, tracer=tracer)
+    metrics = result["metrics"]
+    if args.check:
+        path = baseline_path(args.dir, "functional")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro bench "
+                  f"--workload functional` first")
+            return 2
+        baseline = load_baseline(args.dir, "functional")
+        regressions = check_baseline_metrics(baseline, metrics,
+                                             tolerance=args.tolerance)
+        if regressions:
+            print(f"functional: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"functional: all metrics within ±{args.tolerance:.0%} "
+              f"of {path}")
+        return 0
+    path = write_baseline_metrics(
+        args.dir, "functional", metrics, config=result["config"],
+        extra={"counters": result["counters"],
+               "precision_max_err": result["precision_max_err"]})
+    print(f"wrote baseline {path} "
+          f"(bootstrap {format_seconds(metrics['bootstrap_s'])}, "
+          f"key switch {format_seconds(metrics['key_switch_s'])}, "
+          f"NTT batch speedup {metrics['ntt_batch_speedup']:.2f}x)")
+    return 0
+
+
 def cmd_bench(args) -> int:
+    if args.workload == "functional":
+        return _bench_functional(args)
     built = _bench_framework(args)
     if built is None:
         return 1
@@ -312,6 +355,16 @@ def cmd_bench(args) -> int:
 
 def cmd_profile(args) -> int:
     tracer = Tracer()
+    if args.workload == "functional":
+        result = _run_functional(args, tracer=tracer)
+        metrics = result["metrics"]
+        print(f"functional CKKS layer: bootstrap "
+              f"{format_seconds(metrics['bootstrap_s'])}, key switch "
+              f"{format_seconds(metrics['key_switch_s'])}, NTT batch "
+              f"speedup {metrics['ntt_batch_speedup']:.2f}x")
+        print()
+        print(render_counters(tracer))
+        return 0
     args._tracer = tracer
     built = _bench_framework(args)
     if built is None:
@@ -339,9 +392,11 @@ def cmd_profile(args) -> int:
 # -- Parser --------------------------------------------------------------------
 
 
-def _add_target_flags(parser, default_pim: str = "near-bank") -> None:
+def _add_target_flags(parser, default_pim: str = "near-bank",
+                      extra_workloads=()) -> None:
     parser.add_argument("--workload", required=True,
-                        choices=sorted(apps.WORKLOADS))
+                        choices=sorted(apps.WORKLOADS) +
+                        sorted(extra_workloads))
     parser.add_argument("--gpu", default="a100", choices=sorted(GPUS))
     parser.add_argument("--pim", default=default_pim,
                         choices=["near-bank", "custom-hbm", "none"])
@@ -376,18 +431,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="write or check a BENCH_<workload>.json baseline")
-    _add_target_flags(bench)
+    _add_target_flags(bench, extra_workloads=("functional",))
     bench.add_argument("--dir", default=".",
                        help="directory holding baseline files")
     bench.add_argument("--check", action="store_true",
                        help="compare a fresh run against the stored "
                             "baseline; exit nonzero on regression")
     bench.add_argument("--tolerance", type=float, default=0.02,
-                       help="relative tolerance per metric (default 0.02)")
+                       help="relative tolerance per metric (default 0.02; "
+                            "use a generous value for the wall-clock "
+                            "`functional` workload)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing trials per metric for the `functional` "
+                            "workload (best-of; default 3)")
 
     profile = sub.add_parser(
         "profile", help="span-tree wall-clock profile of one modeled run")
-    _add_target_flags(profile)
+    _add_target_flags(profile, extra_workloads=("functional",))
     profile.add_argument("--trace-out", metavar="FILE",
                          help="also write wall-clock spans + simulated "
                               "schedule as a Chrome trace file")

@@ -50,20 +50,34 @@ def baseline_metrics(report: ScheduleReport) -> dict:
             else None for name in BASELINE_METRICS}
 
 
-def write_baseline(directory, workload: str, report: ScheduleReport,
-                   config: dict | None = None) -> Path:
+def write_baseline_metrics(directory, workload: str, metrics: dict,
+                           config: dict | None = None,
+                           extra: dict | None = None) -> Path:
+    """Write a ``BENCH_<workload>.json`` from an explicit metrics dict.
+
+    The report-based :func:`write_baseline` delegates here; functional
+    (wall-clock) benchmarks that have no ``ScheduleReport`` call this
+    directly.
+    """
     path = baseline_path(directory, workload)
     path.parent.mkdir(parents=True, exist_ok=True)
     document = {
         "workload": workload,
         "config": config or {},
         "environment": environment_info(),
-        "metrics": baseline_metrics(report),
+        "metrics": metrics,
     }
+    document.update(extra or {})
     with open(path, "w") as fh:
         json.dump(document, fh, indent=2)
         fh.write("\n")
     return path
+
+
+def write_baseline(directory, workload: str, report: ScheduleReport,
+                   config: dict | None = None) -> Path:
+    return write_baseline_metrics(directory, workload,
+                                  baseline_metrics(report), config=config)
 
 
 def load_baseline(directory, workload: str) -> dict:
@@ -71,15 +85,15 @@ def load_baseline(directory, workload: str) -> dict:
         return json.load(fh)
 
 
-def check_baseline(baseline: dict, report: ScheduleReport,
-                   tolerance: float = 0.02) -> list:
-    """Regressions of ``report`` against a stored baseline.
+def check_baseline_metrics(baseline: dict, current: dict,
+                           tolerance: float = 0.02) -> list:
+    """Regressions of a current metrics dict against a stored baseline.
 
     A metric regresses when it deviates from the baseline by more than
     ``tolerance`` *in either direction* — an unexplained speedup is as
-    suspicious as a slowdown in a deterministic model.
+    suspicious as a slowdown in a deterministic model.  (Wall-clock
+    benchmarks are *not* deterministic; pass a generous tolerance.)
     """
-    current = baseline_metrics(report)
     regressions = []
     for metric, reference in baseline.get("metrics", {}).items():
         value = current.get(metric)
@@ -94,3 +108,9 @@ def check_baseline(baseline: dict, report: ScheduleReport,
                 metric=metric, baseline=reference, current=value,
                 tolerance=tolerance))
     return regressions
+
+
+def check_baseline(baseline: dict, report: ScheduleReport,
+                   tolerance: float = 0.02) -> list:
+    return check_baseline_metrics(baseline, baseline_metrics(report),
+                                  tolerance=tolerance)

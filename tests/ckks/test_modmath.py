@@ -104,6 +104,137 @@ class TestVectorOps:
             (4 + 90) % 97, (10 + 90) % 97, (18 + 90) % 97]
 
 
+#: The widest primes the int64 safety argument admits.
+BOUNDARY_PRIME = modmath.generate_primes(1, 64, bits=31)[0]
+
+
+class TestOverflowBoundary:
+    """31-bit primes with maximal residues — the int64 safety margin.
+
+    Products reach ``(q-1)^2 < 2^62`` and sums reach ``2q - 2 < 2^32``;
+    every primitive must stay exact against Python big-int arithmetic.
+    """
+
+    q = BOUNDARY_PRIME
+    a = np.array([BOUNDARY_PRIME - 1, BOUNDARY_PRIME - 2, 1, 0],
+                 dtype=np.int64)
+    b = np.array([BOUNDARY_PRIME - 1, BOUNDARY_PRIME - 1, BOUNDARY_PRIME - 2,
+                  BOUNDARY_PRIME - 1], dtype=np.int64)
+
+    def expect(self, fn):
+        return [fn(int(x), int(y)) % self.q for x, y in zip(self.a, self.b)]
+
+    def test_prime_is_31_bits(self):
+        assert 2 ** 30 < self.q < 2 ** 31
+
+    def test_add_at_boundary(self):
+        got = modmath.mod_add(self.a, self.b, self.q)
+        assert got.tolist() == self.expect(lambda x, y: x + y)
+
+    def test_sub_at_boundary(self):
+        got = modmath.mod_sub(self.a, self.b, self.q)
+        assert got.tolist() == self.expect(lambda x, y: x - y)
+
+    def test_mul_at_boundary(self):
+        got = modmath.mod_mul(self.a, self.b, self.q)
+        assert got.tolist() == self.expect(lambda x, y: x * y)
+
+    def test_mac_at_boundary(self):
+        acc = np.full(4, self.q - 1, dtype=np.int64)
+        got = modmath.mod_mac(self.a, self.b, acc, self.q)
+        expect = [(int(x) * int(y) + self.q - 1) % self.q
+                  for x, y in zip(self.a, self.b)]
+        assert got.tolist() == expect
+
+    def test_mac_single_reduction_stays_in_range(self):
+        # a·b mod q and acc are both q-1: the sum 2q-2 must fold back
+        # with one conditional subtraction, never a second % pass.
+        a = np.array([1], dtype=np.int64)
+        b = np.array([self.q - 1], dtype=np.int64)
+        acc = np.array([self.q - 1], dtype=np.int64)
+        assert modmath.mod_mac(a, b, acc, self.q).tolist() == [self.q - 2]
+
+
+class TestIntoVariants:
+    """The allocation-free kernels match the pure functions exactly."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.bases = (modmath.generate_primes(1, 64, bits=20)[0],
+                      modmath.generate_primes(1, 64, bits=28)[0],
+                      BOUNDARY_PRIME)
+
+    def pair(self, q, shape=(64,)):
+        a = self.rng.integers(0, q, size=shape, dtype=np.int64)
+        b = self.rng.integers(0, q, size=shape, dtype=np.int64)
+        return a, b
+
+    def test_scalar_modulus_matches_pure(self):
+        for q in self.bases:
+            a, b = self.pair(q)
+            out = np.empty_like(a)
+            assert np.array_equal(
+                modmath.mod_add_into(a, b, q, out), modmath.mod_add(a, b, q))
+            assert np.array_equal(
+                modmath.mod_sub_into(a, b, q, out), modmath.mod_sub(a, b, q))
+            assert np.array_equal(
+                modmath.mod_mul_into(a, b, q, out), modmath.mod_mul(a, b, q))
+            assert np.array_equal(
+                modmath.mod_neg_into(a, q, out), modmath.mod_neg(a, q))
+            acc = self.rng.integers(0, q, size=64, dtype=np.int64)
+            assert np.array_equal(
+                modmath.mod_mac_into(a, b, acc, q, out),
+                modmath.mod_mac(a, b, acc, q))
+
+    def test_column_modulus_broadcast(self):
+        """(L, 1) per-limb moduli — the batched engine's layout."""
+        q_col = np.array(self.bases, dtype=np.int64).reshape(-1, 1)
+        a = np.stack([self.rng.integers(0, q, size=64, dtype=np.int64)
+                      for q in self.bases])
+        b = np.stack([self.rng.integers(0, q, size=64, dtype=np.int64)
+                      for q in self.bases])
+        out = np.empty_like(a)
+        modmath.mod_add_into(a, b, q_col, out)
+        for i, q in enumerate(self.bases):
+            assert np.array_equal(out[i], modmath.mod_add(a[i], b[i], q))
+        modmath.mod_sub_into(a, b, q_col, out)
+        for i, q in enumerate(self.bases):
+            assert np.array_equal(out[i], modmath.mod_sub(a[i], b[i], q))
+        modmath.mod_mul_into(a, b, q_col, out)
+        for i, q in enumerate(self.bases):
+            assert np.array_equal(out[i], modmath.mod_mul(a[i], b[i], q))
+
+    def test_aliasing_out_with_operand(self):
+        q = self.bases[1]
+        a, b = self.pair(q)
+        expect = modmath.mod_add(a, b, q)
+        got = modmath.mod_add_into(a, b, q, out=a)
+        assert got is a
+        assert np.array_equal(a, expect)
+        a2 = self.rng.integers(0, q, size=64, dtype=np.int64)
+        expect_neg = modmath.mod_neg(a2, q)
+        modmath.mod_neg_into(a2, q, out=a2)
+        assert np.array_equal(a2, expect_neg)
+
+    def test_explicit_mask_reuse(self):
+        q = BOUNDARY_PRIME
+        a, b = self.pair(q)
+        out = np.empty_like(a)
+        mask = np.empty(a.shape, dtype=bool)
+        modmath.mod_add_into(a, b, q, out, mask=mask)
+        assert np.array_equal(out, modmath.mod_add(a, b, q))
+        modmath.mod_sub_into(a, b, q, out, mask=mask)
+        assert np.array_equal(out, modmath.mod_sub(a, b, q))
+
+    def test_boundary_values_into(self):
+        q = BOUNDARY_PRIME
+        a = np.full(8, q - 1, dtype=np.int64)
+        b = np.full(8, q - 1, dtype=np.int64)
+        out = np.empty_like(a)
+        assert modmath.mod_add_into(a, b, q, out).tolist() == [q - 2] * 8
+        assert modmath.mod_mul_into(a, b, q, out).tolist() == [1] * 8
+
+
 class TestMontgomery:
     def test_roundtrip_and_mul(self):
         q = modmath.generate_primes(1, 128, bits=28)[0]

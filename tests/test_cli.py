@@ -160,6 +160,31 @@ class TestBench:
         assert "no baseline" in capsys.readouterr().out
 
 
+class TestFunctionalBench:
+    def test_write_then_check(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "functional", "--dir",
+                     str(tmp_path), "--repeats", "1"]) == 0
+        doc = json.loads((tmp_path / "BENCH_functional.json").read_text())
+        metrics = doc["metrics"]
+        assert metrics["ntt_batch_speedup"] > 1.0
+        assert metrics["bootstrap_s"] > 0
+        assert metrics["key_switch_s"] > 0
+        assert doc["counters"]["ckks.batch_ntt.forward"] > 0
+        assert doc["precision_max_err"] < 5e-3
+        # Wall clock is noisy; the check plumbing is what's under test.
+        assert main(["bench", "--workload", "functional", "--dir",
+                     str(tmp_path), "--repeats", "1",
+                     "--check", "--tolerance", "10.0"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_profile_surfaces_engine_counters(self, capsys):
+        assert main(["profile", "--workload", "functional"]) == 0
+        out = capsys.readouterr().out
+        assert "ckks.batch_ntt.forward" in out
+        assert "ckks.bconv.batched" in out
+        assert "NTT batch speedup" in out
+
+
 class TestProfile:
     def test_profile_prints_span_tree(self, capsys):
         assert main(["profile", "--workload", "HELR"]) == 0
