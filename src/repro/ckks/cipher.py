@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from repro.ckks.rns import RnsPolynomial
-from repro.errors import ParameterError, ScaleMismatchError
+from repro.ckks.rns import RnsPolynomial, modulus_column
+from repro.errors import (ParameterError, ScaleMismatchError,
+                          VerificationError)
+from repro.faults.checksum import residues_in_range
 
 #: Relative tolerance when comparing the floating-point scales of two
 #: operands.  Scales drift because rescaling divides by primes that only
@@ -65,6 +68,30 @@ class Ciphertext:
 
     def copy(self) -> "Ciphertext":
         return Ciphertext(self.b.copy(), self.a.copy(), self.scale)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`VerificationError` on a structurally broken
+        ciphertext.
+
+        The checks are the cheap sanity guards a resilient runtime runs
+        after recovery: the scale must be a positive finite number, both
+        halves must live in the same domain, and every residue must lie
+        in its prime's canonical range ``[0, q)`` — an out-of-range word
+        is proof of datapath corruption, not of any valid CKKS state.
+        """
+        if not (math.isfinite(self.scale) and self.scale > 0):
+            raise VerificationError(
+                f"ciphertext scale {self.scale!r} is not a positive "
+                "finite number")
+        if self.b.is_ntt != self.a.is_ntt:
+            raise VerificationError(
+                "ciphertext halves are in different domains")
+        q_col = modulus_column(self.basis)
+        for name, poly in (("b", self.b), ("a", self.a)):
+            if not residues_in_range(poly.coeffs, q_col):
+                raise VerificationError(
+                    f"ciphertext half {name!r} holds residues outside "
+                    "the canonical range [0, q)")
 
 
 def check_same_scale(x, y) -> None:

@@ -14,7 +14,7 @@ import numpy as np
 from repro.ckks import automorphism
 from repro.ckks.keyswitch import DigitDecomposition
 from repro.ckks.rns import RnsPolynomial
-from repro.errors import KeyError_, ParameterError
+from repro.errors import EvalKeyError, ParameterError
 
 
 @dataclass
@@ -74,7 +74,7 @@ class KeySet:
     def rotation_key(self, distance: int) -> EvaluationKey:
         key = self.rotations.get(distance)
         if key is None:
-            raise KeyError_(f"no rotation key for distance {distance}")
+            raise EvalKeyError(f"no rotation key for distance {distance}")
         return key
 
 

@@ -25,7 +25,7 @@ from repro.ckks import automorphism, instrument
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.keys import EvaluationKey, KeyGenerator
 from repro.ckks.keyswitch import decompose_digits, key_mult, mod_down
-from repro.errors import KeyError_, ParameterError
+from repro.errors import EvalKeyError, ParameterError
 
 
 def matrix_diagonals(matrix: np.ndarray, tolerance: float = 1e-12) -> dict:
@@ -255,7 +255,7 @@ class LinearTransform:
         keys = self.evaluator.keys
         hoisting = getattr(keys, "hoisting_rotations", None)
         if not hoisting or shift not in hoisting:
-            raise KeyError_(
+            raise EvalKeyError(
                 f"no hoisting rotation key for distance {shift}; generate "
                 "with generate_hoisting_keys()")
         return hoisting[shift]

@@ -16,6 +16,7 @@ import numpy as np
 from repro.ckks import modmath
 from repro.ckks.ntt import BatchNttContext, NttContext
 from repro.errors import ParameterError
+from repro.faults import guard as _fault_guard
 
 
 @lru_cache(maxsize=None)
@@ -144,21 +145,36 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
+        q_col = modulus_column(self.basis)
         out = np.empty_like(self.coeffs)
-        modmath.mod_add_into(self.coeffs, other.coeffs,
-                             modulus_column(self.basis), out)
+        modmath.mod_add_into(self.coeffs, other.coeffs, q_col, out)
+        if _fault_guard.ACTIVE is not None:
+            _fault_guard.ACTIVE.elementwise(
+                "add", (self.coeffs, other.coeffs), out, q_col,
+                lambda buf: modmath.mod_add_into(
+                    self.coeffs, other.coeffs, q_col, buf))
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
+        q_col = modulus_column(self.basis)
         out = np.empty_like(self.coeffs)
-        modmath.mod_sub_into(self.coeffs, other.coeffs,
-                             modulus_column(self.basis), out)
+        modmath.mod_sub_into(self.coeffs, other.coeffs, q_col, out)
+        if _fault_guard.ACTIVE is not None:
+            _fault_guard.ACTIVE.elementwise(
+                "sub", (self.coeffs, other.coeffs), out, q_col,
+                lambda buf: modmath.mod_sub_into(
+                    self.coeffs, other.coeffs, q_col, buf))
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
+        q_col = modulus_column(self.basis)
         out = np.empty_like(self.coeffs)
-        modmath.mod_neg_into(self.coeffs, modulus_column(self.basis), out)
+        modmath.mod_neg_into(self.coeffs, q_col, out)
+        if _fault_guard.ACTIVE is not None:
+            _fault_guard.ACTIVE.elementwise(
+                "neg", (self.coeffs,), out, q_col,
+                lambda buf: modmath.mod_neg_into(self.coeffs, q_col, buf))
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -166,9 +182,14 @@ class RnsPolynomial:
         self._check_compatible(other)
         if not self.is_ntt:
             raise ParameterError("polynomial mult requires NTT form")
+        q_col = modulus_column(self.basis)
         out = np.empty_like(self.coeffs)
-        modmath.mod_mul_into(self.coeffs, other.coeffs,
-                             modulus_column(self.basis), out)
+        modmath.mod_mul_into(self.coeffs, other.coeffs, q_col, out)
+        if _fault_guard.ACTIVE is not None:
+            _fault_guard.ACTIVE.elementwise(
+                "mul", (self.coeffs, other.coeffs), out, q_col,
+                lambda buf: modmath.mod_mul_into(
+                    self.coeffs, other.coeffs, q_col, buf))
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     def scalar_mul(self, constants) -> "RnsPolynomial":
@@ -182,6 +203,12 @@ class RnsPolynomial:
                        dtype=np.int64).reshape(-1, 1)
         out = np.empty_like(self.coeffs)
         modmath.mod_mul_into(self.coeffs, col, q_col, out)
+        if _fault_guard.ACTIVE is not None:
+            _fault_guard.ACTIVE.elementwise(
+                "scalar", (self.coeffs,), out, q_col,
+                lambda buf: modmath.mod_mul_into(self.coeffs, col, q_col,
+                                                 buf),
+                scalars=col)
         return RnsPolynomial(out, self.basis, self.is_ntt)
 
     # -- Basis manipulation -----------------------------------------------------

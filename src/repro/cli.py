@@ -27,6 +27,7 @@ from repro.core.framework import AnaheimFramework
 from repro.core.gantt import render_breakdown, render_gantt
 from repro.core.scheduler import ScheduleReport, Segment
 from repro.core.trace import OpCategory, PimKernel
+from repro.errors import ReproError
 from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
 from repro.obs.baseline import (baseline_path, check_baseline,
                                 check_baseline_metrics, load_baseline,
@@ -123,16 +124,23 @@ def cmd_run(args) -> int:
         return 1
     library = LIBRARIES[args.library]
     keep = args.trace_out is not None
+    fault_plan = None
+    if args.fault_seed is not None:
+        from repro.faults.plan import default_plan
+        fault_plan = default_plan(seed=args.fault_seed,
+                                  scale=args.fault_scale)
     if args.pim == "none":
         framework = AnaheimFramework(gpu, library=library,
-                                     keep_segments=keep)
+                                     keep_segments=keep,
+                                     fault_plan=fault_plan)
         result = framework.run(workload.blocks, params.degree,
                                label=args.workload)
         report = result.report
         manifest = run_manifest(report, gpu=gpu, pim=None, library=library,
                                 options=result.options,
                                 workload=args.workload,
-                                degree=params.degree)
+                                degree=params.degree,
+                                fault_plan=fault_plan)
         _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
                         manifest=manifest)
         if args.json:
@@ -148,7 +156,8 @@ def cmd_run(args) -> int:
         return 0
     pim = _pim_for(args.gpu, args.pim)
     framework = AnaheimFramework(gpu, pim, library=library,
-                                 keep_segments=keep)
+                                 keep_segments=keep,
+                                 fault_plan=fault_plan)
     runs = framework.compare(workload.blocks, params.degree,
                              label=args.workload)
     base, anaheim = runs["gpu"].report, runs["pim"].report
@@ -157,6 +166,7 @@ def cmd_run(args) -> int:
     manifest = run_manifest(anaheim, gpu=gpu, pim=pim, library=library,
                             options=runs["pim"].options,
                             workload=args.workload, degree=params.degree,
+                            fault_plan=fault_plan,
                             extra={"baseline_report": report_dict(base)})
     _emit_artifacts(args, trace_doc=trace_doc, manifest=manifest)
     if args.json:
@@ -353,6 +363,92 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _faults_baseline_metrics(result: dict) -> dict:
+    """Deterministic analytic-campaign metrics for BENCH_faults.json."""
+    agg = result.get("analytic_aggregate", {})
+    runs = result.get("analytic", [])
+    return {
+        "injected": agg.get("injected", 0),
+        "detected": agg.get("detected", 0),
+        "coverage": agg.get("coverage", 1.0),
+        "recovered_retry": agg.get("recovered_retry", 0),
+        "recovered_fallback": agg.get("recovered_fallback", 0),
+        "unrecovered": agg.get("unrecovered", 0),
+        "mean_overhead": agg.get("mean_overhead", 0.0),
+        "clean_time_s": sum(r["clean_time_s"] for r in runs),
+        "faulted_time_s": sum(r["faulted_time_s"] for r in runs),
+        "verify_time_s": sum(r["verify_time_s"] for r in runs),
+    }
+
+
+def cmd_faults(args) -> int:
+    from repro.faults.campaign import run_matrix
+
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    stuck = tuple(args.stuck_site or ())
+    result = run_matrix(
+        seeds=seeds, scale=args.scale, workload=args.workload,
+        stuck_sites=stuck,
+        functional=args.layer in ("both", "functional"),
+        analytic=args.layer in ("both", "analytic"))
+    gate_ok = result["gate"]["passed"]
+
+    if args.manifest:
+        _write_artifact(args.manifest, result, "manifest",
+                        quiet=args.json)
+    if args.check:
+        path = baseline_path(args.dir, "faults")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro faults "
+                  f"--write-baseline` first")
+            return 2
+        baseline = load_baseline(args.dir, "faults")
+        regressions = check_baseline_metrics(
+            baseline, _faults_baseline_metrics(result),
+            tolerance=args.tolerance)
+        if regressions:
+            print(f"faults: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"faults: all metrics within ±{args.tolerance:.0%} of {path}")
+        return 0 if gate_ok else 1
+    if args.write_baseline:
+        path = write_baseline_metrics(
+            args.dir, "faults", _faults_baseline_metrics(result),
+            config={"seeds": list(seeds), "scale": args.scale,
+                    "workload": args.workload,
+                    "stuck_sites": list(stuck)})
+        print(f"wrote baseline {path}")
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if gate_ok else 1
+
+    rows = []
+    for key, label in (("functional_aggregate", "functional"),
+                       ("analytic_aggregate", "analytic")):
+        agg = result.get(key)
+        if agg is None:
+            continue
+        extra = (f"max err {result['functional_aggregate']['max_error']:.2e}"
+                 if key == "functional_aggregate"
+                 else f"overhead {agg['mean_overhead']:.2%}")
+        rows.append([label, agg["injected"], agg["effective"],
+                     agg["detected"], f"{agg['coverage']:.1%}",
+                     agg["recovered_retry"], agg["recovered_fallback"],
+                     agg["unrecovered"], extra])
+    print(format_table(
+        ["layer", "injected", "effective", "detected", "coverage",
+         "retry", "fallback", "unrecovered", "notes"],
+        rows, title=f"fault campaign: seeds {list(seeds)}, "
+                    f"scale {args.scale}, workload {args.workload}"))
+    print(f"gate: {'PASS' if gate_ok else 'FAIL'} "
+          f"(coverage >= {result['gate']['coverage_threshold']:.0%}, "
+          f"no unrecovered/undetected faults, decrypt correct)")
+    return 0 if gate_ok else 1
+
+
 def cmd_profile(args) -> int:
     tracer = Tracer()
     if args.workload == "functional":
@@ -394,9 +490,12 @@ def cmd_profile(args) -> int:
 
 def _add_target_flags(parser, default_pim: str = "near-bank",
                       extra_workloads=()) -> None:
+    # Workload names are validated by apps.build (a clean one-line
+    # error), not by argparse choices — the workload table is data, and
+    # an unknown name should not dump a usage traceback.
+    names = sorted(apps.WORKLOADS) + sorted(extra_workloads)
     parser.add_argument("--workload", required=True,
-                        choices=sorted(apps.WORKLOADS) +
-                        sorted(extra_workloads))
+                        help=f"one of {', '.join(names)}")
     parser.add_argument("--gpu", default="a100", choices=sorted(GPUS))
     parser.add_argument("--pim", default=default_pim,
                         choices=["near-bank", "custom-hbm", "none"])
@@ -416,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_target_flags(run)
     run.add_argument("--breakdown", action="store_true",
                      help="print the per-category time breakdown")
+    run.add_argument("--fault-seed", type=int, default=None,
+                     help="attach a default fault plan with this seed "
+                          "(resilient scheduling; summary in manifest)")
+    run.add_argument("--fault-scale", type=float, default=1.0,
+                     help="multiplier on the default fault rates")
     _add_obs_flags(run)
 
     gantt = sub.add_parser("gantt",
@@ -451,6 +555,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-out", metavar="FILE",
                          help="also write wall-clock spans + simulated "
                               "schedule as a Chrome trace file")
+
+    faults = sub.add_parser(
+        "faults", help="run a fault-injection campaign matrix "
+                       "(coverage + overhead; nonzero exit on gate fail)")
+    faults.add_argument("--seeds", default="0,1,2",
+                        help="comma-separated campaign seeds")
+    faults.add_argument("--scale", type=float, default=1.0,
+                        help="multiplier on the default fault rates")
+    faults.add_argument("--workload", default="Boot",
+                        help="analytic-campaign workload (default Boot)")
+    faults.add_argument("--stuck-site", type=int, action="append",
+                        help="add a persistent stuck-at fault at this "
+                             "PIM site (repeatable)")
+    faults.add_argument("--layer", default="both",
+                        choices=["both", "functional", "analytic"])
+    faults.add_argument("--dir", default=".",
+                        help="directory holding BENCH_faults.json")
+    faults.add_argument("--write-baseline", action="store_true",
+                        help="record the analytic campaign metrics as "
+                             "BENCH_faults.json")
+    faults.add_argument("--check", action="store_true",
+                        help="compare against the stored BENCH_faults.json")
+    faults.add_argument("--tolerance", type=float, default=0.02)
+    faults.add_argument("--json", action="store_true",
+                        help="emit the full campaign document as JSON")
+    faults.add_argument("--manifest", metavar="FILE",
+                        help="write the campaign document to a file")
     return parser
 
 
@@ -458,8 +589,18 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
                 "microbench": cmd_microbench, "bench": cmd_bench,
-                "profile": cmd_profile}
-    return handlers[args.command](args)
+                "profile": cmd_profile, "faults": cmd_faults}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON input: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

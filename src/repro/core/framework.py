@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from repro.core.fusion import (GPU_ALL_FUSE, PIM_FULL, LoweringOptions,
                                lower)
-from repro.core.scheduler import ScheduleReport, Scheduler
+from repro.core.scheduler import (ResilientScheduler, ScheduleReport,
+                                  Scheduler)
 from repro.gpu.cache import CacheModel
 from repro.gpu.configs import CHEDDAR, GpuConfig, LibraryProfile
 from repro.gpu.model import GpuModel
@@ -36,7 +37,8 @@ class AnaheimFramework:
                  library: LibraryProfile = CHEDDAR,
                  working_set_bytes: float = 0.0,
                  keep_segments: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 fault_plan=None):
         self.gpu = gpu
         self.pim = pim
         self.library = library
@@ -47,6 +49,19 @@ class AnaheimFramework:
         self.cache = CacheModel(l2_bytes=gpu.l2_cache_bytes,
                                 working_set_bytes=working_set_bytes)
         self.keep_segments = keep_segments
+        self.fault_plan = fault_plan
+
+    def _scheduler(self) -> Scheduler:
+        if self.fault_plan is not None:
+            return ResilientScheduler(self.gpu_model, self.pim_executor,
+                                      cache=self.cache,
+                                      keep_segments=self.keep_segments,
+                                      tracer=self.tracer,
+                                      plan=self.fault_plan)
+        return Scheduler(self.gpu_model, self.pim_executor,
+                         cache=self.cache,
+                         keep_segments=self.keep_segments,
+                         tracer=self.tracer)
 
     def default_options(self) -> LoweringOptions:
         """Best options for the bound devices: full fusion, plus PIM
@@ -67,10 +82,7 @@ class AnaheimFramework:
             with maybe_span(self.tracer, "framework.lower"):
                 trace = lower(blocks, degree, options, label=label,
                               tracer=self.tracer)
-            scheduler = Scheduler(self.gpu_model, self.pim_executor,
-                                  cache=self.cache,
-                                  keep_segments=self.keep_segments,
-                                  tracer=self.tracer)
+            scheduler = self._scheduler()
             with maybe_span(self.tracer, "framework.schedule",
                             kernels=len(trace)):
                 report = scheduler.run(trace)

@@ -16,6 +16,10 @@ from dataclasses import dataclass, field
 
 from repro.core.trace import (CATEGORY_LABELS, GpuKernel, OpCategory,
                               PimKernel, Trace)
+from repro.errors import FaultError
+from repro.faults.fallback import gpu_equivalent
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import PERSISTENT_MODELS
 from repro.gpu.cache import CacheModel
 from repro.gpu.model import GpuModel
 from repro.pim.executor import PimExecutor
@@ -54,6 +58,11 @@ class ScheduleReport:
     energy_gpu_dynamic: float = 0.0
     energy_gpu_idle: float = 0.0
     energy_pim: float = 0.0
+    #: Fault-campaign accounting, populated by :class:`ResilientScheduler`
+    #: (empty on plain runs): injection/detection/recovery counts plus the
+    #: verify/retry/fallback time the recovery policy added to the
+    #: timeline.
+    fault_summary: dict = field(default_factory=dict)
 
     @property
     def energy(self) -> float:
@@ -107,6 +116,7 @@ class ScheduleReport:
         out.energy_gpu_dynamic = self.energy_gpu_dynamic * factor
         out.energy_gpu_idle = self.energy_gpu_idle * factor
         out.energy_pim = self.energy_pim * factor
+        out.fault_summary = _scale_fault_summary(self.fault_summary, factor)
         return out
 
     def merged(self, other: "ScheduleReport",
@@ -127,7 +137,53 @@ class ScheduleReport:
         out.energy_gpu_dynamic += other.energy_gpu_dynamic
         out.energy_gpu_idle += other.energy_gpu_idle
         out.energy_pim += other.energy_pim
+        out.fault_summary = _merge_fault_summaries(out.fault_summary,
+                                                   other.fault_summary)
         return out
+
+
+#: fault_summary keys that are ratios or identities, not extensive
+#: counts — they neither scale with repetitions nor sum across merges.
+_INTENSIVE_FAULT_KEYS = frozenset({"coverage", "plan_digest"})
+
+
+def _fault_coverage(summary: dict) -> float:
+    effective = summary.get("effective", 0)
+    return (summary.get("detected", 0) / effective) if effective else 1.0
+
+
+def _scale_fault_summary(summary: dict, factor: float) -> dict:
+    """Fault accounting for ``factor`` repetitions of a schedule."""
+    out = {}
+    for key, value in summary.items():
+        if key in _INTENSIVE_FAULT_KEYS or isinstance(value, bool) \
+                or isinstance(value, (list, str)):
+            out[key] = value
+        elif isinstance(value, int):
+            out[key] = int(value * factor)
+        elif isinstance(value, float):
+            out[key] = value * factor
+        else:
+            out[key] = value
+    return out
+
+
+def _merge_fault_summaries(a: dict, b: dict) -> dict:
+    out = dict(a)
+    for key, value in b.items():
+        if key in _INTENSIVE_FAULT_KEYS:
+            out.setdefault(key, value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = out.get(key, 0) + value
+        elif isinstance(value, list):
+            merged = list(out.get(key, [])) + [v for v in value
+                                               if v not in out.get(key, [])]
+            out[key] = merged
+        else:
+            out.setdefault(key, value)
+    if "effective" in out:
+        out["coverage"] = _fault_coverage(out)
+    return out
 
 
 class Scheduler:
@@ -205,4 +261,192 @@ class Scheduler:
             previous_device = device
         report.total_time = clock
         report.energy_gpu_idle = self.gpu_model.config.idle_power * clock
+        return report
+
+
+class ResilientScheduler(Scheduler):
+    """Fault-tolerant scheduler: verify -> bounded retry -> GPU fallback.
+
+    With a :class:`~repro.faults.plan.FaultPlan` attached, every kernel
+    execution faces the plan's fault draws; every kernel's output is
+    verified (residue checksums for PIM/GPU results, sequence checks
+    for transfers), detected faults are retried up to
+    ``plan.max_attempts`` times, persistent or retry-exhausted faults
+    fall back to an equivalent GPU re-execution, and PIM sites that
+    keep failing are quarantined — subsequent kernels mapped there are
+    rerouted to the GPU up front.  All recovery traffic (verification,
+    re-execution, fallback kernels, extra device transitions) lands in
+    the simulated timeline, and the injection/detection/recovery counts
+    land in ``report.fault_summary``.
+
+    Without a plan the class degrades to the plain :class:`Scheduler`.
+    """
+
+    def __init__(self, gpu_model: GpuModel,
+                 pim_executor: PimExecutor | None = None,
+                 cache: CacheModel | None = None,
+                 keep_segments: bool = True,
+                 tracer=None,
+                 plan=None,
+                 injector: FaultInjector | None = None):
+        super().__init__(gpu_model, pim_executor, cache=cache,
+                         keep_segments=keep_segments, tracer=tracer)
+        if plan is None and injector is not None:
+            plan = injector.plan
+        self.plan = plan
+        self.injector = injector if injector is not None else (
+            FaultInjector(plan) if plan is not None else None)
+
+    # -- Per-execution accounting helpers ------------------------------------
+
+    def _account_pim(self, cost, report: ScheduleReport) -> None:
+        report.pim_time += cost.time
+        report.pim_internal_bytes += cost.internal_bytes
+        report.pim_activations += cost.activations
+        report.energy_pim += cost.energy
+
+    def _account_gpu(self, kernel: GpuKernel,
+                     report: ScheduleReport) -> float:
+        dram = self.cache.dram_bytes(kernel)
+        cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
+        report.gpu_time += cost.time
+        report.gpu_dram_bytes += cost.dram_bytes
+        report.energy_gpu_dynamic += self.gpu_model.kernel_energy(kernel,
+                                                                  cost)
+        return cost.time
+
+    def run(self, trace: Trace) -> ScheduleReport:
+        if self.injector is None:
+            return super().run(trace)
+        plan, injector = self.plan, self.injector
+        tracer = self.tracer
+        report = ScheduleReport(label=trace.label)
+        overhead = self.gpu_model.config.pim_transition_overhead
+        clock = 0.0
+        previous_device = None
+        times = {"verify_time": 0.0, "retry_time": 0.0, "fallback_time": 0.0}
+        rerouted = 0
+        event_base = len(injector.log.events)
+        pim_index = 0
+
+        def advance(duration: float, device: str, name: str,
+                    category) -> None:
+            nonlocal clock, previous_device
+            if previous_device is not None and previous_device != device:
+                clock += overhead
+                report.transition_time += overhead
+                report.transitions += 1
+                if tracer is not None:
+                    tracer.count("scheduler.transitions")
+            start = clock
+            clock += duration
+            report.time_by_category[category] = (
+                report.time_by_category.get(category, 0.0) + duration)
+            if self.keep_segments:
+                report.segments.append(Segment(
+                    start=start, end=clock, device=device,
+                    name=name, category=category))
+            previous_device = device
+
+        for kernel in trace:
+            is_pim = isinstance(kernel, PimKernel)
+            if is_pim and self.pim_executor is None:
+                raise ValueError(
+                    "trace contains PIM kernels but no PIM executor "
+                    "was provided")
+            exec_kernel = kernel
+            device = "pim" if is_pim else "gpu"
+            site = None
+            if is_pim:
+                site = injector.site_for(pim_index)
+                pim_index += 1
+                if injector.is_quarantined(site):
+                    injector.note_reroute()
+                    rerouted += 1
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.rerouted")
+                    exec_kernel = gpu_equivalent(kernel)
+                    device, site = "gpu", None
+
+            attempts = 0
+            while True:
+                instruction = getattr(exec_kernel, "instruction", None)
+                fault = injector.kernel_fault(device, exec_kernel.category,
+                                              instruction=instruction,
+                                              site=site)
+                if device == "pim":
+                    nominal = self.pim_executor.cost(exec_kernel)
+                    executed = self.pim_executor.apply_fault(nominal, fault)
+                    self._account_pim(executed, report)
+                    duration = executed.time
+                    verify = plan.pim_verify_overhead * nominal.time
+                    report.pim_time += verify
+                else:
+                    duration = self._account_gpu(exec_kernel, report)
+                    verify = self.gpu_model.verify_cost(exec_kernel)
+                    report.gpu_time += verify
+                label = exec_kernel.name if attempts == 0 else (
+                    f"{exec_kernel.name}.retry{attempts}")
+                advance(duration + verify, device, label,
+                        exec_kernel.category)
+                times["verify_time"] += verify
+                if attempts > 0:
+                    times["retry_time"] += duration + verify
+                if fault is None:
+                    break
+                if tracer is not None:
+                    tracer.count("scheduler.faults.injected")
+                if injector.fault_is_benign(fault, instruction):
+                    event = injector.event(fault, exec_kernel.name,
+                                           "analytic", site=site)
+                    event.benign = True
+                    break
+                event = injector.event(fault, exec_kernel.name, "analytic",
+                                       site=site)
+                event.detected = True
+                event.attempts = attempts + 1
+                if tracer is not None:
+                    tracer.count("scheduler.faults.detected")
+                attempts += 1
+                if (attempts <= plan.max_attempts
+                        and fault not in PERSISTENT_MODELS):
+                    event.recovery = "retry"
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.retries")
+                    continue
+                if not plan.allow_fallback:
+                    raise FaultError(
+                        f"kernel {exec_kernel.name!r} failed "
+                        f"{attempts} attempt(s) at site {site} and "
+                        f"fallback is disabled")
+                # GPU fallback: re-execute on the reliable device.  A
+                # failed PIM site takes a strike; enough strikes
+                # quarantine it for the rest of the schedule.
+                fallback = (gpu_equivalent(exec_kernel)
+                            if device == "pim" else exec_kernel)
+                fb_duration = self._account_gpu(fallback, report)
+                fb_verify = self.gpu_model.verify_cost(fallback)
+                report.gpu_time += fb_verify
+                advance(fb_duration + fb_verify, "gpu",
+                        f"{exec_kernel.name}.fallback",
+                        fallback.category)
+                times["verify_time"] += fb_verify
+                times["fallback_time"] += fb_duration + fb_verify
+                event.recovery = "fallback"
+                if tracer is not None:
+                    tracer.count("scheduler.faults.fallbacks")
+                if device == "pim" and injector.record_site_failure(site):
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.quarantined_sites")
+                break
+
+        report.total_time = clock
+        report.energy_gpu_idle = self.gpu_model.config.idle_power * clock
+        from repro.faults.events import FaultLog
+        run_log = FaultLog(events=injector.log.events[event_base:],
+                           rerouted=rerouted,
+                           quarantined_sites=list(
+                               injector.log.quarantined_sites))
+        report.fault_summary = dict(run_log.summary(), **times,
+                                    plan_digest=plan.digest())
         return report

@@ -17,8 +17,12 @@ class ScaleMismatchError(ReproError):
     """Raised when operands of a homomorphic op carry incompatible scales."""
 
 
-class KeyError_(ReproError):
+class EvalKeyError(ReproError):
     """Raised when a required evaluation key is missing."""
+
+
+#: Backwards-compatible alias for the pre-rename spelling.
+KeyError_ = EvalKeyError
 
 
 class LayoutError(ReproError):
@@ -27,3 +31,13 @@ class LayoutError(ReproError):
 
 class ScheduleError(ReproError):
     """Raised when a kernel trace cannot be scheduled."""
+
+
+class VerificationError(ReproError):
+    """Raised when a result fails an integrity check (residue checksum
+    mismatch or a ciphertext invariant violation)."""
+
+
+class FaultError(ReproError):
+    """Raised when an injected fault exhausts every recovery path
+    (bounded retry and GPU fallback)."""

@@ -1,0 +1,57 @@
+"""Fault injection, detection, and recovery (verify -> retry -> fallback).
+
+The subsystem has three layers:
+
+* **Plans** (:mod:`repro.faults.plan`): deterministic, seedable fault
+  plans — which fault models fire, at what rate, at which sites.
+* **Injection + detection**: :mod:`repro.faults.inject` corrupts both
+  real residue words (functional layer) and symbolic kernel executions
+  (analytic layer); :mod:`repro.faults.checksum` provides the residue
+  checksums that catch the corruption.
+* **Recovery**: :mod:`repro.faults.guard` wraps the functional RNS
+  kernels, :class:`repro.core.scheduler.ResilientScheduler` wraps the
+  analytic timeline; both implement bounded retry, GPU fallback, and
+  site quarantine.  :mod:`repro.faults.campaign` runs whole campaigns
+  and reports coverage/overhead.
+
+Exports resolve lazily (PEP 562): the numeric layer imports
+``repro.faults.guard`` on its hot path, and an eager package import
+would close a cycle through :mod:`repro.pim`.
+"""
+
+_EXPORTS = {
+    "FaultModel": "repro.faults.plan",
+    "FaultSpec": "repro.faults.plan",
+    "FaultPlan": "repro.faults.plan",
+    "default_plan": "repro.faults.plan",
+    "DEFAULT_RATES": "repro.faults.plan",
+    "PIM_MODELS": "repro.faults.plan",
+    "PERSISTENT_MODELS": "repro.faults.plan",
+    "FaultEvent": "repro.faults.events",
+    "FaultLog": "repro.faults.events",
+    "FaultInjector": "repro.faults.inject",
+    "StuckRegion": "repro.faults.inject",
+    "gpu_equivalent": "repro.faults.fallback",
+    "limb_checksum": "repro.faults.checksum",
+    "checksum_add": "repro.faults.checksum",
+    "checksum_sub": "repro.faults.checksum",
+    "checksum_neg": "repro.faults.checksum",
+    "checksum_scalar_mul": "repro.faults.checksum",
+    "checksum_mul_pairs": "repro.faults.checksum",
+    "mismatched_limbs": "repro.faults.checksum",
+    "residues_in_range": "repro.faults.checksum",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.faults' has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

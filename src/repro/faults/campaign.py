@@ -1,0 +1,179 @@
+"""Fault-injection campaigns: coverage and overhead measurement.
+
+A campaign exercises both halves of the duality:
+
+* the **functional** campaign bootstraps a real ciphertext under an
+  active :mod:`repro.faults.guard` session — every injected corruption
+  must be detected by the residue checksums and recovered (retry or
+  GPU fallback) such that the final decrypt is still correct;
+* the **analytic** campaign schedules a paper-scale workload through
+  :class:`repro.core.scheduler.ResilientScheduler` and compares the
+  timeline against the clean schedule, yielding the time overhead of
+  verification + recovery.
+
+``run_matrix`` sweeps both over a seed list and aggregates into the
+pass/fail gate the CLI and CI enforce: every effective fault detected
+(coverage >= the threshold), nothing unrecovered, decrypt correct.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.faults import guard
+from repro.faults.plan import FaultPlan, default_plan
+
+#: Decryption error ceiling for the campaign's bootstrap (the clean
+#: fixture lands around 2e-4 at the bench parameters; recovery must not
+#: degrade it to another order of magnitude).
+MAX_DECRYPT_ERROR = 1e-2
+
+#: Minimum detected/effective ratio the campaign gate demands.
+COVERAGE_THRESHOLD = 0.99
+
+
+def run_functional_campaign(plan: FaultPlan,
+                            max_error: float = MAX_DECRYPT_ERROR) -> dict:
+    """Bootstrap a ciphertext with faults live; report coverage.
+
+    Key generation and the one-time warmup bootstrap run *outside* the
+    fault session (the paper's fault model targets the PIM datapath at
+    execution time, not key material at rest).
+    """
+    from repro.ckks.bench import BENCH_PARAMS
+    from repro.ckks.bootstrap import Bootstrapper
+    from repro.ckks.evaluator import CkksEvaluator
+    from repro.ckks.keys import KeyGenerator
+    from repro.params import CkksParams
+
+    params = CkksParams.create(**BENCH_PARAMS)
+    keygen = KeyGenerator(params, seed=11)
+    keys = keygen.generate(sparse_secret=True)
+    ev = CkksEvaluator(params, keys)
+    bts = Bootstrapper(ev, keygen)
+
+    rng = np.random.default_rng(7)
+    message = 0.3 * (rng.normal(size=params.slot_count)
+                     + 1j * rng.normal(size=params.slot_count))
+    ct_low = ev.drop_to_basis(ev.encrypt_message(message),
+                              tuple(params.moduli[:1]))
+    bts.bootstrap(ct_low)          # warmup: rotation keys, diag caches
+
+    start = time.perf_counter()
+    with guard.session(plan) as sess:
+        refreshed = bts.bootstrap(ct_low)
+    wall_s = time.perf_counter() - start
+
+    refreshed.check_invariants()
+    decrypted = ev.decrypt_message(refreshed, params.slot_count)
+    err = float(np.abs(decrypted - message).max())
+    summary = sess.log.summary()
+    return {
+        "layer": "functional",
+        "seed": plan.seed,
+        "plan_digest": plan.digest(),
+        "summary": summary,
+        "events_by_model": {k: v["injected"]
+                            for k, v in sess.log.by_model().items()},
+        "max_error": err,
+        "decrypt_ok": err <= max_error,
+        "wall_s": wall_s,
+    }
+
+
+def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
+                          gpu=None, pim=None) -> dict:
+    """Schedule a workload clean and resilient; report time overhead."""
+    from repro.core.framework import AnaheimFramework
+    from repro.gpu.configs import A100_80GB
+    from repro.pim.configs import A100_NEAR_BANK
+    from repro.workloads.applications import PaperParams, build
+
+    gpu = gpu if gpu is not None else A100_80GB
+    pim = pim if pim is not None else A100_NEAR_BANK
+    params = PaperParams()
+    wl = build(workload, params)
+
+    clean = AnaheimFramework(gpu, pim=pim).run(
+        wl.blocks, params.degree, label=f"{workload} (clean)")
+    faulted = AnaheimFramework(gpu, pim=pim, fault_plan=plan).run(
+        wl.blocks, params.degree, label=f"{workload} (faulted)")
+
+    clean_t = clean.report.total_time
+    fault_t = faulted.report.total_time
+    summary = dict(faulted.report.fault_summary)
+    return {
+        "layer": "analytic",
+        "seed": plan.seed,
+        "workload": workload,
+        "plan_digest": plan.digest(),
+        "summary": summary,
+        "clean_time_s": clean_t,
+        "faulted_time_s": fault_t,
+        "overhead": fault_t / clean_t - 1.0 if clean_t else 0.0,
+        "verify_time_s": summary.get("verify_time", 0.0),
+        "retry_time_s": summary.get("retry_time", 0.0),
+        "fallback_time_s": summary.get("fallback_time", 0.0),
+    }
+
+
+def _aggregate(runs) -> dict:
+    """Pool the per-run fault summaries of one campaign layer."""
+    keys = ("injected", "benign", "effective", "detected", "undetected",
+            "recovered_retry", "recovered_fallback", "unrecovered",
+            "rerouted")
+    total = {k: sum(r["summary"].get(k, 0) for r in runs) for k in keys}
+    total["coverage"] = (total["detected"] / total["effective"]
+                         if total["effective"] else 1.0)
+    return total
+
+
+def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
+               workload: str = "Boot", stuck_sites=(),
+               functional: bool = True, analytic: bool = True,
+               coverage_threshold: float = COVERAGE_THRESHOLD,
+               gpu=None, pim=None) -> dict:
+    """The campaign matrix: (layer x seed) sweep plus the gate verdict."""
+    plans = [default_plan(seed=seed, scale=scale, stuck_sites=stuck_sites)
+             for seed in seeds]
+    functional_runs = ([run_functional_campaign(plan) for plan in plans]
+                       if functional else [])
+    analytic_runs = ([run_analytic_campaign(plan, workload=workload,
+                                            gpu=gpu, pim=pim)
+                      for plan in plans]
+                     if analytic else [])
+
+    result = {
+        "seeds": list(seeds),
+        "scale": scale,
+        "stuck_sites": list(stuck_sites),
+        "functional": functional_runs,
+        "analytic": analytic_runs,
+    }
+    if functional_runs:
+        agg = _aggregate(functional_runs)
+        agg["decrypt_ok"] = all(r["decrypt_ok"] for r in functional_runs)
+        agg["max_error"] = max(r["max_error"] for r in functional_runs)
+        result["functional_aggregate"] = agg
+    if analytic_runs:
+        agg = _aggregate(analytic_runs)
+        agg["mean_overhead"] = float(
+            np.mean([r["overhead"] for r in analytic_runs]))
+        result["analytic_aggregate"] = agg
+
+    gate = {"coverage_threshold": coverage_threshold}
+    checks = []
+    for key in ("functional_aggregate", "analytic_aggregate"):
+        agg = result.get(key)
+        if agg is None:
+            continue
+        checks.append(agg["coverage"] >= coverage_threshold)
+        checks.append(agg["unrecovered"] == 0)
+        checks.append(agg["undetected"] == 0)
+    if functional_runs:
+        checks.append(result["functional_aggregate"]["decrypt_ok"])
+    gate["passed"] = bool(checks) and all(checks)
+    result["gate"] = gate
+    return result

@@ -1,0 +1,89 @@
+"""Fault event records and the campaign log.
+
+Every injected fault becomes one :class:`FaultEvent`, updated in place
+as detection and recovery proceed; the :class:`FaultLog` aggregates the
+events into the coverage/recovery summary the CLI reports and the run
+manifest embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault and what became of it.
+
+    ``layer`` distinguishes faults injected into the *functional*
+    numeric pipeline (real corrupted words) from faults in the
+    *analytic* timeline model (symbolic corrupted kernels).  ``benign``
+    marks injections that provably cannot alter the result (e.g. a
+    duplicated idempotent instruction); they count as injected but are
+    excluded from the detection-coverage denominator.
+    """
+
+    model: str
+    op: str
+    layer: str                      # "functional" | "analytic"
+    site: int | None = None
+    benign: bool = False
+    detected: bool = False
+    recovery: str | None = None     # "retry" | "fallback" | None
+    attempts: int = 0
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class FaultLog:
+    """Accumulates events plus site/quarantine bookkeeping counters."""
+
+    events: list = field(default_factory=list)
+    rerouted: int = 0               # kernels steered around quarantined sites
+    quarantined_sites: list = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> FaultEvent:
+        self.events.append(event)
+        return event
+
+    # -- Aggregation ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Coverage and recovery counts over the whole campaign."""
+        injected = len(self.events)
+        benign = sum(1 for e in self.events if e.benign)
+        effective = injected - benign
+        detected = sum(1 for e in self.events if e.detected)
+        recovered_retry = sum(1 for e in self.events
+                              if e.recovery == "retry")
+        recovered_fallback = sum(1 for e in self.events
+                                 if e.recovery == "fallback")
+        undetected = sum(1 for e in self.events
+                         if not e.benign and not e.detected)
+        unrecovered = sum(1 for e in self.events
+                          if e.detected and e.recovery is None)
+        return {
+            "injected": injected,
+            "benign": benign,
+            "effective": effective,
+            "detected": detected,
+            "undetected": undetected,
+            "recovered_retry": recovered_retry,
+            "recovered_fallback": recovered_fallback,
+            "unrecovered": unrecovered,
+            "coverage": (detected / effective) if effective else 1.0,
+            "rerouted": self.rerouted,
+            "quarantined_sites": sorted(self.quarantined_sites),
+        }
+
+    def by_model(self) -> dict:
+        """{model: {injected, detected, recovered}} breakdown."""
+        out: dict = {}
+        for event in self.events:
+            row = out.setdefault(event.model, {"injected": 0, "benign": 0,
+                                               "detected": 0, "recovered": 0})
+            row["injected"] += 1
+            row["benign"] += int(event.benign)
+            row["detected"] += int(event.detected)
+            row["recovered"] += int(event.recovery is not None)
+        return out

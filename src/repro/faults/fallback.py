@@ -1,0 +1,33 @@
+"""GPU re-execution equivalents for PIM kernels.
+
+When a PIM site is quarantined (or a detected fault exhausts its retry
+budget), the recovery policy reroutes the kernel back to the GPU.  The
+GPU equivalent of a Table II PIM kernel is an element-wise roofline
+kernel with the same modular-op count and the polynomial traffic the
+instruction's operands imply — exactly what the lowering would have
+emitted had the kernel never been offloaded (§V-C).
+"""
+
+from __future__ import annotations
+
+from repro.core.trace import GpuKernel, OpCategory, PimKernel
+from repro.pim import isa
+
+WORD_BYTES = 4
+
+
+def gpu_equivalent(kernel: PimKernel) -> GpuKernel:
+    """The GPU kernel that recomputes one PIM kernel's outputs."""
+    inst = isa.instruction(kernel.instruction)
+    fan_in = kernel.fan_in
+    volume = kernel.limbs * kernel.degree * WORD_BYTES
+    ops = kernel.limbs * kernel.degree * inst.ops_per_element * (
+        fan_in if inst.compound else 1)
+    return GpuKernel(
+        name=f"{kernel.name}.gpu-fallback",
+        category=OpCategory.ELEMENTWISE,
+        mod_ops=float(ops),
+        bytes_read=float(inst.read_polys(fan_in) * volume),
+        bytes_written=float(inst.writes * volume),
+        tags=frozenset({"fault-fallback"}),
+    )

@@ -1,0 +1,181 @@
+"""Deterministic fault injector driven by a :class:`FaultPlan`.
+
+One injector serves both execution layers: the *functional* numeric
+pipeline asks it to corrupt real int64 residue words (bit flips, stuck
+cells), and the *analytic* scheduler asks it for per-kernel fault draws
+(which kernel's output is corrupt, which compound instruction dropped
+or duplicated).  Every decision comes from a per-model generator
+derived from the plan's seed, so a campaign is exactly reproducible.
+
+The injector also owns the site bookkeeping the recovery policy needs:
+per-site failure counts and the quarantine set that reroutes subsequent
+kernels to the GPU once a bank region proves unreliable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.events import FaultEvent, FaultLog
+from repro.faults.plan import (ACCUMULATING_INSTRUCTIONS, FaultModel,
+                               FaultPlan)
+
+
+@dataclass(frozen=True)
+class StuckRegion:
+    """A persistent cell fault covering a (bank, PolyGroup) footprint."""
+
+    site: int
+    base_row: int
+    rows: int
+    col_offset: int
+    width: int
+    bit: int = 12
+    value: int = 1
+
+    def covers(self, row: int, col: int) -> bool:
+        return (self.base_row <= row < self.base_row + self.rows
+                and self.col_offset <= col < self.col_offset + self.width)
+
+    def apply(self, word: int) -> int:
+        mask = 1 << self.bit
+        return word | mask if self.value else word & ~mask
+
+
+class FaultInjector:
+    """Draws faults per the plan; records them in a :class:`FaultLog`."""
+
+    def __init__(self, plan: FaultPlan, log: FaultLog | None = None):
+        self.plan = plan
+        self.log = log if log is not None else FaultLog()
+        self._rngs = {model: plan.rng("model", model.value)
+                      for model in FaultModel}
+        self._site_failures: dict = {}
+        self._quarantined: set = set()
+        self._stuck_sites = frozenset(plan.stuck_sites())
+        self.stuck_regions: list = []
+
+    # -- Bernoulli draws -----------------------------------------------------
+
+    def draw(self, model: FaultModel) -> bool:
+        rate = self.plan.rate(model)
+        if rate <= 0.0:
+            return False
+        return bool(self._rngs[model].random() < rate)
+
+    # -- Site bookkeeping ----------------------------------------------------
+
+    def site_for(self, index: int) -> int:
+        """Bank-region site a PIM kernel lands on (round-robin over the
+        plan's site partition, mirroring the all-bank data mapping)."""
+        return index % self.plan.n_sites
+
+    def is_stuck(self, site: int) -> bool:
+        return site in self._stuck_sites
+
+    def is_quarantined(self, site) -> bool:
+        return site in self._quarantined
+
+    def record_site_failure(self, site) -> bool:
+        """Count one fallback at ``site``; True if it just got quarantined."""
+        if site is None:
+            return False
+        count = self._site_failures.get(site, 0) + 1
+        self._site_failures[site] = count
+        if (count >= self.plan.quarantine_threshold
+                and site not in self._quarantined):
+            self._quarantined.add(site)
+            self.log.quarantined_sites.append(site)
+            return True
+        return False
+
+    def note_reroute(self) -> None:
+        self.log.rerouted += 1
+
+    # -- Functional-layer corruption ----------------------------------------
+
+    def flip_word(self, array: np.ndarray, model: FaultModel) -> dict:
+        """Flip one random bit of one random word of ``array`` in place."""
+        rng = self._rngs[model]
+        flat = array.reshape(-1)
+        index = int(rng.integers(flat.size))
+        bit = int(rng.integers(32))
+        flat[index] = int(flat[index]) ^ (1 << bit)
+        return {"index": index, "bit": bit}
+
+    def stick_word(self, array: np.ndarray, site: int) -> dict | None:
+        """Apply the stuck-at spec to a site-deterministic word of
+        ``array``; None when the stuck value equals the stored bits
+        (the fault is latent and provably benign this access)."""
+        spec = self.plan.spec_for(FaultModel.PIM_STUCK_AT)
+        if spec is None:
+            return None
+        flat = array.reshape(-1)
+        index = (site * 7919) % flat.size     # fixed cell per site
+        mask = 1 << spec.bit
+        before = int(flat[index])
+        after = before | mask if spec.stuck_value else before & ~mask
+        if after == before:
+            return None
+        flat[index] = after
+        return {"index": index, "bit": spec.bit, "value": spec.stuck_value}
+
+    def add_stuck_region(self, region: StuckRegion) -> None:
+        self.stuck_regions.append(region)
+
+    def apply_stuck_regions(self, site: int, row: int, col: int,
+                            chunk: np.ndarray) -> bool:
+        """Overlay stuck cells on a chunk read from (row, col); True if
+        any word changed."""
+        changed = False
+        for region in self.stuck_regions:
+            if region.site == site and region.covers(row, col):
+                word = col % chunk.size       # one cell of the chunk
+                before = int(chunk[word])
+                after = region.apply(before)
+                if after != before:
+                    chunk[word] = after
+                    changed = True
+        return changed
+
+    # -- Analytic-layer kernel draws ----------------------------------------
+
+    def kernel_fault(self, device: str, category,
+                     instruction: str | None = None,
+                     site: int | None = None) -> FaultModel | None:
+        """Which fault (if any) strikes one kernel execution.
+
+        Fresh draws per call, so a retried kernel faces independent
+        transient faults — but a stuck site fails every attempt until
+        it is quarantined.
+        """
+        from repro.core.trace import OpCategory
+        if device == "pim":
+            if site is not None and self.is_stuck(site):
+                return FaultModel.PIM_STUCK_AT
+            for model in (FaultModel.PIM_BITFLIP_BUFFER,
+                          FaultModel.PIM_BITFLIP_MMAC,
+                          FaultModel.PIM_INSTR_DROP,
+                          FaultModel.PIM_INSTR_DUP):
+                if self.draw(model):
+                    return model
+            return None
+        if category is OpCategory.TRANSFER:
+            return FaultModel.TRANSFER_LOST if self.draw(
+                FaultModel.TRANSFER_LOST) else None
+        return FaultModel.GPU_OUTPUT if self.draw(
+            FaultModel.GPU_OUTPUT) else None
+
+    @staticmethod
+    def fault_is_benign(model: FaultModel, instruction: str | None) -> bool:
+        """A duplicated pure instruction recomputes the same output."""
+        return (model is FaultModel.PIM_INSTR_DUP
+                and instruction not in ACCUMULATING_INSTRUCTIONS)
+
+    def event(self, model: FaultModel, op: str, layer: str,
+              site: int | None = None, **detail) -> FaultEvent:
+        return self.log.record(FaultEvent(
+            model=model.value, op=op, layer=layer, site=site,
+            detail=dict(detail)))

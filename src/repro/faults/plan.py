@@ -1,0 +1,192 @@
+"""Fault campaign specification: fault model x rate x site.
+
+A :class:`FaultPlan` is a deterministic, seedable description of a
+fault-injection campaign.  Every random decision an injector makes is
+drawn from a generator derived from ``(plan.seed, stream key)`` by
+hashing, so two runs of the same plan inject byte-identical faults —
+campaigns are reproducible and their results comparable across code
+changes.  ``digest()`` canonicalizes the whole plan to a SHA-256 so run
+manifests can tell traced runs with and without (or with different)
+injection apart.
+
+The fault models map onto Anaheim's near-bank microarchitecture
+(§VI-A/B): transient bit flips in the PIM unit's data buffer or on an
+MMAC lane output, stuck-at cells scoped to a (bank, PolyGroup) row/
+column region, dropped or duplicated compound PIM instructions in the
+command stream, corrupted GPU kernel outputs, and lost transfer
+segments on the GPU<->DRAM path.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+class FaultModel(enum.Enum):
+    """Where and how a fault manifests."""
+
+    PIM_BITFLIP_BUFFER = "pim-bitflip-buffer"   # data-buffer entry bit flip
+    PIM_BITFLIP_MMAC = "pim-bitflip-mmac"       # MMAC lane output bit flip
+    PIM_STUCK_AT = "pim-stuck-at"               # persistent cell fault in a
+    #                                             (bank, PolyGroup) region
+    PIM_INSTR_DROP = "pim-instr-drop"           # compound instruction skipped
+    PIM_INSTR_DUP = "pim-instr-dup"             # compound instruction re-run
+    GPU_OUTPUT = "gpu-output"                   # corrupted GPU kernel output
+    TRANSFER_LOST = "transfer-lost"             # lost writeback/transfer chunk
+
+
+#: Models that corrupt a PIM-side result (the detection-coverage
+#: denominator of a campaign counts these).
+PIM_MODELS = frozenset({
+    FaultModel.PIM_BITFLIP_BUFFER, FaultModel.PIM_BITFLIP_MMAC,
+    FaultModel.PIM_STUCK_AT, FaultModel.PIM_INSTR_DROP,
+    FaultModel.PIM_INSTR_DUP,
+})
+
+#: Models that persist at a site: retrying on the same hardware hits the
+#: same fault again, so recovery must reroute instead of re-execute.
+PERSISTENT_MODELS = frozenset({FaultModel.PIM_STUCK_AT})
+
+#: PIM instructions that accumulate into their outputs; re-running one
+#: of these (a duplicated command) corrupts the result, while re-running
+#: a pure function of its inputs is benign.
+ACCUMULATING_INSTRUCTIONS = frozenset({
+    "MAC", "PMAC", "CMAC", "PAccum", "CAccum",
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault model with its rate and (optionally) a site scope.
+
+    ``rate`` is a per-opportunity probability: per element-wise kernel
+    for the transient models, per transfer kernel for
+    ``TRANSFER_LOST``.  Site-scoped models (``PIM_STUCK_AT``) instead
+    name the affected sites explicitly: the fault fires on every kernel
+    mapped to one of ``sites`` until the site is quarantined.
+    """
+
+    model: FaultModel
+    rate: float = 0.0
+    sites: tuple = ()
+    bit: int = 12            # flipped / stuck bit position inside a word
+    stuck_value: int = 1     # 0 or 1 for stuck-at faults
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ParameterError(f"fault rate {self.rate} outside [0, 1]")
+        if not 0 <= self.bit < 32:
+            raise ParameterError(f"fault bit {self.bit} outside a 32b word")
+        if self.stuck_value not in (0, 1):
+            raise ParameterError("stuck_value must be 0 or 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded campaign: fault specs plus the recovery policy knobs.
+
+    ``n_sites`` partitions PIM work into bank-region sites for stuck-at
+    scoping and quarantine bookkeeping; ``max_attempts`` bounds retries
+    per kernel before falling back to GPU re-execution;
+    ``quarantine_threshold`` is how many fallbacks a site absorbs before
+    subsequent kernels are rerouted around it entirely.
+    """
+
+    seed: int = 0
+    specs: tuple = ()
+    max_attempts: int = 3
+    allow_fallback: bool = True
+    quarantine_threshold: int = 3
+    n_sites: int = 32
+    #: Modeled verification cost for a PIM kernel, as a fraction of the
+    #: kernel's own time (checksum lanes ride the existing stream).
+    pim_verify_overhead: float = 0.02
+
+    def __post_init__(self):
+        if self.max_attempts < 0:
+            raise ParameterError("max_attempts must be >= 0")
+        if self.n_sites < 1:
+            raise ParameterError("need at least one PIM site")
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ParameterError("specs must be FaultSpec instances")
+
+    # -- Lookup --------------------------------------------------------------
+
+    def spec_for(self, model: FaultModel):
+        for spec in self.specs:
+            if spec.model is model:
+                return spec
+        return None
+
+    def rate(self, model: FaultModel) -> float:
+        spec = self.spec_for(model)
+        return spec.rate if spec is not None else 0.0
+
+    def stuck_sites(self) -> tuple:
+        spec = self.spec_for(FaultModel.PIM_STUCK_AT)
+        return tuple(spec.sites) if spec is not None else ()
+
+    # -- Determinism ---------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """JSON-safe canonical form (the digest input)."""
+        return {
+            "seed": self.seed,
+            "specs": [{"model": s.model.value, "rate": s.rate,
+                       "sites": list(s.sites), "bit": s.bit,
+                       "stuck_value": s.stuck_value}
+                      for s in self.specs],
+            "max_attempts": self.max_attempts,
+            "allow_fallback": self.allow_fallback,
+            "quarantine_threshold": self.quarantine_threshold,
+            "n_sites": self.n_sites,
+            "pim_verify_overhead": self.pim_verify_overhead,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON encoding of the plan."""
+        blob = json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def rng(self, *key) -> np.random.Generator:
+        """A generator derived deterministically from (seed, key)."""
+        material = json.dumps([self.seed] + [str(k) for k in key])
+        word = int.from_bytes(
+            hashlib.sha256(material.encode()).digest()[:8], "little")
+        return np.random.default_rng(word)
+
+
+#: Default per-kernel rates: high enough that a bootstrap-sized
+#: campaign (~5k element-wise kernels) injects tens of faults, low
+#: enough that recovery traffic stays a small share of the timeline.
+DEFAULT_RATES = {
+    FaultModel.PIM_BITFLIP_BUFFER: 4e-3,
+    FaultModel.PIM_BITFLIP_MMAC: 4e-3,
+    FaultModel.PIM_INSTR_DROP: 2e-3,
+    FaultModel.PIM_INSTR_DUP: 2e-3,
+    FaultModel.GPU_OUTPUT: 1e-3,
+    FaultModel.TRANSFER_LOST: 1e-3,
+}
+
+
+def default_plan(seed: int = 0, scale: float = 1.0,
+                 models=None, stuck_sites: tuple = (),
+                 **policy) -> FaultPlan:
+    """The default campaign: every transient model at its default rate
+    (scaled by ``scale``), plus stuck-at faults on ``stuck_sites``."""
+    chosen = set(models) if models is not None else set(DEFAULT_RATES)
+    specs = [FaultSpec(model=m, rate=min(1.0, r * scale))
+             for m, r in DEFAULT_RATES.items() if m in chosen]
+    if stuck_sites:
+        specs.append(FaultSpec(model=FaultModel.PIM_STUCK_AT,
+                               sites=tuple(stuck_sites)))
+    return FaultPlan(seed=seed, specs=tuple(specs), **policy)

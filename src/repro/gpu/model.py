@@ -107,6 +107,24 @@ class GpuModel:
         dram = cost.dram_bytes * 8.0 * cfg.dram_pj_per_bit * 1e-12
         return core + memory + dram
 
+    #: Fraction of a kernel's output-stream time that inline residue
+    #: checksumming adds: the reduction is fused into the producing
+    #: kernel (it rides the write stream), so only the extra ALU work
+    #: and the tiny checksum vector cost anything.
+    VERIFY_STREAM_FRACTION = 0.02
+
+    def verify_cost(self, kernel: GpuKernel) -> float:
+        """Modeled residue-checksum verification time for one kernel (s).
+
+        Used by the fault-tolerant scheduler when a fault plan is
+        attached; the plain scheduler never calls it.
+        """
+        if not kernel.bytes_written:
+            return 0.0
+        cfg = self.config
+        bw = cfg.dram_bandwidth * cfg.elementwise_bw_efficiency
+        return self.VERIFY_STREAM_FRACTION * kernel.bytes_written / bw
+
     def arithmetic_intensity(self, kernel: GpuKernel) -> float:
         """Int ops per DRAM byte — the paper's §IV-D metric."""
         if kernel.total_bytes == 0:

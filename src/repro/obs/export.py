@@ -22,7 +22,8 @@ import json
 
 from repro.core.scheduler import ScheduleReport
 from repro.core.trace import CATEGORY_LABELS
-from repro.obs.provenance import config_dict, environment_info
+from repro.obs.provenance import (config_dict, environment_info,
+                                  fault_plan_info)
 from repro.obs.tracer import Tracer
 
 #: Trace-event thread ids per simulated device track.
@@ -109,6 +110,8 @@ def report_dict(report: ScheduleReport, segments: bool = False) -> dict:
         "pipelining_bound": report.pipelining_bound(),
         "pipelining_headroom": report.pipelining_headroom(),
     }
+    if report.fault_summary:
+        out["fault_summary"] = config_dict(report.fault_summary)
     if segments:
         out["segments"] = [{"start": s.start, "end": s.end,
                             "device": s.device, "name": s.name,
@@ -119,7 +122,8 @@ def report_dict(report: ScheduleReport, segments: bool = False) -> dict:
 
 def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
                  library=None, options=None, workload: str = "",
-                 degree: int | None = None, extra: dict | None = None) -> dict:
+                 degree: int | None = None, fault_plan=None,
+                 extra: dict | None = None) -> dict:
     """Full provenance + results document for one execution."""
     manifest = {
         "tool": "anaheim-repro",
@@ -132,6 +136,7 @@ def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
             "library": config_dict(library),
             "lowering_options": config_dict(options),
             "lowering_level": options.describe() if options else None,
+            "fault_plan": fault_plan_info(fault_plan),
         },
         "report": report_dict(report),
     }

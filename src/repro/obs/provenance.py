@@ -32,6 +32,17 @@ def environment_info() -> dict:
     }
 
 
+def fault_plan_info(plan) -> dict | None:
+    """Manifest block identifying a fault plan (None when no plan).
+
+    Carries the canonical plan serialization plus its sha256 digest so
+    two runs are provably under the same injected-fault sequence.
+    """
+    if plan is None:
+        return None
+    return {"digest": plan.digest(), "plan": plan.canonical()}
+
+
 def config_dict(obj):
     """JSON-safe view of a config object.
 

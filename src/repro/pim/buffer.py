@@ -15,12 +15,18 @@ from repro.errors import ParameterError
 
 
 class DataBuffer:
-    """B entries of one chunk (8 residues) each."""
+    """B entries of one chunk (8 residues) each.
 
-    def __init__(self, entries: int):
+    An optional :class:`~repro.faults.inject.FaultInjector` models soft
+    errors in the buffer SRAM: each write may flip one bit of the stored
+    chunk, per the injector's ``pim-bitflip-buffer`` rate.
+    """
+
+    def __init__(self, entries: int, injector=None):
         if entries < 1:
             raise ParameterError("buffer needs at least one entry")
         self.entries = entries
+        self.injector = injector
         self._slots = np.zeros((entries, ELEMENTS_PER_CHUNK), dtype=np.int64)
         self._valid = np.zeros(entries, dtype=bool)
         self.peak_used = 0
@@ -30,6 +36,14 @@ class DataBuffer:
             raise ParameterError(
                 f"buffer index {index} out of range B={self.entries}")
         self._slots[index] = chunk
+        injector = self.injector
+        if injector is not None:
+            from repro.faults.plan import FaultModel
+            if injector.draw(FaultModel.PIM_BITFLIP_BUFFER):
+                detail = injector.flip_word(self._slots[index],
+                                            FaultModel.PIM_BITFLIP_BUFFER)
+                injector.event(FaultModel.PIM_BITFLIP_BUFFER,
+                               "buffer.write", "device", **detail)
         self._valid[index] = True
         self.peak_used = max(self.peak_used, int(self._valid.sum()))
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.trace import PimKernel
 from repro.errors import ParameterError
+from repro.faults.plan import FaultModel
 from repro.pim import isa
 from repro.pim.configs import PimConfig, PimVariant
 
@@ -74,9 +75,28 @@ class PimExecutor:
                    // inst.widest_group(fan_in))
         return max(1, min(g, row_cap))
 
+    # -- Fault effects on the command stream --------------------------------
+
+    @staticmethod
+    def apply_fault(cost: PimCost, fault) -> PimCost:
+        """Cost of one execution under an instruction-stream fault.
+
+        A *dropped* compound instruction never issues: the slot costs
+        nothing, but the destination rows keep their stale contents
+        (caught downstream by the residue checksum).  A *duplicated*
+        instruction executes twice, paying double the commands and
+        energy — harmless for pure instructions, corrupting for the
+        accumulating ones.
+        """
+        if fault is FaultModel.PIM_INSTR_DROP:
+            return ZERO_COST
+        if fault is FaultModel.PIM_INSTR_DUP:
+            return cost + cost
+        return cost
+
     # -- Core timing --------------------------------------------------------
 
-    def cost(self, kernel: PimKernel) -> PimCost:
+    def cost(self, kernel: PimKernel, fault=None) -> PimCost:
         cfg = self.config
         inst = isa.instruction(kernel.instruction)
         fan_in = kernel.fan_in
@@ -120,9 +140,18 @@ class PimExecutor:
             self.tracer.count(f"pim.kernel_costs.{kernel.instruction}")
             self.tracer.count("pim.activations", total_acts)
             self.tracer.count("pim.internal_bytes", internal_bytes)
-        return PimCost(time=time, energy=energy, activations=total_acts,
-                       chunk_accesses=total_chunks,
-                       internal_bytes=internal_bytes)
+        return self.apply_fault(
+            PimCost(time=time, energy=energy, activations=total_acts,
+                    chunk_accesses=total_chunks,
+                    internal_bytes=internal_bytes), fault)
+
+    def verify_cost(self, kernel: PimKernel) -> float:
+        """Modeled residue-checksum verification time for one kernel.
+
+        The checksum lanes reduce each output chunk as it streams out of
+        the MMAC array, so verification costs a small fixed fraction of
+        the kernel's own streaming time (no extra row activations)."""
+        return self.cost(kernel).time * 0.02
 
     def trace_cost(self, kernels) -> PimCost:
         total = ZERO_COST

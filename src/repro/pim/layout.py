@@ -43,6 +43,18 @@ class PolyPlacement:
         last = self.base_row + (stop - 1) // self.width
         return list(range(first, last + 1))
 
+    def stuck_region(self, site: int, bit: int = 12, value: int = 1):
+        """A stuck-at fault covering exactly this placement's footprint.
+
+        Scopes a persistent cell fault to the (bank, PolyGroup) region
+        the placement occupies — the granularity at which the recovery
+        policy quarantines PIM capacity.
+        """
+        from repro.faults.inject import StuckRegion
+        return StuckRegion(site=site, base_row=self.base_row,
+                           rows=self.rows, col_offset=self.col_offset,
+                           width=self.width, bit=bit, value=value)
+
 
 @dataclass
 class PolyGroup:

@@ -25,39 +25,55 @@ class MmacArray:
 
     MASK_28 = (1 << 28) - 1
 
-    def __init__(self, modulus: int):
+    def __init__(self, modulus: int, injector=None):
         if modulus >= (1 << 28):
             raise ParameterError("MMAC operands are 28-bit (§VI-A)")
         self.modulus = modulus
+        self.injector = injector
         self._mont = MontgomeryContext(modulus, r_bits=28)
 
     def _prep(self, chunk: np.ndarray) -> np.ndarray:
         """Truncate 32-bit storage words to 28-bit MMAC operands."""
         return chunk & self.MASK_28
 
+    def _deliver(self, out: np.ndarray) -> np.ndarray:
+        """Lane outputs leave the array; an attached injector models a
+        transient upset on one lane's result word."""
+        injector = self.injector
+        if injector is not None:
+            from repro.faults.plan import FaultModel
+            if injector.draw(FaultModel.PIM_BITFLIP_MMAC):
+                detail = injector.flip_word(out, FaultModel.PIM_BITFLIP_MMAC)
+                injector.event(FaultModel.PIM_BITFLIP_MMAC,
+                               "mmac.out", "device", **detail)
+        return out
+
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Lane-wise a*b mod q via the Montgomery circuit."""
         a = self._prep(a)
         b = self._prep(b)
-        return self._mont.mul(self._mont.to_mont(a), b)
+        return self._deliver(self._mont.mul(self._mont.to_mont(a), b))
 
     def mac(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
         out = self.mul(a, b) + self._prep(acc)
-        return np.where(out >= self.modulus, out - self.modulus, out)
+        return self._deliver(
+            np.where(out >= self.modulus, out - self.modulus, out))
 
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         out = self._prep(a) + self._prep(b)
-        return np.where(out >= self.modulus, out - self.modulus, out)
+        return self._deliver(
+            np.where(out >= self.modulus, out - self.modulus, out))
 
     def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         out = self._prep(a) - self._prep(b)
-        return np.where(out < 0, out + self.modulus, out)
+        return self._deliver(
+            np.where(out < 0, out + self.modulus, out))
 
     def neg(self, a: np.ndarray) -> np.ndarray:
         a = self._prep(a)
-        return np.where(a == 0, a, self.modulus - a)
+        return self._deliver(np.where(a == 0, a, self.modulus - a))
 
     def passthrough(self, a: np.ndarray) -> np.ndarray:
         """Inputs traverse the MMAC even when unused (§VI-A: reduces
         buffer ports); modeled as an identity lane op."""
-        return self._prep(a)
+        return self._deliver(self._prep(a))

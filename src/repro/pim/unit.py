@@ -25,14 +25,25 @@ from repro.pim.mmac import MmacArray
 
 
 class PimUnit:
-    """One near-bank PIM unit bound to a bank and a prime."""
+    """One near-bank PIM unit bound to a bank and a prime.
 
-    def __init__(self, bank: Bank, modulus: int, buffer_entries: int):
+    With a :class:`~repro.faults.inject.FaultInjector` attached, the
+    unit's datapath misbehaves per the injector's plan: buffer writes
+    and MMAC lane outputs suffer transient bit flips, and any
+    :class:`~repro.faults.inject.StuckRegion` registered for ``site``
+    overlays its stuck cell on every chunk read from the covered
+    (row, column) footprint.
+    """
+
+    def __init__(self, bank: Bank, modulus: int, buffer_entries: int,
+                 injector=None, site: int = 0):
         self.bank = bank
-        self.mmac = MmacArray(modulus)
-        self.buffer = DataBuffer(buffer_entries)
+        self.mmac = MmacArray(modulus, injector=injector)
+        self.buffer = DataBuffer(buffer_entries, injector=injector)
         self.buffer_entries = buffer_entries
         self.modulus = modulus
+        self.injector = injector
+        self.site = site
 
     # -- Bank access helpers ---------------------------------------------------
 
@@ -53,12 +64,20 @@ class PimUnit:
 
     def _read_window(self, placement: PolyPlacement, start: int,
                      stop: int) -> np.ndarray:
+        injector = self.injector
         out = np.empty((stop - start, ELEMENTS_PER_CHUNK), dtype=np.int64)
         for j in range(start, stop):
             row, col = placement.location(j)
             if self.bank.open_row != row:
                 self.bank.activate(row)
-            out[j - start] = self.bank.read_chunk(row, col)
+            chunk = self.bank.read_chunk(row, col)
+            if injector is not None and injector.stuck_regions:
+                if injector.apply_stuck_regions(self.site, row, col, chunk):
+                    from repro.faults.plan import FaultModel
+                    injector.event(FaultModel.PIM_STUCK_AT, "bank.read",
+                                   "device", site=self.site,
+                                   row=row, col=col)
+            out[j - start] = chunk
         return out
 
     def _write_window(self, placement: PolyPlacement, start: int,

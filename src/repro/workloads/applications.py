@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.core import blocks as B
 from repro.core.allocator import MemoryPlan, plan_memory
+from repro.errors import ParameterError
 from repro.params import PaperParams
 from repro.workloads.basic_functions import (hadd_blocks, hmult_blocks,
                                              hrot_blocks, pmult_blocks)
@@ -188,6 +189,6 @@ def build(name: str, params: PaperParams | None = None) -> Workload:
     try:
         factory = WORKLOADS[name]
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; choose from "
-                       f"{sorted(WORKLOADS)}") from None
+        raise ParameterError(f"unknown workload {name!r}; choose from "
+                             f"{sorted(WORKLOADS)}") from None
     return factory(params)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import KeyError_, LevelError, ScaleMismatchError
+from repro.errors import EvalKeyError, LevelError, ScaleMismatchError
 
 TOL = 2e-3
 
@@ -144,7 +144,7 @@ class TestRotation:
 
     def test_missing_key_rejected(self, small_context, message):
         ct = small_context.encrypt_message(message)
-        with pytest.raises(KeyError_):
+        with pytest.raises(EvalKeyError):
             small_context.rotate(ct, 7)
 
     def test_conjugate(self, small_context, message):

@@ -12,7 +12,7 @@ from repro.ckks.keys import KeyGenerator
 from repro.ckks.linear_transform import (LinearTransform,
                                          generate_hoisting_keys,
                                          matrix_diagonals)
-from repro.errors import KeyError_, ParameterError
+from repro.errors import EvalKeyError, ParameterError
 
 
 def _sparse_matrix(n, shifts, seed=0):
@@ -129,7 +129,7 @@ class TestStrategiesAgree:
         ev = make_context(small_params, rotations=[1, 2])
         lt = LinearTransform(ev, {1: np.ones(small_params.slot_count)})
         ct = ev.encrypt_message(rng.normal(size=small_params.slot_count))
-        with pytest.raises(KeyError_):
+        with pytest.raises(EvalKeyError):
             lt.apply(ct, "hoisting")
 
     def test_wrong_diagonal_length_rejected(self, transform_setup):

@@ -1,0 +1,79 @@
+"""End-to-end fault campaigns and their observability plumbing."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (run_analytic_campaign,
+                                   run_functional_campaign, run_matrix)
+from repro.faults.plan import default_plan
+
+
+class TestFunctionalCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_functional_campaign(default_plan(seed=0))
+
+    def test_gate_properties(self, result):
+        summary = result["summary"]
+        assert summary["injected"] > 0
+        assert summary["undetected"] == 0
+        assert summary["unrecovered"] == 0
+        assert summary["coverage"] >= 0.99
+        assert result["decrypt_ok"]
+        assert result["max_error"] < 1e-2
+
+    def test_provenance(self, result):
+        assert result["plan_digest"] == default_plan(seed=0).digest()
+        assert result["events_by_model"]
+        assert sum(result["events_by_model"].values()) == \
+            result["summary"]["injected"]
+
+
+class TestAnalyticCampaign:
+    def test_overhead_is_small_and_positive(self):
+        result = run_analytic_campaign(default_plan(seed=0))
+        assert result["summary"]["coverage"] == 1.0
+        assert result["summary"]["unrecovered"] == 0
+        assert 0.0 < result["overhead"] < 0.10
+        assert result["verify_time_s"] > 0.0
+
+    def test_matrix_gate(self):
+        result = run_matrix(seeds=(0,), functional=False)
+        assert result["gate"]["passed"]
+        agg = result["analytic_aggregate"]
+        assert agg["undetected"] == 0
+        assert agg["mean_overhead"] < 0.10
+        json.dumps(result)      # the whole matrix is JSON-exportable
+
+
+class TestObservability:
+    def test_manifest_and_report_carry_fault_data(self):
+        from repro.core.framework import AnaheimFramework
+        from repro.gpu.configs import A100_80GB
+        from repro.obs.export import report_dict, run_manifest
+        from repro.pim.configs import A100_NEAR_BANK
+        from repro.workloads.applications import PaperParams, build
+
+        plan = default_plan(seed=5, scale=10.0)
+        params = PaperParams()
+        wl = build("Boot", params)
+        result = AnaheimFramework(A100_80GB, pim=A100_NEAR_BANK,
+                                  fault_plan=plan).run(
+            wl.blocks, params.degree, label="Boot")
+        doc = report_dict(result.report)
+        assert doc["fault_summary"]["plan_digest"] == plan.digest()
+        assert doc["fault_summary"]["injected"] > 0
+
+        manifest = run_manifest(result.report, gpu=A100_80GB,
+                                pim=A100_NEAR_BANK, workload="Boot",
+                                degree=params.degree, fault_plan=plan)
+        assert manifest["config"]["fault_plan"]["digest"] == plan.digest()
+        assert manifest["config"]["fault_plan"]["plan"] == plan.canonical()
+        json.dumps(manifest)
+
+    def test_manifest_without_plan_has_null_fault_plan(self):
+        from repro.core.scheduler import ScheduleReport
+        from repro.obs.export import run_manifest
+        manifest = run_manifest(ScheduleReport(label="x"))
+        assert manifest["config"]["fault_plan"] is None

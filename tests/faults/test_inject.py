@@ -1,0 +1,119 @@
+"""FaultInjector: deterministic draws, corruption, site bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import OpCategory
+from repro.faults.inject import FaultInjector, StuckRegion
+from repro.faults.plan import (FaultModel, FaultPlan, FaultSpec,
+                               default_plan)
+
+
+def _plan(**kwargs):
+    return default_plan(seed=5, **kwargs)
+
+
+class TestDraws:
+    def test_same_plan_same_draws(self):
+        a = FaultInjector(_plan())
+        b = FaultInjector(_plan())
+        model = FaultModel.PIM_BITFLIP_BUFFER
+        assert [a.draw(model) for _ in range(500)] == \
+               [b.draw(model) for _ in range(500)]
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        assert not any(injector.draw(FaultModel.GPU_OUTPUT)
+                       for _ in range(1000))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(FaultModel.GPU_OUTPUT, rate=1.0),))
+        injector = FaultInjector(plan)
+        assert all(injector.draw(FaultModel.GPU_OUTPUT) for _ in range(50))
+
+
+class TestWordCorruption:
+    def test_flip_word_is_deterministic_and_single_word(self):
+        ref = np.arange(64, dtype=np.int64)
+        a_arr, b_arr = ref.copy(), ref.copy()
+        a = FaultInjector(_plan()).flip_word(a_arr,
+                                             FaultModel.PIM_BITFLIP_MMAC)
+        b = FaultInjector(_plan()).flip_word(b_arr,
+                                             FaultModel.PIM_BITFLIP_MMAC)
+        assert a == b
+        assert (a_arr != ref).sum() == 1
+        assert a_arr[a["index"]] == ref[a["index"]] ^ (1 << a["bit"])
+
+    def test_stick_word_fixed_cell_and_latency(self):
+        plan = _plan(stuck_sites=(3,))
+        injector = FaultInjector(plan)
+        arr = np.zeros(64, dtype=np.int64)
+        detail = injector.stick_word(arr, site=3)
+        assert detail is not None
+        assert arr[detail["index"]] == 1 << detail["bit"]
+        # Same site, same cell; a word already holding the stuck value
+        # is a latent (benign) access.
+        assert injector.stick_word(arr, site=3) is None
+
+    def test_stuck_region_overlay(self):
+        injector = FaultInjector(_plan())
+        region = StuckRegion(site=2, base_row=4, rows=2, col_offset=0,
+                             width=8, bit=5, value=1)
+        injector.add_stuck_region(region)
+        chunk = np.zeros(8, dtype=np.int64)
+        assert injector.apply_stuck_regions(2, row=5, col=3, chunk=chunk)
+        assert chunk[3 % chunk.size] == 1 << 5
+        clean = np.zeros(8, dtype=np.int64)
+        assert not injector.apply_stuck_regions(2, row=99, col=3,
+                                                chunk=clean)  # outside rows
+        assert not injector.apply_stuck_regions(1, row=5, col=3,
+                                                chunk=clean)  # other site
+        assert not clean.any()
+
+
+class TestSites:
+    def test_site_for_round_robin(self):
+        injector = FaultInjector(_plan(n_sites=4))
+        assert [injector.site_for(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_quarantine_at_threshold(self):
+        injector = FaultInjector(_plan(quarantine_threshold=2))
+        assert not injector.record_site_failure(7)
+        assert not injector.is_quarantined(7)
+        assert injector.record_site_failure(7)      # crossing the threshold
+        assert injector.is_quarantined(7)
+        assert not injector.record_site_failure(7)  # already quarantined
+        assert injector.log.quarantined_sites == [7]
+        assert not injector.record_site_failure(None)
+
+
+class TestKernelFault:
+    def test_stuck_site_always_faults(self):
+        injector = FaultInjector(_plan(stuck_sites=(1,)))
+        for _ in range(10):
+            assert injector.kernel_fault(
+                "pim", OpCategory.ELEMENTWISE,
+                site=1) is FaultModel.PIM_STUCK_AT
+
+    def test_transfer_category_draws_transfer_model(self):
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(FaultModel.TRANSFER_LOST, rate=1.0),))
+        injector = FaultInjector(plan)
+        assert injector.kernel_fault(
+            "gpu", OpCategory.TRANSFER) is FaultModel.TRANSFER_LOST
+        assert injector.kernel_fault("gpu", OpCategory.ELEMENTWISE) is None
+
+    def test_gpu_category_draws_gpu_model(self):
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(FaultModel.GPU_OUTPUT, rate=1.0),))
+        injector = FaultInjector(plan)
+        assert injector.kernel_fault(
+            "gpu", OpCategory.NTT) is FaultModel.GPU_OUTPUT
+
+    def test_benign_classification(self):
+        benign = FaultInjector.fault_is_benign
+        assert benign(FaultModel.PIM_INSTR_DUP, "PMult")
+        assert not benign(FaultModel.PIM_INSTR_DUP, "PAccum")
+        assert not benign(FaultModel.PIM_INSTR_DROP, "PMult")
+        assert not benign(FaultModel.PIM_BITFLIP_MMAC, None)

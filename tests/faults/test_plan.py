@@ -1,0 +1,72 @@
+"""Fault plan determinism, digests, and validation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.faults.plan import (DEFAULT_RATES, FaultModel, FaultPlan,
+                               FaultSpec, default_plan)
+
+
+class TestFaultSpec:
+    def test_rate_bounds(self):
+        with pytest.raises(ParameterError):
+            FaultSpec(FaultModel.GPU_OUTPUT, rate=1.5)
+        with pytest.raises(ParameterError):
+            FaultSpec(FaultModel.GPU_OUTPUT, rate=-0.1)
+
+    def test_bit_bounds(self):
+        with pytest.raises(ParameterError):
+            FaultSpec(FaultModel.PIM_STUCK_AT, bit=32)
+
+    def test_stuck_value(self):
+        with pytest.raises(ParameterError):
+            FaultSpec(FaultModel.PIM_STUCK_AT, stuck_value=2)
+
+
+class TestFaultPlan:
+    def test_default_plan_covers_transient_models(self):
+        plan = default_plan()
+        for model, rate in DEFAULT_RATES.items():
+            assert plan.rate(model) == rate
+        assert plan.stuck_sites() == ()
+
+    def test_scale_multiplies_rates(self):
+        plan = default_plan(scale=2.0)
+        assert plan.rate(FaultModel.GPU_OUTPUT) == pytest.approx(2e-3)
+
+    def test_stuck_sites_round_trip(self):
+        plan = default_plan(stuck_sites=(3, 7))
+        assert plan.stuck_sites() == (3, 7)
+
+    def test_models_filter(self):
+        plan = default_plan(models={FaultModel.PIM_BITFLIP_MMAC})
+        assert plan.rate(FaultModel.PIM_BITFLIP_MMAC) > 0
+        assert plan.rate(FaultModel.GPU_OUTPUT) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(n_sites=0)
+        with pytest.raises(ParameterError):
+            FaultPlan(max_attempts=-1)
+        with pytest.raises(ParameterError):
+            FaultPlan(specs=("not a spec",))
+
+
+class TestDeterminism:
+    def test_digest_stable_and_seed_sensitive(self):
+        assert default_plan(seed=1).digest() == default_plan(seed=1).digest()
+        assert default_plan(seed=1).digest() != default_plan(seed=2).digest()
+        assert (default_plan(seed=1).digest()
+                != default_plan(seed=1, scale=2.0).digest())
+
+    def test_rng_streams_are_deterministic_and_independent(self):
+        plan = default_plan(seed=9)
+        a1 = plan.rng("model", "x").random(8)
+        a2 = plan.rng("model", "x").random(8)
+        b = plan.rng("model", "y").random(8)
+        assert (a1 == a2).all()
+        assert not (a1 == b).all()
+
+    def test_canonical_is_json_safe(self):
+        import json
+        json.dumps(default_plan(stuck_sites=(1,)).canonical())

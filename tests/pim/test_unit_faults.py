@@ -1,0 +1,127 @@
+"""Fault injection inside the functional PIM unit.
+
+The injector hooks sit where the microarchitecture says they should:
+data-buffer writes, MMAC output delivery, and bank reads crossing a
+stuck (bank, PolyGroup) region.  A fault-free injector leaves the unit
+bit-identical to the reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import modmath
+from repro.dram.bank import Bank
+from repro.dram.configs import HBM2_A100
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (FaultModel, FaultPlan, FaultSpec,
+                               default_plan)
+from repro.pim.buffer import DataBuffer
+from repro.pim.layout import BankLayout
+from repro.pim.mmac import MmacArray
+from repro.pim.unit import PimUnit, load_poly, store_poly
+
+Q = modmath.generate_primes(1, 64, bits=27)[0]
+CHUNKS = 16
+N_ELEMENTS = CHUNKS * 8
+
+
+def _rig(injector=None, site=0):
+    bank = Bank(HBM2_A100, rows=64)
+    layout = BankLayout(HBM2_A100, chunks_per_poly=CHUNKS, width=2)
+    unit = PimUnit(bank, Q, buffer_entries=16, injector=injector, site=site)
+    return bank, layout, unit
+
+
+def _add_on_unit(bank, layout, unit, rng):
+    a, b = (rng.integers(0, Q, N_ELEMENTS, dtype=np.int64)
+            for _ in range(2))
+    src = layout.allocate(2)
+    for placement, value in zip(src.placements, (a, b)):
+        store_poly(bank, placement, value)
+    dst = layout.allocate(1)
+    unit.execute("Add", dsts=dst.placements,
+                 src_groups=[src.placements])
+    return load_poly(bank, dst[0]), (a + b) % Q
+
+
+def _always(model):
+    return FaultInjector(FaultPlan(seed=3, specs=(
+        FaultSpec(model, rate=1.0),)))
+
+
+class TestNullInjector:
+    def test_no_injector_matches_reference(self):
+        got, want = _add_on_unit(*_rig(), np.random.default_rng(0))
+        assert np.array_equal(got, want)
+
+    def test_zero_rate_injector_matches_reference(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        got, want = _add_on_unit(*_rig(injector), np.random.default_rng(0))
+        assert np.array_equal(got, want)
+        assert not injector.log.events
+
+
+class TestTransientFlips:
+    def test_buffer_flip_corrupts_stored_chunk(self):
+        injector = _always(FaultModel.PIM_BITFLIP_BUFFER)
+        buf = DataBuffer(4, injector=injector)
+        chunk = np.zeros(8, dtype=np.int64)
+        buf.write(0, chunk)
+        assert buf.read(0).any()            # one bit flipped in the slot
+        [event] = injector.log.events
+        assert event.model == "pim-bitflip-buffer"
+        assert event.op == "buffer.write"
+
+    def test_mmac_flip_corrupts_lane_output(self):
+        injector = _always(FaultModel.PIM_BITFLIP_MMAC)
+        mmac = MmacArray(Q, injector=injector)
+        a = np.arange(8, dtype=np.int64)
+        clean = MmacArray(Q).add(a, a)
+        assert not np.array_equal(mmac.add(a, a), clean)
+        assert injector.log.events[0].model == "pim-bitflip-mmac"
+
+    def test_unit_level_corruption_vs_reference(self):
+        injector = _always(FaultModel.PIM_BITFLIP_MMAC)
+        got, want = _add_on_unit(*_rig(injector), np.random.default_rng(0))
+        assert not np.array_equal(got, want)
+        assert injector.log.events
+
+
+class TestStuckRegions:
+    def test_stuck_region_corrupts_reads_deterministically(self):
+        injector = FaultInjector(default_plan(seed=2, scale=0.0,
+                                              stuck_sites=(0,)))
+        bank, layout, unit = _rig(injector, site=0)
+        rng = np.random.default_rng(4)
+        value = rng.integers(0, Q, N_ELEMENTS, dtype=np.int64)
+        src = layout.allocate(1)
+        store_poly(bank, src[0], value)
+        injector.add_stuck_region(src[0].stuck_region(site=0, bit=12,
+                                                      value=1))
+        dst = layout.allocate(1)
+        unit.execute("Move", dsts=dst.placements,
+                     src_groups=[src.placements])
+        got = load_poly(bank, dst[0])
+        assert not np.array_equal(got, value)
+        events = injector.log.events
+        assert events and all(e.model == "pim-stuck-at" for e in events)
+        assert all(e.site == 0 for e in events)
+        # Re-running the same read path injects identically.
+        unit.execute("Move", dsts=dst.placements,
+                     src_groups=[src.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), got)
+
+    def test_other_site_unaffected(self):
+        injector = FaultInjector(default_plan(seed=2, scale=0.0,
+                                              stuck_sites=(0,)))
+        bank, layout, unit = _rig(injector, site=1)   # unit on healthy site
+        rng = np.random.default_rng(4)
+        value = rng.integers(0, Q, N_ELEMENTS, dtype=np.int64)
+        src = layout.allocate(1)
+        store_poly(bank, src[0], value)
+        injector.add_stuck_region(
+            src[0].stuck_region(site=0, bit=12, value=1))
+        dst = layout.allocate(1)
+        unit.execute("Move", dsts=dst.placements,
+                     src_groups=[src.placements])
+        assert np.array_equal(load_poly(bank, dst[0]), value)

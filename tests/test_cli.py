@@ -18,9 +18,14 @@ class TestParser:
         assert args.pim == "near-bank"
         assert args.library == "Cheddar"
 
-    def test_bad_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--workload", "Nope"])
+    def test_bad_workload_rejected(self, capsys):
+        # Unknown workloads are a clean one-line error (exit 1), not an
+        # argparse usage dump or a traceback.
+        assert main(["run", "--workload", "Nope"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown workload 'Nope'" in err
+        assert "Boot" in err
 
 
 class TestCommands:
@@ -183,6 +188,59 @@ class TestFunctionalBench:
         assert "ckks.batch_ntt.forward" in out
         assert "ckks.bconv.batched" in out
         assert "NTT batch speedup" in out
+
+
+class TestFaultsCommand:
+    def test_analytic_gate_passes(self, capsys):
+        assert main(["faults", "--seeds", "0", "--layer", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "gate: PASS" in out
+        assert "analytic" in out
+
+    def test_json_output_parseable(self, capsys):
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gate"]["passed"]
+        assert doc["analytic"][0]["summary"]["coverage"] == 1.0
+        assert doc["analytic"][0]["overhead"] < 0.10
+
+    def test_write_then_check_round_trip(self, capsys, tmp_path):
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--dir", str(tmp_path), "--write-baseline"]) == 0
+        assert (tmp_path / "BENCH_faults.json").exists()
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--dir", str(tmp_path), "--check"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_check_without_baseline_exits_2(self, capsys, tmp_path):
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--dir", str(tmp_path), "--check"]) == 2
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_one_line_error(self, capsys, tmp_path):
+        (tmp_path / "BENCH_faults.json").write_text("{not json")
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--dir", str(tmp_path), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "malformed JSON" in err
+
+    def test_manifest_artifact(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        assert main(["faults", "--seeds", "0", "--layer", "analytic",
+                     "--manifest", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["gate"]["passed"]
+
+    def test_run_with_fault_seed_reports_summary(self, capsys):
+        assert main(["run", "--workload", "HELR", "--fault-seed", "3",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        summary = doc["anaheim"]["fault_summary"]
+        assert summary["undetected"] == 0
+        assert summary["unrecovered"] == 0
+        assert summary["plan_digest"]
 
 
 class TestProfile:

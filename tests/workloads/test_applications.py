@@ -34,7 +34,8 @@ class TestWorkloadConstruction:
             assert workload.l_eff >= 1
 
     def test_unknown_workload_rejected(self):
-        with pytest.raises(KeyError):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError, match="unknown workload"):
             apps.build("Minesweeper", P)
 
     def test_l_eff_values_match_paper(self):
