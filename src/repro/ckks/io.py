@@ -11,16 +11,56 @@ workflows; in a deployment the secret never leaves the client.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.keys import EvaluationKey, PublicKey, SecretKey
 from repro.ckks.rns import RnsPolynomial
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SerializationError
 from repro.params import CkksParams
 
 FORMAT_VERSION = 1
+
+#: Low-level failures a corrupted/truncated ``.npz`` surfaces (zip
+#: directory damage, deflate stream damage, mangled array headers,
+#: missing members, undecodable meta JSON).  All of them collapse to a
+#: one-line :class:`~repro.errors.SerializationError`.
+_CORRUPTION_ERRORS = (OSError, EOFError, KeyError, ValueError,
+                      zlib.error, zipfile.BadZipFile, UnicodeDecodeError,
+                      json.JSONDecodeError)
+
+
+@contextmanager
+def _archive(path, kind: str):
+    """Open an ``.npz`` archive, translating every way a damaged file
+    can fail into a clean :class:`SerializationError`.
+
+    A missing file stays a plain ``FileNotFoundError`` (the caller
+    mistyped a path; nothing is corrupt), and kind/format mismatches
+    stay :class:`ParameterError` (the file is fine, the request is
+    wrong).
+    """
+    try:
+        fh = np.load(path)
+    except FileNotFoundError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise SerializationError(
+            f"cannot read {kind} archive {path}: corrupted or truncated "
+            f"({exc.__class__.__name__}: {exc})") from None
+    try:
+        with fh:
+            yield fh
+    except (ParameterError, SerializationError):
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise SerializationError(
+            f"cannot read {kind} archive {path}: corrupted or truncated "
+            f"({exc.__class__.__name__}: {exc})") from None
 
 
 def _meta(kind: str, **extra) -> np.ndarray:
@@ -74,7 +114,7 @@ def save_params(path, params: CkksParams) -> None:
 
 
 def load_params(path) -> CkksParams:
-    with np.load(path) as archive:
+    with _archive(path, "params") as archive:
         meta = _read_meta(archive, "params")
         return CkksParams(
             degree=meta["degree"],
@@ -96,7 +136,7 @@ def save_ciphertext(path, ct: Ciphertext) -> None:
 
 
 def load_ciphertext(path) -> Ciphertext:
-    with np.load(path) as archive:
+    with _archive(path, "ciphertext") as archive:
         meta = _read_meta(archive, "ciphertext")
         return Ciphertext(b=_poly_from(archive, "b"),
                           a=_poly_from(archive, "a"),
@@ -109,7 +149,7 @@ def save_plaintext(path, pt: Plaintext) -> None:
 
 
 def load_plaintext(path) -> Plaintext:
-    with np.load(path) as archive:
+    with _archive(path, "plaintext") as archive:
         meta = _read_meta(archive, "plaintext")
         return Plaintext(poly=_poly_from(archive, "p"),
                          scale=float(meta["scale"]))
@@ -125,7 +165,7 @@ def save_secret_key(path, key: SecretKey) -> None:
 
 
 def load_secret_key(path) -> SecretKey:
-    with np.load(path) as archive:
+    with _archive(path, "secret") as archive:
         meta = _read_meta(archive, "secret")
         return SecretKey(poly=_poly_from(archive, "s"),
                          hamming_weight=meta["hamming_weight"])
@@ -137,7 +177,7 @@ def save_public_key(path, key: PublicKey) -> None:
 
 
 def load_public_key(path) -> PublicKey:
-    with np.load(path) as archive:
+    with _archive(path, "public") as archive:
         _read_meta(archive, "public")
         return PublicKey(b=_poly_from(archive, "b"),
                          a=_poly_from(archive, "a"))
@@ -152,7 +192,7 @@ def save_evaluation_key(path, key: EvaluationKey) -> None:
 
 
 def load_evaluation_key(path) -> EvaluationKey:
-    with np.load(path) as archive:
+    with _archive(path, "evk") as archive:
         meta = _read_meta(archive, "evk")
         dnum = meta["dnum"]
         return EvaluationKey(

@@ -449,6 +449,135 @@ def cmd_faults(args) -> int:
     return 0 if gate_ok else 1
 
 
+def _serve_policy(args):
+    from repro.serving import ServePolicy
+    return ServePolicy(
+        seed=args.seed,
+        max_retries=args.max_retries,
+        deadline_s=args.deadline,
+        kernel_timeout_s=args.kernel_timeout,
+        checkpoint_every=args.checkpoint_every,
+        degraded_after=args.degraded_after,
+        gpu_only_after=args.gpu_only_after,
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        fault_seed=args.fault_seed,
+        fault_scale=args.scale,
+        stuck_sites=tuple(args.stuck_site or ()))
+
+
+def _serve_runner(args, jobs, policy, checkpoint=None, resume=None,
+                  max_units=None):
+    from repro.serving import JobRunner
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    return JobRunner(jobs, policy, gpu=gpu, pim=pim,
+                     library=LIBRARIES[args.library],
+                     checkpoint_path=checkpoint, resume_path=resume,
+                     max_units=max_units)
+
+
+def _serve_smoke(args) -> int:
+    """Gating end-to-end exercise of the resilience stack.
+
+    Runs a tiny analytic fault campaign with two stuck PIM sites and a
+    degradation threshold low enough that quarantines drive the health
+    monitor to GPU_ONLY; kills the campaign after one unit; resumes it
+    from the checkpoint; and asserts the resumed document is
+    byte-identical to the uninterrupted run's, with the degradation
+    events present in both.
+    """
+    import dataclasses
+    import os
+    import tempfile
+    from repro.serving import parse_jobs
+
+    jobs = parse_jobs(["faults:analytic:Boot"])
+    policy = _serve_policy(args)
+    # Tiny matrix with faults aggressive enough to exercise degradation:
+    # two stuck PIM sites and GPU_ONLY after two quarantines.
+    policy = dataclasses.replace(
+        policy,
+        seeds=policy.seeds if args.seeds != "0,1,2" else (0, 1),
+        stuck_sites=policy.stuck_sites or (1, 5),
+        degraded_after=1,
+        gpu_only_after=min(policy.gpu_only_after, 2))
+    clean = _serve_runner(args, jobs, policy).run()
+
+    with tempfile.TemporaryDirectory(prefix="anaheim-serve-") as tmp:
+        ckpt = os.path.join(tmp, "smoke.ckpt.json")
+        killed = _serve_runner(args, jobs, policy, checkpoint=ckpt,
+                               max_units=1).run()
+        if not killed["interrupted"]:
+            print("serve smoke: FAIL (kill at --max-units 1 did not "
+                  "interrupt the campaign)")
+            return 1
+        runner = _serve_runner(args, jobs, policy, checkpoint=ckpt,
+                               resume=ckpt)
+        resumed = runner.run()
+
+    clean_text = json.dumps(clean, indent=2)
+    resumed_text = json.dumps(resumed, indent=2)
+    if clean_text != resumed_text:
+        print("serve smoke: FAIL (resumed document differs from the "
+              "uninterrupted run)")
+        return 1
+    if runner.resumed_units == 0:
+        print("serve smoke: FAIL (resume replayed every unit; the "
+              "checkpoint was not used)")
+        return 1
+    states = [unit["result"]["summary"]["degradation"]["state"]
+              for unit in clean["jobs"][0]["units"].values()
+              if unit.get("status") == "ok"]
+    if "gpu-only" not in states:
+        print(f"serve smoke: FAIL (expected GPU_ONLY degradation under "
+              f"stuck sites {list(policy.stuck_sites)}; got {states})")
+        return 1
+    if args.manifest:
+        _write_artifact(args.manifest, clean, "manifest", quiet=args.json)
+    n = len(clean["jobs"][0]["units"])
+    print(f"serve smoke: PASS ({n} units; resumed {runner.resumed_units} "
+          f"from checkpoint, byte-identical document; degradation "
+          f"states {states})")
+    return 0 if clean["ok"] else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.serving import parse_jobs
+
+    if args.smoke:
+        return _serve_smoke(args)
+    if not args.jobs:
+        print("error: serve needs --jobs (or --smoke)", file=sys.stderr)
+        return 2
+    jobs = parse_jobs(args.jobs)
+    runner = _serve_runner(args, jobs, _serve_policy(args),
+                           checkpoint=args.checkpoint, resume=args.resume,
+                           max_units=args.max_units)
+    document = runner.run()
+    if args.manifest:
+        _write_artifact(args.manifest, document, "manifest",
+                        quiet=args.json)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        rows = []
+        for job in document["jobs"]:
+            done = sum(1 for u in job["units"].values()
+                       if u.get("status") == "ok")
+            rows.append([job["id"], job["kind"], job["status"],
+                         f"{done}/{len(job['units'])}", job["retries"],
+                         format_seconds(job["service_time_s"])])
+        print(format_table(
+            ["job", "kind", "status", "units", "retries", "backoff"],
+            rows, title=f"serve: {len(document['jobs'])} job(s), "
+                        f"resumed {runner.resumed_units} unit(s)"))
+        if document["interrupted"]:
+            print("interrupted by --max-units; progress checkpointed")
+    if document["interrupted"]:
+        return 2
+    return 0 if document["ok"] else 1
+
+
 def cmd_profile(args) -> int:
     tracer = Tracer()
     if args.workload == "functional":
@@ -582,6 +711,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the full campaign document as JSON")
     faults.add_argument("--manifest", metavar="FILE",
                         help="write the campaign document to a file")
+
+    serve = sub.add_parser(
+        "serve", help="execute jobs resiliently: deadlines, retries, "
+                      "circuit breakers, checkpoint/resume, PIM-to-GPU "
+                      "degradation")
+    serve.add_argument("--jobs", nargs="+", metavar="SPEC",
+                       help="job specs: run:<wl>[,..], bench:<wl>[,..], "
+                            "faults[:layer[:workload]]")
+    serve.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    serve.add_argument("--pim", default="near-bank",
+                       choices=["near-bank", "custom-hbm", "none"])
+    serve.add_argument("--library", default="Cheddar",
+                       choices=sorted(LIBRARIES))
+    serve.add_argument("--seed", type=int, default=0,
+                       help="service seed (drives backoff jitter)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retry budget per unit (default 2)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock deadline; overrunning "
+                            "jobs stop between units")
+    serve.add_argument("--kernel-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-kernel simulated-time timeout (hung PIM "
+                            "kernels are killed and rerouted to the GPU)")
+    serve.add_argument("--seeds", default="0,1,2",
+                       help="campaign seeds for faults jobs")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="fault-rate multiplier for attached plans")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="attach a fault plan to run/bench jobs")
+    serve.add_argument("--stuck-site", type=int, action="append",
+                       help="persistent stuck-at PIM site (repeatable)")
+    serve.add_argument("--degraded-after", type=int, default=1,
+                       help="quarantined sites before PIM_DEGRADED")
+    serve.add_argument("--gpu-only-after", type=int, default=3,
+                       help="quarantined sites before GPU_ONLY")
+    serve.add_argument("--checkpoint", metavar="FILE",
+                       help="record finished units to this file "
+                            "(crash-safe atomic writes)")
+    serve.add_argument("--checkpoint-every", type=int, default=1,
+                       help="units between checkpoint writes (default 1)")
+    serve.add_argument("--resume", metavar="FILE",
+                       help="resume from a checkpoint; replays only the "
+                            "missing units, output is byte-identical to "
+                            "an uninterrupted run")
+    serve.add_argument("--max-units", type=int, default=None,
+                       help="stop after this many fresh units "
+                            "(simulates a mid-campaign kill; exit 2)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="gating end-to-end check: clean run vs "
+                            "kill + resume must match byte-for-byte, "
+                            "with GPU_ONLY degradation recorded")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the serve document as JSON")
+    serve.add_argument("--manifest", metavar="FILE",
+                       help="write the serve document to a file")
     return parser
 
 
@@ -589,7 +775,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
                 "microbench": cmd_microbench, "bench": cmd_bench,
-                "profile": cmd_profile, "faults": cmd_faults}
+                "profile": cmd_profile, "faults": cmd_faults,
+                "serve": cmd_serve}
     try:
         return handlers[args.command](args)
     except ReproError as exc:

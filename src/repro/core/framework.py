@@ -38,7 +38,10 @@ class AnaheimFramework:
                  working_set_bytes: float = 0.0,
                  keep_segments: bool = False,
                  tracer=None,
-                 fault_plan=None):
+                 fault_plan=None,
+                 health=None,
+                 breakers=None,
+                 kernel_timeout: float | None = None):
         self.gpu = gpu
         self.pim = pim
         self.library = library
@@ -50,6 +53,13 @@ class AnaheimFramework:
                                 working_set_bytes=working_set_bytes)
         self.keep_segments = keep_segments
         self.fault_plan = fault_plan
+        #: Serving-layer resilience state (HealthMonitor / BreakerBoard /
+        #: per-kernel timeout).  Shared across runs of this framework on
+        #: purpose: degradation is a property of the *hardware*, so a
+        #: second workload on the same framework inherits the state.
+        self.health = health
+        self.breakers = breakers
+        self.kernel_timeout = kernel_timeout
 
     def _scheduler(self) -> Scheduler:
         if self.fault_plan is not None:
@@ -57,7 +67,10 @@ class AnaheimFramework:
                                       cache=self.cache,
                                       keep_segments=self.keep_segments,
                                       tracer=self.tracer,
-                                      plan=self.fault_plan)
+                                      plan=self.fault_plan,
+                                      health=self.health,
+                                      breakers=self.breakers,
+                                      kernel_timeout=self.kernel_timeout)
         return Scheduler(self.gpu_model, self.pim_executor,
                          cache=self.cache,
                          keep_segments=self.keep_segments,

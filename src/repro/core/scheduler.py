@@ -144,7 +144,10 @@ class ScheduleReport:
 
 #: fault_summary keys that are ratios or identities, not extensive
 #: counts — they neither scale with repetitions nor sum across merges.
-_INTENSIVE_FAULT_KEYS = frozenset({"coverage", "plan_digest"})
+#: The degradation/breaker blocks are end-of-run state snapshots, kept
+#: verbatim by the first report in a merge.
+_INTENSIVE_FAULT_KEYS = frozenset({"coverage", "plan_digest",
+                                   "degradation", "breakers"})
 
 
 def _fault_coverage(summary: dict) -> float:
@@ -279,6 +282,24 @@ class ResilientScheduler(Scheduler):
     the simulated timeline, and the injection/detection/recovery counts
     land in ``report.fault_summary``.
 
+    The serving layer can attach three more policies:
+
+    * ``health`` — a :class:`repro.serving.health.HealthMonitor`.  It
+      consumes quarantine events, fault counters, and breaker opens;
+      once it crosses into GPU_ONLY, the remaining trace is re-lowered
+      on the fly to the GPU-only schedule (every remaining PIM kernel
+      executes as its :func:`~repro.faults.fallback.gpu_equivalent`,
+      exactly what lowering without offload would have emitted) instead
+      of raising :class:`~repro.errors.FaultError`.
+    * ``breakers`` — a :class:`repro.serving.breaker.BreakerBoard` with
+      per-device circuit breakers (GPU/PIM/transfer) on the simulated
+      clock; an open PIM breaker reroutes PIM kernels to the GPU until
+      its cooldown elapses and a probe succeeds.
+    * ``kernel_timeout`` — a per-kernel ceiling on simulated execution
+      time.  A PIM kernel that would exceed it is treated as hung:
+      killed at the timeout mark (partial time/energy charged) and
+      re-executed on the GPU.
+
     Without a plan the class degrades to the plain :class:`Scheduler`.
     """
 
@@ -288,7 +309,10 @@ class ResilientScheduler(Scheduler):
                  keep_segments: bool = True,
                  tracer=None,
                  plan=None,
-                 injector: FaultInjector | None = None):
+                 injector: FaultInjector | None = None,
+                 health=None,
+                 breakers=None,
+                 kernel_timeout: float | None = None):
         super().__init__(gpu_model, pim_executor, cache=cache,
                          keep_segments=keep_segments, tracer=tracer)
         if plan is None and injector is not None:
@@ -296,6 +320,9 @@ class ResilientScheduler(Scheduler):
         self.plan = plan
         self.injector = injector if injector is not None else (
             FaultInjector(plan) if plan is not None else None)
+        self.health = health
+        self.breakers = breakers
+        self.kernel_timeout = kernel_timeout
 
     # -- Per-execution accounting helpers ------------------------------------
 
@@ -320,11 +347,15 @@ class ResilientScheduler(Scheduler):
             return super().run(trace)
         plan, injector = self.plan, self.injector
         tracer = self.tracer
+        health, breakers = self.health, self.breakers
+        kernel_timeout = self.kernel_timeout
         report = ScheduleReport(label=trace.label)
         overhead = self.gpu_model.config.pim_transition_overhead
         clock = 0.0
         previous_device = None
         times = {"verify_time": 0.0, "retry_time": 0.0, "fallback_time": 0.0}
+        counts = {"degraded_reroutes": 0, "breaker_reroutes": 0,
+                  "kernel_timeouts": 0}
         rerouted = 0
         event_base = len(injector.log.events)
         pim_index = 0
@@ -348,6 +379,44 @@ class ResilientScheduler(Scheduler):
                     name=name, category=category))
             previous_device = device
 
+        def breaker_device(device: str, category) -> str:
+            return "transfer" if category is OpCategory.TRANSFER else device
+
+        def note_success(device: str, category) -> None:
+            if breakers is not None:
+                breakers.record_success(breaker_device(device, category),
+                                        clock)
+
+        def note_failure(device: str, category) -> None:
+            bdev = breaker_device(device, category)
+            if breakers is not None and breakers.record_failure(bdev, clock):
+                if tracer is not None:
+                    tracer.count(f"scheduler.breaker.open.{bdev}")
+                if health is not None:
+                    health.note_breaker_open(bdev, clock)
+            if health is not None:
+                health.note_fault(bdev, clock)
+                if health.failed:
+                    raise FaultError(
+                        "GPU circuit breaker opened; no healthy device "
+                        "remains to serve the schedule")
+
+        def note_quarantine(site) -> None:
+            if tracer is not None:
+                tracer.count("scheduler.faults.quarantined_sites")
+            if health is not None:
+                health.note_quarantine(site, clock)
+
+        def gpu_fallback(pim_name: str, fallback) -> None:
+            fb_duration = self._account_gpu(fallback, report)
+            fb_verify = self.gpu_model.verify_cost(fallback)
+            report.gpu_time += fb_verify
+            advance(fb_duration + fb_verify, "gpu",
+                    f"{pim_name}.fallback", fallback.category)
+            times["verify_time"] += fb_verify
+            times["fallback_time"] += fb_duration + fb_verify
+            note_success("gpu", fallback.category)
+
         for kernel in trace:
             is_pim = isinstance(kernel, PimKernel)
             if is_pim and self.pim_executor is None:
@@ -360,11 +429,28 @@ class ResilientScheduler(Scheduler):
             if is_pim:
                 site = injector.site_for(pim_index)
                 pim_index += 1
+                if health is not None:
+                    health.note_pim_kernel()
                 if injector.is_quarantined(site):
                     injector.note_reroute()
                     rerouted += 1
                     if tracer is not None:
                         tracer.count("scheduler.faults.rerouted")
+                    exec_kernel = gpu_equivalent(kernel)
+                    device, site = "gpu", None
+                elif health is not None and health.gpu_only:
+                    # degraded mode: the remaining block sequence runs
+                    # on the GPU-only schedule
+                    counts["degraded_reroutes"] += 1
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.degraded_reroutes")
+                    exec_kernel = gpu_equivalent(kernel)
+                    device, site = "gpu", None
+                elif breakers is not None \
+                        and not breakers.allow("pim", clock):
+                    counts["breaker_reroutes"] += 1
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.breaker_reroutes")
                     exec_kernel = gpu_equivalent(kernel)
                     device, site = "gpu", None
 
@@ -377,6 +463,31 @@ class ResilientScheduler(Scheduler):
                 if device == "pim":
                     nominal = self.pim_executor.cost(exec_kernel)
                     executed = self.pim_executor.apply_fault(nominal, fault)
+                    if (kernel_timeout is not None and fault is None
+                            and executed.time > kernel_timeout):
+                        # Hung PIM kernel: killed at the timeout mark
+                        # (partial time/energy charged, no result to
+                        # verify), re-executed on the GPU, and the site
+                        # takes a strike like any other failure.
+                        fraction = kernel_timeout / executed.time
+                        report.pim_time += kernel_timeout
+                        report.pim_internal_bytes += (
+                            executed.internal_bytes * fraction)
+                        report.pim_activations += int(
+                            executed.activations * fraction)
+                        report.energy_pim += executed.energy * fraction
+                        advance(kernel_timeout, "pim",
+                                f"{exec_kernel.name}.timeout",
+                                exec_kernel.category)
+                        counts["kernel_timeouts"] += 1
+                        if tracer is not None:
+                            tracer.count("scheduler.faults.kernel_timeouts")
+                        note_failure("pim", exec_kernel.category)
+                        gpu_fallback(exec_kernel.name,
+                                     gpu_equivalent(exec_kernel))
+                        if injector.record_site_failure(site):
+                            note_quarantine(site)
+                        break
                     self._account_pim(executed, report)
                     duration = executed.time
                     verify = plan.pim_verify_overhead * nominal.time
@@ -393,6 +504,17 @@ class ResilientScheduler(Scheduler):
                 if attempts > 0:
                     times["retry_time"] += duration + verify
                 if fault is None:
+                    if (kernel_timeout is not None and device == "gpu"
+                            and duration > kernel_timeout):
+                        # A GPU overrun has no second device to fall
+                        # back to: record it (and charge the breaker)
+                        # but keep the completed result.
+                        counts["kernel_timeouts"] += 1
+                        if tracer is not None:
+                            tracer.count("scheduler.faults.kernel_timeouts")
+                        note_failure(device, exec_kernel.category)
+                    else:
+                        note_success(device, exec_kernel.category)
                     break
                 if tracer is not None:
                     tracer.count("scheduler.faults.injected")
@@ -400,6 +522,7 @@ class ResilientScheduler(Scheduler):
                     event = injector.event(fault, exec_kernel.name,
                                            "analytic", site=site)
                     event.benign = True
+                    note_success(device, exec_kernel.category)
                     break
                 event = injector.event(fault, exec_kernel.name, "analytic",
                                        site=site)
@@ -407,6 +530,7 @@ class ResilientScheduler(Scheduler):
                 event.attempts = attempts + 1
                 if tracer is not None:
                     tracer.count("scheduler.faults.detected")
+                note_failure(device, exec_kernel.category)
                 attempts += 1
                 if (attempts <= plan.max_attempts
                         and fault not in PERSISTENT_MODELS):
@@ -415,29 +539,27 @@ class ResilientScheduler(Scheduler):
                         tracer.count("scheduler.faults.retries")
                     continue
                 if not plan.allow_fallback:
-                    raise FaultError(
-                        f"kernel {exec_kernel.name!r} failed "
-                        f"{attempts} attempt(s) at site {site} and "
-                        f"fallback is disabled")
+                    if health is None:
+                        raise FaultError(
+                            f"kernel {exec_kernel.name!r} failed "
+                            f"{attempts} attempt(s) at site {site} and "
+                            f"fallback is disabled")
+                    # Service-level override: degrade to GPU_ONLY and
+                    # keep serving instead of aborting the whole run.
+                    health.note_policy_exhausted(exec_kernel.name, clock)
+                    if tracer is not None:
+                        tracer.count("scheduler.faults.policy_degraded")
                 # GPU fallback: re-execute on the reliable device.  A
                 # failed PIM site takes a strike; enough strikes
                 # quarantine it for the rest of the schedule.
                 fallback = (gpu_equivalent(exec_kernel)
                             if device == "pim" else exec_kernel)
-                fb_duration = self._account_gpu(fallback, report)
-                fb_verify = self.gpu_model.verify_cost(fallback)
-                report.gpu_time += fb_verify
-                advance(fb_duration + fb_verify, "gpu",
-                        f"{exec_kernel.name}.fallback",
-                        fallback.category)
-                times["verify_time"] += fb_verify
-                times["fallback_time"] += fb_duration + fb_verify
+                gpu_fallback(exec_kernel.name, fallback)
                 event.recovery = "fallback"
                 if tracer is not None:
                     tracer.count("scheduler.faults.fallbacks")
                 if device == "pim" and injector.record_site_failure(site):
-                    if tracer is not None:
-                        tracer.count("scheduler.faults.quarantined_sites")
+                    note_quarantine(site)
                 break
 
         report.total_time = clock
@@ -449,4 +571,11 @@ class ResilientScheduler(Scheduler):
                                injector.log.quarantined_sites))
         report.fault_summary = dict(run_log.summary(), **times,
                                     plan_digest=plan.digest())
+        if health is not None or breakers is not None \
+                or kernel_timeout is not None:
+            report.fault_summary.update(counts)
+        if health is not None:
+            report.fault_summary["degradation"] = health.summary()
+        if breakers is not None:
+            report.fault_summary["breakers"] = breakers.summary()
         return report

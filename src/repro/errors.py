@@ -41,3 +41,20 @@ class VerificationError(ReproError):
 class FaultError(ReproError):
     """Raised when an injected fault exhausts every recovery path
     (bounded retry and GPU fallback)."""
+
+
+class SerializationError(ReproError):
+    """Raised when a serialized artifact (ciphertext/key archive,
+    checkpoint, baseline) is corrupted, truncated, or of the wrong
+    kind — a clean one-line diagnosis instead of a numpy/zipfile
+    traceback."""
+
+
+class CheckpointError(SerializationError):
+    """Raised when a serve checkpoint cannot be resumed: unreadable,
+    truncated, or recorded for a different job matrix/policy."""
+
+
+class DeadlineError(ReproError):
+    """Raised when a job exceeds its wall-clock deadline and the
+    caller asked for deadline overruns to be fatal."""

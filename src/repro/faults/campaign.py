@@ -14,6 +14,14 @@ A campaign exercises both halves of the duality:
 ``run_matrix`` sweeps both over a seed list and aggregates into the
 pass/fail gate the CLI and CI enforce: every effective fault detected
 (coverage >= the threshold), nothing unrecovered, decrypt correct.
+
+The matrix is factored into **units** — one ``(layer, seed)`` cell per
+unit — so the serving layer can run a campaign incrementally: each
+finished unit is checkpointed, and a resumed campaign replays only the
+missing units before :func:`assemble_matrix` rebuilds the exact same
+document an uninterrupted run would have produced (every unit is
+deterministic; pass ``record_wall=False`` to drop the one wall-clock
+field the functional layer reports).
 """
 
 from __future__ import annotations
@@ -35,12 +43,15 @@ COVERAGE_THRESHOLD = 0.99
 
 
 def run_functional_campaign(plan: FaultPlan,
-                            max_error: float = MAX_DECRYPT_ERROR) -> dict:
+                            max_error: float = MAX_DECRYPT_ERROR,
+                            record_wall: bool = True) -> dict:
     """Bootstrap a ciphertext with faults live; report coverage.
 
     Key generation and the one-time warmup bootstrap run *outside* the
     fault session (the paper's fault model targets the PIM datapath at
-    execution time, not key material at rest).
+    execution time, not key material at rest).  ``record_wall=False``
+    omits the wall-clock field so the result is a pure function of the
+    plan — required for byte-identical checkpoint/resume.
     """
     from repro.ckks.bench import BENCH_PARAMS
     from repro.ckks.bootstrap import Bootstrapper
@@ -70,7 +81,7 @@ def run_functional_campaign(plan: FaultPlan,
     decrypted = ev.decrypt_message(refreshed, params.slot_count)
     err = float(np.abs(decrypted - message).max())
     summary = sess.log.summary()
-    return {
+    result = {
         "layer": "functional",
         "seed": plan.seed,
         "plan_digest": plan.digest(),
@@ -79,13 +90,21 @@ def run_functional_campaign(plan: FaultPlan,
                             for k, v in sess.log.by_model().items()},
         "max_error": err,
         "decrypt_ok": err <= max_error,
-        "wall_s": wall_s,
     }
+    if record_wall:
+        result["wall_s"] = wall_s
+    return result
 
 
 def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
-                          gpu=None, pim=None) -> dict:
-    """Schedule a workload clean and resilient; report time overhead."""
+                          gpu=None, pim=None, health=None, breakers=None,
+                          kernel_timeout: float | None = None) -> dict:
+    """Schedule a workload clean and resilient; report time overhead.
+
+    ``health``/``breakers``/``kernel_timeout`` thread the serving
+    layer's degradation machinery into the faulted run; its state lands
+    in the result's ``summary`` (via ``report.fault_summary``).
+    """
     from repro.core.framework import AnaheimFramework
     from repro.gpu.configs import A100_80GB
     from repro.pim.configs import A100_NEAR_BANK
@@ -98,7 +117,9 @@ def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
 
     clean = AnaheimFramework(gpu, pim=pim).run(
         wl.blocks, params.degree, label=f"{workload} (clean)")
-    faulted = AnaheimFramework(gpu, pim=pim, fault_plan=plan).run(
+    faulted = AnaheimFramework(
+        gpu, pim=pim, fault_plan=plan, health=health, breakers=breakers,
+        kernel_timeout=kernel_timeout).run(
         wl.blocks, params.degree, label=f"{workload} (faulted)")
 
     clean_t = clean.report.total_time
@@ -119,6 +140,33 @@ def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
     }
 
 
+def campaign_units(seeds=(0, 1, 2), functional: bool = True,
+                   analytic: bool = True) -> list:
+    """Ordered ``(layer, seed)`` cells of one campaign matrix."""
+    units = [("functional", seed) for seed in seeds] if functional else []
+    if analytic:
+        units.extend(("analytic", seed) for seed in seeds)
+    return units
+
+
+def unit_key(layer: str, seed: int) -> str:
+    return f"{layer}/{seed}"
+
+
+def run_campaign_unit(layer: str, seed: int, *, scale: float = 1.0,
+                      workload: str = "Boot", stuck_sites=(),
+                      record_wall: bool = True, gpu=None, pim=None,
+                      health=None, breakers=None,
+                      kernel_timeout: float | None = None) -> dict:
+    """Execute one matrix cell (fully determined by its arguments)."""
+    plan = default_plan(seed=seed, scale=scale, stuck_sites=stuck_sites)
+    if layer == "functional":
+        return run_functional_campaign(plan, record_wall=record_wall)
+    return run_analytic_campaign(plan, workload=workload, gpu=gpu, pim=pim,
+                                 health=health, breakers=breakers,
+                                 kernel_timeout=kernel_timeout)
+
+
 def _aggregate(runs) -> dict:
     """Pool the per-run fault summaries of one campaign layer."""
     keys = ("injected", "benign", "effective", "detected", "undetected",
@@ -130,21 +178,18 @@ def _aggregate(runs) -> dict:
     return total
 
 
-def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
-               workload: str = "Boot", stuck_sites=(),
-               functional: bool = True, analytic: bool = True,
-               coverage_threshold: float = COVERAGE_THRESHOLD,
-               gpu=None, pim=None) -> dict:
-    """The campaign matrix: (layer x seed) sweep plus the gate verdict."""
-    plans = [default_plan(seed=seed, scale=scale, stuck_sites=stuck_sites)
-             for seed in seeds]
-    functional_runs = ([run_functional_campaign(plan) for plan in plans]
-                       if functional else [])
-    analytic_runs = ([run_analytic_campaign(plan, workload=workload,
-                                            gpu=gpu, pim=pim)
-                      for plan in plans]
-                     if analytic else [])
+def assemble_matrix(results, seeds, scale: float = 1.0, stuck_sites=(),
+                    coverage_threshold: float = COVERAGE_THRESHOLD) -> dict:
+    """The campaign document from per-unit results.
 
+    ``results`` maps :func:`unit_key` strings to unit result dicts.  A
+    pure function of its inputs: assembling from freshly-run units and
+    from checkpoint-restored units yields identical documents.
+    """
+    functional_runs = [results[unit_key("functional", s)] for s in seeds
+                       if unit_key("functional", s) in results]
+    analytic_runs = [results[unit_key("analytic", s)] for s in seeds
+                     if unit_key("analytic", s) in results]
     result = {
         "seeds": list(seeds),
         "scale": scale,
@@ -177,3 +222,31 @@ def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
     gate["passed"] = bool(checks) and all(checks)
     result["gate"] = gate
     return result
+
+
+def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
+               workload: str = "Boot", stuck_sites=(),
+               functional: bool = True, analytic: bool = True,
+               coverage_threshold: float = COVERAGE_THRESHOLD,
+               gpu=None, pim=None, record_wall: bool = True,
+               completed: dict | None = None, on_unit=None) -> dict:
+    """The campaign matrix: (layer x seed) sweep plus the gate verdict.
+
+    ``completed`` (from a checkpoint) short-circuits already-finished
+    units; ``on_unit(key, result)`` fires after each fresh unit so a
+    caller can checkpoint incrementally.
+    """
+    results = dict(completed or {})
+    for layer, seed in campaign_units(seeds, functional, analytic):
+        key = unit_key(layer, seed)
+        if key in results:
+            continue
+        results[key] = run_campaign_unit(
+            layer, seed, scale=scale, workload=workload,
+            stuck_sites=stuck_sites, record_wall=record_wall,
+            gpu=gpu, pim=pim)
+        if on_unit is not None:
+            on_unit(key, results[key])
+    return assemble_matrix(results, seeds, scale=scale,
+                           stuck_sites=stuck_sites,
+                           coverage_threshold=coverage_threshold)

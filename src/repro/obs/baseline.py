@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.scheduler import ScheduleReport
+from repro.obs.export import write_json
 from repro.obs.provenance import environment_info
 
 #: Metrics recorded in a baseline and compared by ``check``.
@@ -68,9 +69,7 @@ def write_baseline_metrics(directory, workload: str, metrics: dict,
         "metrics": metrics,
     }
     document.update(extra or {})
-    with open(path, "w") as fh:
-        json.dump(document, fh, indent=2)
-        fh.write("\n")
+    write_json(path, document)
     return path
 
 

@@ -19,6 +19,8 @@ report metric (time, energy, EDP, DRAM traffic).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from repro.core.scheduler import ScheduleReport
 from repro.core.trace import CATEGORY_LABELS
@@ -146,6 +148,21 @@ def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
 
 
 def write_json(path, document: dict) -> None:
-    with open(path, "w") as fh:
-        json.dump(document, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Crash-safe JSON write: temp file in the same directory, then
+    ``os.replace``.  An interrupt mid-write leaves the previous file
+    (if any) untouched — never a truncated JSON."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                               suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

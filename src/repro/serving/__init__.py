@@ -1,0 +1,27 @@
+"""Resilient job execution: deadlines, retries, breakers, degradation.
+
+The serving layer wraps the analytic framework in the machinery a
+long-running reproduction pipeline needs: seeded retry with
+exponential backoff, per-device circuit breakers, a PIM-to-GPU
+degradation state machine, per-job deadlines, and crash-safe
+checkpoint/resume that reproduces an uninterrupted run byte for byte.
+"""
+
+from repro.serving.breaker import (DEVICES, BreakerBoard, BreakerState,
+                                   CircuitBreaker)
+from repro.serving.checkpoint import (CHECKPOINT_KIND, CHECKPOINT_VERSION,
+                                      Checkpointer, load_checkpoint,
+                                      matrix_digest)
+from repro.serving.health import DegradationState, HealthMonitor
+from repro.serving.jobs import (JobRunner, JobSpec, ServePolicy,
+                                parse_job_spec, parse_jobs)
+from repro.serving.retry import RetryPolicy
+
+__all__ = [
+    "BreakerBoard", "BreakerState", "CircuitBreaker", "DEVICES",
+    "CHECKPOINT_KIND", "CHECKPOINT_VERSION", "Checkpointer",
+    "load_checkpoint", "matrix_digest",
+    "DegradationState", "HealthMonitor",
+    "JobRunner", "JobSpec", "ServePolicy", "parse_job_spec", "parse_jobs",
+    "RetryPolicy",
+]

@@ -1,0 +1,98 @@
+"""Checkpoint/resume for long-running job matrices.
+
+A checkpoint is a single JSON document (written crash-safely via
+:func:`repro.obs.export.write_json`: temp file + ``os.replace``)
+holding every finished unit's result keyed by ``job_id/unit_key``,
+plus a digest binding it to the exact job matrix and policy that
+produced it.  Because every unit of work in the serving layer is
+deterministic — seeded fault plans, seeded backoff, the analytic
+timeline — resuming from a checkpoint replays the remaining units and
+reassembles output **byte-identical** to an uninterrupted run: the
+completed units' results are spliced back in verbatim (JSON
+round-tripping preserves key order and numeric values exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import CheckpointError
+from repro.obs.export import write_json
+
+CHECKPOINT_KIND = "serve-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def matrix_digest(jobs_canonical, policy_canonical: dict) -> str:
+    """SHA-256 binding a checkpoint to one job matrix + policy."""
+    blob = json.dumps({"jobs": jobs_canonical, "policy": policy_canonical},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class Checkpointer:
+    """Accumulates unit results and persists them atomically."""
+
+    def __init__(self, path, digest: str, every: int = 1):
+        if every < 1:
+            raise CheckpointError("checkpoint interval must be >= 1")
+        self.path = path
+        self.digest = digest
+        self.every = every
+        self.units: dict = {}
+        self._since_flush = 0
+
+    def record(self, key: str, unit_doc: dict) -> None:
+        """Store one finished unit; flush per the write interval."""
+        self.units[key] = unit_doc
+        self._since_flush += 1
+        if self.path is not None and self._since_flush >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.path is None:
+            return
+        write_json(self.path, {
+            "tool": "anaheim-repro",
+            "kind": CHECKPOINT_KIND,
+            "version": CHECKPOINT_VERSION,
+            "matrix_digest": self.digest,
+            "units": self.units,
+        })
+        self._since_flush = 0
+
+
+def load_checkpoint(path, expected_digest: str | None = None) -> dict:
+    """Completed units from a checkpoint file, validated for resume.
+
+    Raises :class:`CheckpointError` (one line) on unreadable/truncated
+    files, on documents that are not serve checkpoints, and on a
+    digest mismatch — resuming a checkpoint into a *different* job
+    matrix or policy would silently mix incompatible results.
+    """
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: corrupted or truncated "
+            f"({exc.__class__.__name__}: {exc})") from None
+    if not isinstance(document, dict) \
+            or document.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"{path} is not a serve checkpoint")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {document.get('version')} "
+            f"in {path}")
+    if expected_digest is not None \
+            and document.get("matrix_digest") != expected_digest:
+        raise CheckpointError(
+            f"checkpoint {path} was recorded for a different job "
+            f"matrix/policy (digest mismatch); refusing to resume")
+    units = document.get("units")
+    if not isinstance(units, dict):
+        raise CheckpointError(f"checkpoint {path} carries no unit table")
+    return units

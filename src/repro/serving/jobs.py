@@ -1,0 +1,444 @@
+"""First-class jobs: the resilient execution layer for long workloads.
+
+A :class:`JobRunner` executes a matrix of jobs — modeled workload runs,
+bench sweeps, fault campaigns — with the full service policy attached:
+
+* **deadlines** — a per-job wall-clock budget; overrunning jobs stop
+  cleanly between units (progress kept) instead of hanging a pipeline;
+* **retries** — failed units re-execute up to ``max_retries`` times
+  with deterministic seeded exponential backoff
+  (:class:`~repro.serving.retry.RetryPolicy`); delays are charged to
+  the job's *service time*, never slept on real walls;
+* **circuit breakers / degradation** — each analytically-scheduled
+  unit runs under a fresh :class:`~repro.serving.breaker.BreakerBoard`
+  and :class:`~repro.serving.health.HealthMonitor`; a run job whose
+  unit ends degraded (GPU_ONLY) re-lowers its *remaining* units as
+  GPU-only block programs (§VII-D's fallback schedule);
+* **checkpoint/resume** — every finished unit is recorded through a
+  crash-safe :class:`~repro.serving.checkpoint.Checkpointer`; resuming
+  replays only missing units and produces output byte-identical to an
+  uninterrupted run (degradation carry-over is read from the recorded
+  unit documents, not from live objects, precisely so that a resumed
+  runner sees the same inputs a continuous one did).
+
+Job spec grammar (the CLI's ``--jobs`` tokens)::
+
+    run:Boot            model workload Boot (one unit)
+    run:Boot,HELR       two units, degradation carries across them
+    bench:Sort          baseline-metric unit per workload
+    faults              full campaign matrix over the policy's seeds
+    faults:analytic     analytic layer only
+    faults:functional:  functional layer only
+    faults:both:HELR    both layers, analytic campaign on HELR
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import DeadlineError, ParameterError, ReproError
+from repro.serving.breaker import BreakerBoard
+from repro.serving.checkpoint import Checkpointer, load_checkpoint, \
+    matrix_digest
+from repro.serving.health import HealthMonitor
+from repro.serving.retry import RetryPolicy
+
+#: Degraded-or-worse end states a later unit inherits from.
+_DEGRADED_END_STATES = ("gpu-only", "failed")
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Every knob of the serving layer, in one canonicalizable place."""
+
+    seed: int = 0
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    deadline_s: float | None = None
+    kernel_timeout_s: float | None = None
+    checkpoint_every: int = 1
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 1e-3
+    degraded_after: int = 1
+    gpu_only_after: int = 3
+    #: Campaign knobs (fault seeds for ``faults`` jobs; the fault plan
+    #: attached to ``run``/``bench`` units when ``fault_seed`` is set).
+    seeds: tuple = (0, 1, 2)
+    fault_seed: int | None = None
+    fault_scale: float = 1.0
+    stuck_sites: tuple = ()
+    #: Serving output is deterministic by default: the one wall-clock
+    #: field the functional campaign reports is omitted.
+    record_wall: bool = False
+
+    def canonical(self) -> dict:
+        return {
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "backoff_jitter": self.backoff_jitter,
+            "deadline_s": self.deadline_s,
+            "kernel_timeout_s": self.kernel_timeout_s,
+            "checkpoint_every": self.checkpoint_every,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+            "degraded_after": self.degraded_after,
+            "gpu_only_after": self.gpu_only_after,
+            "seeds": list(self.seeds),
+            "fault_seed": self.fault_seed,
+            "fault_scale": self.fault_scale,
+            "stuck_sites": list(self.stuck_sites),
+            "record_wall": self.record_wall,
+        }
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(max_retries=self.max_retries,
+                           base_s=self.backoff_base_s,
+                           factor=self.backoff_factor,
+                           jitter=self.backoff_jitter, seed=self.seed)
+
+    def health_monitor(self, tracer=None) -> HealthMonitor:
+        return HealthMonitor(degraded_after=self.degraded_after,
+                             gpu_only_after=self.gpu_only_after,
+                             tracer=tracer)
+
+    def breaker_board(self, tracer=None) -> BreakerBoard:
+        return BreakerBoard(threshold=self.breaker_threshold,
+                            cooldown_s=self.breaker_cooldown_s,
+                            tracer=tracer)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job: a kind plus the arguments that enumerate its units."""
+
+    id: str
+    kind: str                    # "run" | "bench" | "faults"
+    workloads: tuple = ()        # run/bench units; faults analytic target
+    layers: tuple = ()           # faults: ("functional", "analytic")
+
+    def units(self, seeds) -> list:
+        if self.kind == "faults":
+            from repro.faults.campaign import campaign_units, unit_key
+            return [unit_key(layer, seed) for layer, seed in campaign_units(
+                seeds, functional="functional" in self.layers,
+                analytic="analytic" in self.layers)]
+        return list(self.workloads)
+
+    def canonical(self) -> dict:
+        return {"id": self.id, "kind": self.kind,
+                "workloads": list(self.workloads),
+                "layers": list(self.layers)}
+
+
+def parse_job_spec(token: str, index: int) -> JobSpec:
+    """A :class:`JobSpec` from one ``--jobs`` token (see module doc)."""
+    from repro.workloads import applications as apps
+    parts = token.split(":")
+    kind = parts[0]
+    if kind in ("run", "bench"):
+        if len(parts) != 2 or not parts[1]:
+            raise ParameterError(
+                f"job spec {token!r}: expected {kind}:<workload>[,..]")
+        workloads = tuple(parts[1].split(","))
+        for name in workloads:
+            if name not in apps.WORKLOADS:
+                raise ParameterError(
+                    f"job spec {token!r}: unknown workload {name!r}; "
+                    f"choose from {sorted(apps.WORKLOADS)}")
+        return JobSpec(id=f"{index}-{kind}", kind=kind, workloads=workloads)
+    if kind == "faults":
+        layer = parts[1] if len(parts) > 1 and parts[1] else "both"
+        workload = parts[2] if len(parts) > 2 and parts[2] else "Boot"
+        if layer not in ("both", "functional", "analytic"):
+            raise ParameterError(
+                f"job spec {token!r}: layer must be both/functional/"
+                f"analytic")
+        if workload not in apps.WORKLOADS:
+            raise ParameterError(
+                f"job spec {token!r}: unknown workload {workload!r}")
+        layers = (("functional", "analytic") if layer == "both"
+                  else (layer,))
+        return JobSpec(id=f"{index}-faults", kind="faults",
+                       workloads=(workload,), layers=layers)
+    raise ParameterError(
+        f"job spec {token!r}: unknown kind {kind!r} "
+        f"(expected run/bench/faults)")
+
+
+def parse_jobs(tokens) -> list:
+    if not tokens:
+        raise ParameterError("no jobs given")
+    return [parse_job_spec(token, i) for i, token in enumerate(tokens)]
+
+
+class _Interrupted(Exception):
+    """Internal: the unit budget (``max_units``) ran out mid-matrix."""
+
+
+class JobRunner:
+    """Executes a job matrix under a :class:`ServePolicy`.
+
+    ``max_units`` bounds how many units run *fresh* this invocation —
+    the hook the smoke test and the resume tests use to simulate a
+    mid-campaign kill (the checkpoint survives; a fresh runner with
+    ``resume_path`` picks up where this one stopped).  ``clock`` is the
+    wall-clock source for deadlines (injectable for tests).
+    """
+
+    def __init__(self, jobs, policy: ServePolicy, gpu=None, pim=None,
+                 library=None, checkpoint_path=None, resume_path=None,
+                 max_units: int | None = None, tracer=None,
+                 clock=time.monotonic,
+                 deadline_fatal: bool = False):
+        self.jobs = list(jobs)
+        self.policy = policy
+        self.gpu = gpu
+        self.pim = pim
+        self.library = library
+        self.tracer = tracer
+        self.clock = clock
+        self.max_units = max_units
+        self.deadline_fatal = deadline_fatal
+        self.digest = matrix_digest([j.canonical() for j in self.jobs],
+                                    policy.canonical())
+        completed = (load_checkpoint(resume_path, self.digest)
+                     if resume_path else {})
+        self.checkpointer = Checkpointer(checkpoint_path, self.digest,
+                                         every=policy.checkpoint_every)
+        self.checkpointer.units.update(completed)
+        self.resumed_units = len(completed)
+        self._fresh_units = 0
+
+    # -- Unit execution ------------------------------------------------------
+
+    def _paper_setup(self, workload_name: str):
+        from repro.params import paper_params
+        from repro.workloads import applications as apps
+        params = paper_params()
+        return apps.build(workload_name, params), params
+
+    def _framework(self, degraded: bool):
+        """A framework for one run/bench unit.
+
+        ``degraded``: an earlier unit of this job ended GPU_ONLY, so
+        this unit is *re-lowered* without PIM offload from the start
+        (fresh health state would be meaningless — there is no PIM
+        hardware left in the schedule to monitor).
+        """
+        from repro.core.framework import AnaheimFramework
+        from repro.faults.plan import default_plan
+        from repro.gpu.configs import A100_80GB
+        from repro.pim.configs import A100_NEAR_BANK
+        gpu = self.gpu if self.gpu is not None else A100_80GB
+        pim = self.pim if self.pim is not None else A100_NEAR_BANK
+        policy = self.policy
+        plan = None
+        if policy.fault_seed is not None:
+            plan = default_plan(seed=policy.fault_seed,
+                                scale=policy.fault_scale,
+                                stuck_sites=policy.stuck_sites)
+        kwargs = dict(library=self.library) if self.library is not None \
+            else {}
+        if degraded:
+            return AnaheimFramework(gpu, None, fault_plan=plan,
+                                    kernel_timeout=policy.kernel_timeout_s,
+                                    tracer=self.tracer, **kwargs), None
+        health = policy.health_monitor(self.tracer) if plan else None
+        breakers = policy.breaker_board(self.tracer) if plan else None
+        return AnaheimFramework(gpu, pim, fault_plan=plan,
+                                health=health, breakers=breakers,
+                                kernel_timeout=policy.kernel_timeout_s,
+                                tracer=self.tracer, **kwargs), health
+
+    def _run_unit(self, workload_name: str, degraded: bool,
+                  metrics_only: bool) -> dict:
+        from repro.obs.baseline import baseline_metrics
+        from repro.obs.export import report_dict
+        workload, params = self._paper_setup(workload_name)
+        framework, health = self._framework(degraded)
+        gpu = framework.gpu
+        if not workload.memory.fits(gpu.dram_capacity):
+            return {"workload": workload_name, "status": "oom",
+                    "needs": workload.memory.describe(),
+                    "end_state": "failed"}
+        result = framework.run(workload.blocks, params.degree,
+                               label=workload_name)
+        report = result.report
+        doc = {
+            "workload": workload_name,
+            "status": "ok",
+            "lowering": result.options.describe(),
+            "degraded_lowering": degraded,
+            "end_state": (health.state.value if health is not None
+                          else ("gpu-only" if degraded else "healthy")),
+        }
+        if metrics_only:
+            doc["metrics"] = baseline_metrics(report)
+        else:
+            doc["report"] = report_dict(report)
+        return doc
+
+    def _faults_unit(self, job: JobSpec, unit: str) -> dict:
+        from repro.faults.campaign import run_campaign_unit
+        layer, seed_text = unit.split("/")
+        policy = self.policy
+        health = (policy.health_monitor(self.tracer)
+                  if layer == "analytic" else None)
+        breakers = (policy.breaker_board(self.tracer)
+                    if layer == "analytic" else None)
+        return run_campaign_unit(
+            layer, int(seed_text), scale=policy.fault_scale,
+            workload=job.workloads[0], stuck_sites=policy.stuck_sites,
+            record_wall=policy.record_wall, gpu=self.gpu, pim=self.pim,
+            health=health, breakers=breakers,
+            kernel_timeout=policy.kernel_timeout_s)
+
+    def _execute_unit(self, job: JobSpec, unit: str,
+                      degraded: bool) -> dict:
+        """One unit's result payload (overridable seam for tests)."""
+        if job.kind == "faults":
+            return self._faults_unit(job, unit)
+        return self._run_unit(unit, degraded,
+                              metrics_only=job.kind == "bench")
+
+    # -- The retry loop ------------------------------------------------------
+
+    def _attempt_unit(self, job: JobSpec, unit: str, key: str,
+                      degraded: bool) -> dict:
+        """Unit doc after bounded retries with seeded backoff."""
+        retry = self.policy.retry_policy()
+        backoffs: list = []
+        attempt = 0
+        while True:
+            try:
+                result = self._execute_unit(job, unit, degraded)
+            except ReproError as exc:
+                if self.tracer is not None:
+                    self.tracer.count("serve.unit_failures")
+                if attempt < retry.max_retries:
+                    delay = retry.delay(key, attempt)
+                    backoffs.append(delay)
+                    if self.tracer is not None:
+                        self.tracer.count("serve.retries")
+                        self.tracer.count("serve.backoff_s", delay)
+                    attempt += 1
+                    continue
+                return {"status": "failed", "attempts": attempt + 1,
+                        "backoff_s": backoffs,
+                        "error": f"{exc.__class__.__name__}: {exc}"}
+            status = result.get("status", "ok") if isinstance(
+                result, dict) else "ok"
+            return {"status": status, "attempts": attempt + 1,
+                    "backoff_s": backoffs, "result": result}
+
+    # -- The matrix ----------------------------------------------------------
+
+    def _job_degraded(self, job: JobSpec, unit_docs: dict) -> bool:
+        """Did an earlier unit of this job end degraded-or-worse?
+
+        Read from recorded documents (never live monitors) so fresh and
+        resumed runs see identical carry-over state.
+        """
+        if job.kind == "faults":
+            return False
+        for doc in unit_docs.values():
+            result = doc.get("result") or {}
+            if result.get("end_state") in _DEGRADED_END_STATES:
+                return True
+        return False
+
+    def _assemble_job(self, job: JobSpec, unit_docs: dict,
+                      status: str) -> dict:
+        doc = {
+            "id": job.id,
+            "kind": job.kind,
+            "status": status,
+            "units": unit_docs,
+            "service_time_s": sum(sum(d.get("backoff_s", []))
+                                  for d in unit_docs.values()),
+            "retries": sum(max(0, d.get("attempts", 1) - 1)
+                           for d in unit_docs.values()),
+        }
+        if job.kind == "faults":
+            from repro.faults.campaign import assemble_matrix
+            results = {unit: d["result"] for unit, d in unit_docs.items()
+                       if d.get("status") == "ok"}
+            campaign = assemble_matrix(
+                results, self.policy.seeds, scale=self.policy.fault_scale,
+                stuck_sites=self.policy.stuck_sites)
+            doc["campaign"] = campaign
+            if status == "ok" and not campaign["gate"]["passed"]:
+                doc["status"] = "failed"
+        return doc
+
+    def _run_job(self, job: JobSpec) -> dict:
+        from repro.obs.tracer import maybe_span
+        policy = self.policy
+        unit_docs: dict = {}
+        status = "ok"
+        started = self.clock()
+        with maybe_span(self.tracer, "serve.job", id=job.id,
+                        kind=job.kind):
+            for unit in job.units(policy.seeds):
+                key = f"{job.id}:{unit}"
+                stored = self.checkpointer.units.get(key)
+                if stored is not None:
+                    unit_docs[unit] = stored
+                    continue
+                if (policy.deadline_s is not None
+                        and self.clock() - started > policy.deadline_s):
+                    if self.tracer is not None:
+                        self.tracer.count("serve.deadline_exceeded")
+                    if self.deadline_fatal:
+                        raise DeadlineError(
+                            f"job {job.id} exceeded its "
+                            f"{policy.deadline_s}s deadline")
+                    unit_docs[unit] = {"status": "deadline-skipped"}
+                    status = "deadline-exceeded"
+                    continue
+                if (self.max_units is not None
+                        and self._fresh_units >= self.max_units):
+                    raise _Interrupted()
+                degraded = self._job_degraded(job, unit_docs)
+                doc = self._attempt_unit(job, unit, key, degraded)
+                self._fresh_units += 1
+                unit_docs[unit] = doc
+                self.checkpointer.record(key, doc)
+                if doc["status"] not in ("ok",):
+                    status = "failed"
+        return self._assemble_job(job, unit_docs, status)
+
+    def run(self) -> dict:
+        """Execute the matrix; the serve document (JSON-safe, and —
+        wall clocks aside — a pure function of jobs + policy)."""
+        job_docs: list = []
+        interrupted = False
+        try:
+            for job in self.jobs:
+                job_docs.append(self._run_job(job))
+        except _Interrupted:
+            interrupted = True
+            self.checkpointer.flush()
+        # NB: ``resumed_units`` is deliberately NOT part of the document
+        # — a resumed run must be byte-identical to an uninterrupted
+        # one, and only this field would differ.  It stays available as
+        # an attribute for display.
+        document = {
+            "tool": "anaheim-repro",
+            "kind": "serve",
+            "version": 1,
+            "matrix_digest": self.digest,
+            "policy": self.policy.canonical(),
+            "interrupted": interrupted,
+            "jobs": job_docs,
+            "ok": (not interrupted
+                   and all(j["status"] == "ok" for j in job_docs)),
+        }
+        if not interrupted:
+            self.checkpointer.flush()
+        return document

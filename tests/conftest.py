@@ -1,11 +1,56 @@
 """Shared fixtures: session-scoped CKKS contexts (key generation is the
-expensive part, so every test module reuses the same seeded contexts)."""
+expensive part, so every test module reuses the same seeded contexts).
+
+Also a hang guard: with pytest-timeout installed (CI passes
+``--timeout``), that plugin rules.  Without it, a SIGALRM-based
+fallback kills any test that runs past ``FALLBACK_TIMEOUT_S`` — a
+resilience suite full of deadline/retry/interrupt machinery must not
+be able to hang the whole run when one of those loops regresses.
+"""
+
+import signal
 
 import numpy as np
 import pytest
 
 from repro.ckks.evaluator import make_context
 from repro.params import CkksParams, toy_params
+
+FALLBACK_TIMEOUT_S = 300
+
+
+def _timeout_plugin_active(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout") \
+        and getattr(config.option, "timeout", None)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (not _timeout_plugin_active(item.config)
+                 and hasattr(signal, "SIGALRM"))
+    if use_alarm:
+        marker = item.get_closest_marker("timeout")
+        limit = int(marker.args[0]) if marker and marker.args \
+            else FALLBACK_TIMEOUT_S
+
+        def on_alarm(_signum, _frame):
+            pytest.fail(f"test exceeded the {limit}s fallback timeout",
+                        pytrace=False)
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(limit)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test time limit (honored by "
+        "pytest-timeout when installed, else by the SIGALRM fallback)")
 
 
 @pytest.fixture(scope="session")

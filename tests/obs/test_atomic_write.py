@@ -1,0 +1,85 @@
+"""Crash-safety of the observability JSON writer.
+
+``write_json`` must be atomic: a writer killed mid-write leaves the
+previous file contents intact and no temp-file litter — never a
+truncated/half-written JSON document.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import export
+
+
+def test_write_json_roundtrip(tmp_path):
+    path = tmp_path / "doc.json"
+    export.write_json(path, {"a": 1, "b": [1, 2, 3]})
+    assert json.loads(path.read_text()) == {"a": 1, "b": [1, 2, 3]}
+
+
+def test_write_json_overwrites_atomically(tmp_path):
+    path = tmp_path / "doc.json"
+    export.write_json(path, {"generation": 1})
+    export.write_json(path, {"generation": 2})
+    assert json.loads(path.read_text()) == {"generation": 2}
+    assert os.listdir(tmp_path) == ["doc.json"]
+
+
+class _Killed(BaseException):
+    """Mimics an asynchronous kill (KeyboardInterrupt-like: not an
+    Exception subclass, so naive ``except Exception`` misses it)."""
+
+
+def _dump_then_die(document, fh, **kwargs):
+    """A json.dump that writes half the payload, then dies."""
+    text = json.dumps(document, **kwargs)
+    fh.write(text[: len(text) // 2])
+    fh.flush()
+    raise _Killed()
+
+
+def test_kill_mid_write_preserves_previous_contents(tmp_path, monkeypatch):
+    path = tmp_path / "doc.json"
+    export.write_json(path, {"generation": 1, "units": list(range(50))})
+    before = path.read_bytes()
+
+    monkeypatch.setattr(export.json, "dump", _dump_then_die)
+    with pytest.raises(_Killed):
+        export.write_json(path, {"generation": 2, "units": []})
+
+    # The original document survives byte-for-byte...
+    assert path.read_bytes() == before
+    assert json.loads(path.read_text())["generation"] == 1
+    # ...and the aborted temp file was cleaned up.
+    assert os.listdir(tmp_path) == ["doc.json"]
+
+
+def test_kill_mid_first_write_leaves_nothing(tmp_path, monkeypatch):
+    path = tmp_path / "fresh.json"
+    monkeypatch.setattr(export.json, "dump", _dump_then_die)
+    with pytest.raises(_Killed):
+        export.write_json(path, {"generation": 1})
+    assert not path.exists()
+    assert os.listdir(tmp_path) == []
+
+
+def test_partial_write_never_visible(tmp_path, monkeypatch):
+    """Even while dying, readers of the target path never observe a
+    half-written document (the partial bytes only ever hit the temp)."""
+    path = tmp_path / "doc.json"
+    export.write_json(path, {"ok": True})
+
+    observed = []
+    original_dump = json.dump
+
+    def dump_and_peek(document, fh, **kwargs):
+        observed.append(path.read_text())
+        return original_dump(document, fh, **kwargs)
+
+    monkeypatch.setattr(export.json, "dump", dump_and_peek)
+    export.write_json(path, {"ok": False})
+    # What a concurrent reader saw mid-write was the *old* document.
+    assert observed == ['{\n  "ok": true\n}\n']
+    assert json.loads(path.read_text()) == {"ok": False}

@@ -1,0 +1,106 @@
+"""The circuit-breaker state machine on the simulated clock."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.breaker import (DEVICES, BreakerBoard, BreakerState,
+                                   CircuitBreaker)
+
+
+def test_stays_closed_below_threshold():
+    breaker = CircuitBreaker("pim", threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(0.2)
+
+
+def test_opens_after_consecutive_failures():
+    breaker = CircuitBreaker("pim", threshold=3, cooldown_s=1.0)
+    assert not breaker.record_failure(0.0)
+    assert not breaker.record_failure(0.1)
+    assert breaker.record_failure(0.2)      # third one opens it
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(0.5)           # still cooling down
+    assert breaker.rejected == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker = CircuitBreaker("pim", threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    breaker.record_success(0.2)
+    breaker.record_failure(0.3)
+    breaker.record_failure(0.4)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.failures == 4
+
+
+def test_half_open_probe_closes_on_success():
+    breaker = CircuitBreaker("pim", threshold=1, cooldown_s=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.allow(1.5)               # cooldown elapsed: probe admitted
+    assert breaker.state is BreakerState.HALF_OPEN
+    breaker.record_success(1.6)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(1.7)
+
+
+def test_half_open_probe_reopens_on_failure():
+    breaker = CircuitBreaker("pim", threshold=2, cooldown_s=1.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    assert breaker.allow(1.2)
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.record_failure(1.3)      # single probe failure reopens
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.open_until == pytest.approx(2.3)
+    assert not breaker.allow(2.0)
+    assert breaker.allow(2.4)
+
+
+def test_events_trace_the_transitions():
+    breaker = CircuitBreaker("transfer", threshold=1, cooldown_s=0.5)
+    breaker.record_failure(1.0)
+    breaker.allow(1.6)
+    breaker.record_success(1.7)
+    transitions = [(e["from"], e["to"]) for e in breaker.events]
+    assert transitions == [("closed", "open"), ("open", "half-open"),
+                           ("half-open", "closed")]
+    assert all("at_s" in e and "reason" in e for e in breaker.events)
+
+
+def test_summary_is_json_safe():
+    import json
+    breaker = CircuitBreaker("gpu", threshold=1)
+    breaker.record_failure(0.0)
+    doc = breaker.summary()
+    assert json.loads(json.dumps(doc)) == doc
+    assert doc["state"] == "open"
+    assert doc["opens"] == 1
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        CircuitBreaker("pim", threshold=0)
+    with pytest.raises(ParameterError):
+        CircuitBreaker("pim", cooldown_s=-1.0)
+
+
+class TestBoard:
+    def test_devices_are_independent(self):
+        board = BreakerBoard(threshold=1, cooldown_s=10.0)
+        board.record_failure("pim", 0.0)
+        assert not board.allow("pim", 0.1)
+        assert board.allow("gpu", 0.1)
+        assert board.allow("transfer", 0.1)
+
+    def test_unknown_device_is_allowed(self):
+        board = BreakerBoard(threshold=1)
+        assert board.allow("fpga", 0.0)
+        assert not board.record_failure("fpga", 0.0)
+
+    def test_summary_covers_all_devices(self):
+        board = BreakerBoard()
+        assert set(board.summary()) == set(DEVICES)

@@ -1,0 +1,123 @@
+"""Checkpoint persistence, validation, and crash-safety."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, SerializationError
+from repro.serving.checkpoint import (CHECKPOINT_KIND, Checkpointer,
+                                      load_checkpoint, matrix_digest)
+
+DIGEST = matrix_digest([{"id": "0-run", "kind": "run"}], {"seed": 0})
+
+
+def test_digest_is_stable_and_input_sensitive():
+    same = matrix_digest([{"id": "0-run", "kind": "run"}], {"seed": 0})
+    assert same == DIGEST
+    other = matrix_digest([{"id": "0-run", "kind": "run"}], {"seed": 1})
+    assert other != DIGEST
+
+
+def test_record_flush_load_roundtrip(tmp_path):
+    path = tmp_path / "ck.json"
+    ckpt = Checkpointer(path, DIGEST, every=1)
+    ckpt.record("0-run:Boot", {"status": "ok", "result": {"x": 1}})
+    assert json.loads(path.read_text())["kind"] == CHECKPOINT_KIND
+    units = load_checkpoint(path, DIGEST)
+    assert units == {"0-run:Boot": {"status": "ok", "result": {"x": 1}}}
+
+
+def test_write_interval_batches_flushes(tmp_path):
+    path = tmp_path / "ck.json"
+    ckpt = Checkpointer(path, DIGEST, every=2)
+    ckpt.record("a", {"status": "ok"})
+    assert not path.exists()            # below the interval: not yet
+    ckpt.record("b", {"status": "ok"})
+    assert len(load_checkpoint(path, DIGEST)) == 2
+    ckpt.record("c", {"status": "ok"})
+    assert len(load_checkpoint(path, DIGEST)) == 2
+    ckpt.flush()
+    assert len(load_checkpoint(path, DIGEST)) == 3
+
+
+def test_no_path_means_no_io(tmp_path):
+    ckpt = Checkpointer(None, DIGEST)
+    ckpt.record("a", {"status": "ok"})
+    ckpt.flush()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        load_checkpoint(tmp_path / "absent.json", DIGEST)
+
+
+def test_corrupt_file_is_one_line(tmp_path):
+    path = tmp_path / "ck.json"
+    Checkpointer(path, DIGEST).record("a", {"status": "ok"})
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(CheckpointError) as excinfo:
+        load_checkpoint(path, DIGEST)
+    assert "\n" not in str(excinfo.value)
+    assert "corrupted or truncated" in str(excinfo.value)
+
+
+def test_checkpoint_error_is_a_serialization_error(tmp_path):
+    """Callers that guard serialization failures catch checkpoints too."""
+    assert issubclass(CheckpointError, SerializationError)
+
+
+def test_wrong_kind_rejected(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"kind": "run-manifest", "units": {}}))
+    with pytest.raises(CheckpointError, match="not a serve checkpoint"):
+        load_checkpoint(path, DIGEST)
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "ck.json"
+    Checkpointer(path, DIGEST).record("a", {"status": "ok"})
+    doc = json.loads(path.read_text())
+    doc["version"] = 99
+    path.write_text(json.dumps(doc))
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(path, DIGEST)
+
+
+def test_digest_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "ck.json"
+    Checkpointer(path, DIGEST).record("a", {"status": "ok"})
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        load_checkpoint(path, "0" * 64)
+    # without an expected digest the file still loads
+    assert "a" in load_checkpoint(path)
+
+
+def test_interval_validation():
+    with pytest.raises(CheckpointError):
+        Checkpointer(None, DIGEST, every=0)
+
+
+def test_checkpoint_writes_are_atomic(tmp_path, monkeypatch):
+    """A kill mid-flush leaves the previous checkpoint readable."""
+    from repro.obs import export
+
+    path = tmp_path / "ck.json"
+    ckpt = Checkpointer(path, DIGEST, every=1)
+    ckpt.record("a", {"status": "ok"})
+    before = path.read_bytes()
+
+    class Killed(BaseException):
+        pass
+
+    def die(*_args, **_kwargs):
+        raise Killed()
+
+    monkeypatch.setattr(export.json, "dump", die)
+    with pytest.raises(Killed):
+        ckpt.record("b", {"status": "ok"})
+    monkeypatch.undo()
+
+    assert path.read_bytes() == before
+    assert load_checkpoint(path, DIGEST) == {"a": {"status": "ok"}}

@@ -1,0 +1,105 @@
+"""The HEALTHY -> PIM_DEGRADED -> GPU_ONLY -> FAILED state machine."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.health import DegradationState, HealthMonitor
+
+
+def test_starts_healthy():
+    health = HealthMonitor()
+    assert health.state is DegradationState.HEALTHY
+    assert not health.gpu_only
+    assert not health.failed
+
+
+def test_quarantine_thresholds_escalate_in_order():
+    health = HealthMonitor(degraded_after=1, gpu_only_after=3)
+    health.note_quarantine(4, 1.0)
+    assert health.state is DegradationState.PIM_DEGRADED
+    health.note_quarantine(9, 2.0)
+    assert health.state is DegradationState.PIM_DEGRADED
+    health.note_quarantine(12, 3.0)
+    assert health.state is DegradationState.GPU_ONLY
+    assert health.gpu_only
+
+
+def test_states_never_go_backwards():
+    health = HealthMonitor(degraded_after=1, gpu_only_after=2)
+    health.note_quarantine(1, 0.0)
+    health.note_quarantine(2, 1.0)
+    assert health.state is DegradationState.GPU_ONLY
+    assert not health.escalate(DegradationState.PIM_DEGRADED, 2.0, "no")
+    assert health.state is DegradationState.GPU_ONLY
+
+
+def test_gpu_breaker_open_is_terminal():
+    health = HealthMonitor()
+    health.note_breaker_open("gpu", 5.0)
+    assert health.failed
+    assert health.state is DegradationState.FAILED
+
+
+def test_pim_breaker_open_degrades():
+    health = HealthMonitor()
+    health.note_breaker_open("pim", 5.0)
+    assert health.state is DegradationState.PIM_DEGRADED
+
+
+def test_fault_rate_limit_triggers_gpu_only():
+    health = HealthMonitor(pim_fault_rate_limit=0.1, rate_window=10)
+    for _ in range(10):
+        health.note_pim_kernel()
+    health.note_fault("pim", 1.0)
+    assert health.state is DegradationState.HEALTHY  # 0.1 not > 0.1
+    health.note_fault("pim", 1.1)
+    assert health.state is DegradationState.GPU_ONLY
+
+
+def test_fault_rate_needs_the_window():
+    """Early faults in a short history must not trip the rate limit."""
+    health = HealthMonitor(pim_fault_rate_limit=0.1, rate_window=50)
+    health.note_pim_kernel()
+    health.note_fault("pim", 0.0)   # rate 1.0, but only 1 kernel seen
+    assert health.state is DegradationState.HEALTHY
+
+
+def test_policy_exhausted_degrades_instead_of_aborting():
+    health = HealthMonitor()
+    health.note_policy_exhausted("moddown.ep", 2.0)
+    assert health.gpu_only
+    assert any("moddown.ep" in e["reason"] for e in health.events)
+
+
+def test_events_record_every_transition():
+    health = HealthMonitor(degraded_after=1, gpu_only_after=2)
+    health.note_quarantine(3, 1.0)
+    health.note_quarantine(7, 2.5)
+    transitions = [(e["from"], e["to"]) for e in health.events]
+    assert transitions == [("healthy", "pim-degraded"),
+                           ("pim-degraded", "gpu-only")]
+    assert [e["at_s"] for e in health.events] == [1.0, 2.5]
+
+
+def test_summary_is_json_safe():
+    import json
+    health = HealthMonitor(degraded_after=1, gpu_only_after=2)
+    health.note_pim_kernel()
+    health.note_fault("pim", 0.5)
+    health.note_fault("transfer", 0.6)
+    health.note_quarantine(1, 1.0)
+    doc = health.summary()
+    assert json.loads(json.dumps(doc)) == doc
+    assert doc["state"] == "pim-degraded"
+    assert doc["pim_faults"] == 1
+    assert doc["transfer_faults"] == 1
+    assert doc["pim_fault_rate"] == 1.0
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        HealthMonitor(degraded_after=0)
+    with pytest.raises(ParameterError):
+        HealthMonitor(degraded_after=3, gpu_only_after=2)
+    with pytest.raises(ParameterError):
+        HealthMonitor(pim_fault_rate_limit=1.5)

@@ -1,0 +1,88 @@
+"""Determinism and bounds of the seeded backoff policy.
+
+The property the serving layer leans on: for a fixed ``(seed, key)``,
+the backoff schedule is a pure function — two independently constructed
+policies (a fresh run and a resumed one) must produce bit-identical
+delays and identical retry decisions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.serving.retry import RetryPolicy
+
+keys = st.text(min_size=1, max_size=40)
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+class TestDeterminism:
+    @given(seed=seeds, key=keys,
+           max_retries=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_is_reproducible(self, seed, key, max_retries):
+        first = RetryPolicy(max_retries=max_retries, seed=seed)
+        second = RetryPolicy(max_retries=max_retries, seed=seed)
+        assert first.schedule(key) == second.schedule(key)
+        assert len(first.schedule(key)) == max_retries
+
+    @given(seed=seeds, key=keys, attempt=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_is_pure(self, seed, key, attempt):
+        policy = RetryPolicy(seed=seed)
+        assert policy.delay(key, attempt) == policy.delay(key, attempt)
+
+    def test_different_keys_decorrelate(self):
+        policy = RetryPolicy(seed=0)
+        delays = {policy.delay(f"job/{i}", 0) for i in range(16)}
+        assert len(delays) == 16
+
+    def test_different_seeds_decorrelate(self):
+        delays = {RetryPolicy(seed=s).delay("job/unit", 0)
+                  for s in range(16)}
+        assert len(delays) == 16
+
+
+class TestBounds:
+    @given(seed=seeds, key=keys, attempt=st.integers(0, 8),
+           jitter=st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_jitter_envelope(self, seed, key, attempt, jitter):
+        policy = RetryPolicy(base_s=0.1, factor=2.0, jitter=jitter,
+                             seed=seed)
+        nominal = 0.1 * 2.0 ** attempt
+        delay = policy.delay(key, attempt)
+        assert nominal * (1 - jitter / 2) <= delay
+        # upper bound is half-open, but allow fp rounding to collapse
+        # the interval when jitter is denormal-tiny
+        assert delay <= nominal * (1 + jitter / 2)
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(max_retries=4, base_s=0.5, factor=3.0,
+                             jitter=0.0)
+        assert policy.schedule("k") == (0.5, 1.5, 4.5, 13.5)
+
+    @given(seed=seeds, key=keys)
+    @settings(max_examples=40, deadline=None)
+    def test_backoff_grows(self, seed, key):
+        """With jitter < 2(factor-1)/(factor+1), delays strictly grow."""
+        policy = RetryPolicy(max_retries=5, base_s=0.05, factor=2.0,
+                             jitter=0.5, seed=seed)
+        schedule = policy.schedule(key)
+        assert all(a < b for a, b in zip(schedule, schedule[1:]))
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ParameterError):
+            RetryPolicy(factor=0.0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_canonical_roundtrip(self):
+        policy = RetryPolicy(max_retries=3, base_s=0.1, factor=1.5,
+                             jitter=0.25, seed=7)
+        assert RetryPolicy(**policy.canonical()) == policy

@@ -1,0 +1,151 @@
+"""End-to-end serving tests against the real scheduler and CLI.
+
+These pin the PR's acceptance criteria:
+
+* a run whose PIM quarantines exceed the degradation threshold
+  completes in GPU_ONLY mode with the degradation events recorded,
+  instead of raising ``FaultError``;
+* an interrupted campaign resumed from its checkpoint produces output
+  byte-identical to the uninterrupted run (``repro serve --smoke``).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.framework import AnaheimFramework
+from repro.faults.plan import default_plan
+from repro.gpu.configs import A100_80GB
+from repro.pim.configs import A100_NEAR_BANK
+from repro.serving import BreakerBoard, HealthMonitor, JobRunner, \
+    ServePolicy, parse_jobs
+from repro.workloads.applications import build
+
+
+@pytest.fixture(scope="module")
+def boot():
+    from repro.params import paper_params
+    params = paper_params()
+    return build("Boot", params), params
+
+
+class TestGracefulDegradation:
+    def test_quarantine_overflow_completes_gpu_only(self, boot):
+        """Two stuck sites push past gpu_only_after=2: the run must
+        finish on the GPU with the events in the fault summary."""
+        workload, params = boot
+        plan = default_plan(seed=0, stuck_sites=(1, 5))
+        health = HealthMonitor(degraded_after=1, gpu_only_after=2)
+        framework = AnaheimFramework(
+            A100_80GB, A100_NEAR_BANK, fault_plan=plan, health=health,
+            breakers=BreakerBoard())
+        result = framework.run(workload.blocks, params.degree,
+                               label="Boot (degrading)")
+
+        summary = result.report.fault_summary
+        degradation = summary["degradation"]
+        assert degradation["state"] == "gpu-only"
+        transitions = [(e["from"], e["to"]) for e in degradation["events"]]
+        assert ("pim-degraded", "gpu-only") in transitions
+        assert summary["degraded_reroutes"] > 0
+        assert summary["unrecovered"] == 0
+
+    def test_degradation_lands_in_the_manifest(self, boot, tmp_path):
+        from repro.obs.export import run_manifest, write_json
+        workload, params = boot
+        plan = default_plan(seed=0, stuck_sites=(1, 5))
+        framework = AnaheimFramework(
+            A100_80GB, A100_NEAR_BANK, fault_plan=plan,
+            health=HealthMonitor(degraded_after=1, gpu_only_after=2))
+        result = framework.run(workload.blocks, params.degree,
+                               label="Boot")
+        manifest = run_manifest(result.report, gpu=A100_80GB,
+                                pim=A100_NEAR_BANK,
+                                options=result.options, workload="Boot",
+                                degree=params.degree, fault_plan=plan)
+        path = tmp_path / "manifest.json"
+        write_json(path, manifest)
+        loaded = json.loads(path.read_text())
+        state = loaded["report"]["fault_summary"]["degradation"]
+        assert state["state"] == "gpu-only"
+        assert state["events"]
+
+    def test_healthy_plan_stays_healthy(self, boot):
+        workload, params = boot
+        framework = AnaheimFramework(
+            A100_80GB, A100_NEAR_BANK,
+            fault_plan=default_plan(seed=0, scale=0.0),
+            health=HealthMonitor())
+        result = framework.run(workload.blocks, params.degree)
+        assert result.report.fault_summary["degradation"]["state"] == \
+            "healthy"
+
+
+class TestServeResume:
+    def test_interrupted_campaign_resumes_byte_identical(self, tmp_path):
+        """The acceptance criterion, against real analytic units."""
+        jobs = parse_jobs(["faults:analytic:Boot"])
+        policy = ServePolicy(seeds=(0, 1), stuck_sites=(1, 5),
+                             degraded_after=1, gpu_only_after=2)
+
+        def runner(**kwargs):
+            return JobRunner(jobs, policy, **kwargs)
+
+        clean = runner().run()
+        ckpt = tmp_path / "ck.json"
+        killed = runner(checkpoint_path=ckpt, max_units=1).run()
+        assert killed["interrupted"]
+        resumed_runner = runner(checkpoint_path=ckpt, resume_path=ckpt)
+        resumed = resumed_runner.run()
+
+        assert json.dumps(clean, indent=2) == \
+            json.dumps(resumed, indent=2)
+        assert resumed_runner.resumed_units == 1
+        assert clean["ok"]
+        states = [u["result"]["summary"]["degradation"]["state"]
+                  for u in clean["jobs"][0]["units"].values()]
+        assert states == ["gpu-only", "gpu-only"]
+
+
+class TestServeCli:
+    def test_smoke_gates(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "serve smoke: PASS" in out
+        assert "byte-identical" in out
+
+    def test_serve_jobs_table(self, capsys):
+        assert main(["serve", "--jobs", "faults:analytic:Boot",
+                     "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0-faults" in out
+
+    def test_serve_without_jobs_errors(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_serve_manifest_and_resume_flow(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck.json")
+        manifest = str(tmp_path / "serve.json")
+        base = ["serve", "--jobs", "faults:analytic:Boot",
+                "--seeds", "0,1"]
+        assert main(base + ["--checkpoint", ckpt, "--max-units", "1"]) == 2
+        assert main(base + ["--resume", ckpt, "--manifest", manifest,
+                            "--json"]) == 0
+        capsys.readouterr()
+        doc = json.loads(open(manifest).read())
+        assert doc["kind"] == "serve"
+        assert not doc["interrupted"]
+        assert doc["jobs"][0]["campaign"]["gate"]["passed"]
+
+    def test_serve_resume_digest_mismatch_is_clean(self, tmp_path,
+                                                   capsys):
+        ckpt = str(tmp_path / "ck.json")
+        assert main(["serve", "--jobs", "faults:analytic:Boot",
+                     "--seeds", "0", "--checkpoint", ckpt]) == 0
+        assert main(["serve", "--jobs", "faults:analytic:Sort",
+                     "--seeds", "0", "--resume", ckpt]) == 1
+        err = capsys.readouterr().err
+        assert "digest mismatch" in err
+        assert err.strip().count("\n") == 0
