@@ -29,14 +29,18 @@ from repro.core.scheduler import ScheduleReport, Segment
 from repro.core.trace import OpCategory, PimKernel
 from repro.errors import ReproError
 from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
-from repro.obs.baseline import (baseline_path, check_baseline,
+from repro.obs.baseline import (append_history, baseline_metrics,
+                                baseline_path, check_baseline,
                                 check_baseline_metrics, load_baseline,
+                                load_history, render_history,
                                 write_baseline, write_baseline_metrics)
 from repro.obs.export import (chrome_trace_from_report,
                               chrome_trace_from_tracer, merge_traces,
                               report_dict, run_manifest, write_json)
+from repro.obs.metrics import EventLog, MetricsRegistry, parse_prometheus
 from repro.obs.profile import render_counters, render_span_tree
 from repro.obs.tracer import Tracer
+from repro.obs.utilization import UtilizationReport
 from repro.params import paper_params
 from repro.pim.configs import (A100_CUSTOM_HBM, A100_NEAR_BANK,
                                RTX4090_NEAR_BANK, with_buffer)
@@ -77,6 +81,16 @@ def _add_obs_flags(parser) -> None:
 def _write_artifact(path, document, kind: str, quiet: bool) -> None:
     try:
         write_json(path, document)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {kind} to {path}: {exc}")
+    if not quiet:
+        print(f"wrote {kind} to {path}")
+
+
+def _write_text(path, text: str, kind: str, quiet: bool = False) -> None:
+    try:
+        with open(path, "w") as fh:
+            fh.write(text)
     except OSError as exc:
         raise SystemExit(f"cannot write {kind} to {path}: {exc}")
     if not quiet:
@@ -129,10 +143,12 @@ def cmd_run(args) -> int:
         from repro.faults.plan import default_plan
         fault_plan = default_plan(seed=args.fault_seed,
                                   scale=args.fault_scale)
+    metrics = MetricsRegistry()
     if args.pim == "none":
         framework = AnaheimFramework(gpu, library=library,
                                      keep_segments=keep,
-                                     fault_plan=fault_plan)
+                                     fault_plan=fault_plan,
+                                     metrics=metrics)
         result = framework.run(workload.blocks, params.degree,
                                label=args.workload)
         report = result.report
@@ -140,7 +156,8 @@ def cmd_run(args) -> int:
                                 options=result.options,
                                 workload=args.workload,
                                 degree=params.degree,
-                                fault_plan=fault_plan)
+                                fault_plan=fault_plan,
+                                metrics=metrics)
         _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
                         manifest=manifest)
         if args.json:
@@ -157,7 +174,8 @@ def cmd_run(args) -> int:
     pim = _pim_for(args.gpu, args.pim)
     framework = AnaheimFramework(gpu, pim, library=library,
                                  keep_segments=keep,
-                                 fault_plan=fault_plan)
+                                 fault_plan=fault_plan,
+                                 metrics=metrics)
     runs = framework.compare(workload.blocks, params.degree,
                              label=args.workload)
     base, anaheim = runs["gpu"].report, runs["pim"].report
@@ -166,7 +184,7 @@ def cmd_run(args) -> int:
     manifest = run_manifest(anaheim, gpu=gpu, pim=pim, library=library,
                             options=runs["pim"].options,
                             workload=args.workload, degree=params.degree,
-                            fault_plan=fault_plan,
+                            fault_plan=fault_plan, metrics=metrics,
                             extra={"baseline_report": report_dict(base)})
     _emit_artifacts(args, trace_doc=trace_doc, manifest=manifest)
     if args.json:
@@ -198,15 +216,16 @@ def cmd_gantt(args) -> int:
     params = paper_params()
     blocks = hoisted_block(params.level_count, params.aux_count,
                            params.dnum, rotations=args.rotations)
+    metrics = MetricsRegistry()
     framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
-                                 keep_segments=True)
+                                 keep_segments=True, metrics=metrics)
     result = framework.run(blocks, params.degree,
                            label=f"hoisted transform K={args.rotations}")
     report = result.report
     manifest = run_manifest(report, gpu=A100_80GB, pim=A100_NEAR_BANK,
                             options=result.options,
                             workload=f"hoisted-transform-K{args.rotations}",
-                            degree=params.degree)
+                            degree=params.degree, metrics=metrics)
     _emit_artifacts(args, trace_doc=chrome_trace_from_report(report),
                     manifest=manifest)
     if args.json:
@@ -319,6 +338,8 @@ def _bench_functional(args) -> int:
         args.dir, "functional", metrics, config=result["config"],
         extra={"counters": result["counters"],
                "precision_max_err": result["precision_max_err"]})
+    append_history(args.dir, "functional", metrics,
+                   config=result["config"])
     print(f"wrote baseline {path} "
           f"(bootstrap {format_seconds(metrics['bootstrap_s'])}, "
           f"key switch {format_seconds(metrics['key_switch_s'])}, "
@@ -326,7 +347,23 @@ def _bench_functional(args) -> int:
     return 0
 
 
+def _bench_history(args) -> int:
+    """Render the recorded run-to-run trend for one workload."""
+    entries = load_history(args.dir, args.workload)
+    baseline = (load_baseline(args.dir, args.workload)
+                if baseline_path(args.dir, args.workload).exists()
+                else None)
+    trend_metrics = (("bootstrap_s", "key_switch_s", "ntt_batch_speedup")
+                     if args.workload == "functional"
+                     else ("total_time", "energy", "edp"))
+    print(f"bench history: {args.workload} ({len(entries)} run(s))")
+    print(render_history(entries, baseline, metrics=trend_metrics))
+    return 0
+
+
 def cmd_bench(args) -> int:
+    if args.history:
+        return _bench_history(args)
     if args.workload == "functional":
         return _bench_functional(args)
     built = _bench_framework(args)
@@ -357,6 +394,8 @@ def cmd_bench(args) -> int:
               f"of {path}")
         return 0
     path = write_baseline(args.dir, args.workload, report, config=config)
+    append_history(args.dir, args.workload, baseline_metrics(report),
+                   config=config)
     print(f"wrote baseline {path} "
           f"(total {format_seconds(report.total_time)}, "
           f"{report.energy:.2f}J)")
@@ -578,6 +617,209 @@ def cmd_serve(args) -> int:
     return 0 if document["ok"] else 1
 
 
+# -- Metrics & telemetry -------------------------------------------------------
+
+
+def _metrics_smoke(args) -> int:
+    """Gating metrics self-check (the CI step).
+
+    Runs the small hoisted-transform workload twice with fresh
+    registries and asserts: the Prometheus exposition parses and passes
+    the format/monotonicity validation; the utilization accounting
+    closes within 1e-9 of the report timeline; and the two runs produce
+    byte-identical snapshot digests.
+    """
+    def one_run():
+        registry = MetricsRegistry()
+        params = paper_params()
+        blocks = hoisted_block(params.level_count, params.aux_count,
+                               params.dnum, rotations=4)
+        framework = AnaheimFramework(A100_80GB, A100_NEAR_BANK,
+                                     keep_segments=True, metrics=registry)
+        report = framework.run(blocks, params.degree,
+                               label="metrics-smoke").report
+        util = UtilizationReport.from_report(report, gpu=A100_80GB,
+                                             pim=A100_NEAR_BANK)
+        util.record(registry)
+        return registry, util
+
+    first, util = one_run()
+    second, _ = one_run()
+    failures = []
+    parsed = None
+    text = first.render_prometheus()
+    try:
+        parsed = parse_prometheus(text)
+    except ReproError as exc:
+        failures.append(f"exposition failed validation: {exc}")
+    if parsed is not None and not parsed["samples"]:
+        failures.append("exposition contains no samples")
+    if not util.accounting_error < 1e-9:
+        failures.append(f"utilization accounting error "
+                        f"{util.accounting_error:.3e} >= 1e-9")
+    if first.digest() != second.digest():
+        failures.append("two identical runs produced different snapshot "
+                        "digests")
+    if failures:
+        for failure in failures:
+            print(f"metrics smoke: {failure}")
+        print("metrics smoke: FAIL")
+        return 1
+    print(f"metrics smoke: PASS ({len(parsed['samples'])} samples, "
+          f"digest {first.digest()[:12]}, accounting error "
+          f"{util.accounting_error:.2e})")
+    return 0
+
+
+#: (display label, tracer-counter prefix) of the functional engine's
+#: cache-style counters, reported as hit rates.
+_FUNCTIONAL_RATES = (("scratch buffers", "ckks.scratch"),
+                     ("diag cache", "ckks.diag_cache"),
+                     ("monomial cache", "ckks.monomial_cache"))
+
+
+def _metrics_functional(args, registry, events):
+    """Fold the functional CKKS engine counters into the registry."""
+    tracer = Tracer()
+    result = _run_functional(args, tracer=tracer)
+    counters = result["counters"]
+    family = registry.counter("anaheim_functional_events_total",
+                              "Functional CKKS engine counters",
+                              labelnames=("event",))
+    for name in sorted(counters):
+        if counters[name]:
+            family.inc(counters[name], event=name)
+    rates = registry.gauge("anaheim_functional_hit_rate",
+                           "Engine cache hit rates (0..1)",
+                           labelnames=("cache",))
+    lines = ["functional CKKS engine utilization:"]
+    for label, prefix in _FUNCTIONAL_RATES:
+        hit = counters.get(f"{prefix}.hit", 0)
+        total = hit + counters.get(f"{prefix}.miss", 0)
+        rate = hit / total if total else 0.0
+        rates.set(rate, cache=prefix.split(".", 1)[1])
+        lines.append(f"  {label:<16} {rate:7.2%}  ({hit}/{total} lookups)")
+    bench = result["metrics"]
+    lines.append(f"  bootstrap {format_seconds(bench['bootstrap_s'])}, "
+                 f"NTT batch speedup {bench['ntt_batch_speedup']:.2f}x")
+    events.emit("functional_bench", metrics=bench,
+                precision_max_err=result["precision_max_err"])
+    return lines
+
+
+def cmd_metrics(args) -> int:
+    """One instrumented run, exported as prom text / JSON / JSONL."""
+    if args.smoke:
+        return _metrics_smoke(args)
+    registry = MetricsRegistry()
+    events = EventLog()
+    util = None
+    if args.workload == "functional":
+        util_lines = _metrics_functional(args, registry, events)
+    else:
+        gpu = GPUS[args.gpu]
+        params = paper_params()
+        workload = apps.build(args.workload, params)
+        if not _check_memory(workload, gpu):
+            return 1
+        library = LIBRARIES[args.library]
+        pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+        framework = AnaheimFramework(gpu, pim, library=library,
+                                     keep_segments=True, metrics=registry)
+        report = framework.run(workload.blocks, params.degree,
+                               label=args.workload).report
+        util = UtilizationReport.from_report(report, gpu=gpu, pim=pim)
+        util.record(registry)
+        events.emit("run", workload=args.workload, gpu=gpu.name,
+                    pim=pim.name if pim else None,
+                    total_time=report.total_time, energy=report.energy)
+        events.emit("utilization", **util.as_dict())
+        util_lines = util.render().splitlines()
+    if args.format == "prom":
+        output = registry.render_prometheus()
+    elif args.format == "json":
+        output = json.dumps({"digest": registry.digest(),
+                             "snapshot": registry.snapshot()},
+                            indent=2) + "\n"
+    else:
+        output = events.to_jsonl()
+    if args.out:
+        _write_text(args.out, output, f"metrics ({args.format})")
+    else:
+        print(output, end="")
+    if args.events_out:
+        _write_text(args.events_out, events.to_jsonl(), "event log")
+    if args.utilization:
+        print("\n".join(util_lines))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live-ish serve progress: a line per unit as it lands, then the
+    latency/retry/degradation picture from the metrics registry."""
+    from repro.serving import JobRunner, parse_jobs
+    from repro.serving.jobs import _unit_seconds
+
+    jobs = parse_jobs(args.jobs)
+    policy = _serve_policy(args)
+    registry = MetricsRegistry()
+    total = sum(len(job.units(policy.seeds)) for job in jobs)
+    done = {"n": 0}
+
+    def on_unit(job, unit, doc, fresh):
+        done["n"] += 1
+        status = doc.get("status", "ok")
+        seconds = _unit_seconds(job.kind, doc)
+        note = ("restored" if not fresh
+                else f"{format_seconds(seconds)} sim"
+                if seconds is not None else "-")
+        print(f"[{done['n']:>3}/{total}] {job.id:<10} {unit:<20} "
+              f"{status:<18} {note}")
+
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    runner = JobRunner(jobs, policy, gpu=gpu, pim=pim,
+                       library=LIBRARIES[args.library],
+                       checkpoint_path=args.checkpoint,
+                       resume_path=args.resume,
+                       metrics=registry, on_unit=on_unit)
+    document = runner.run()
+
+    def value(name, **labels):
+        metric = registry.get(name)
+        return metric.value(**labels) if metric is not None else 0.0
+
+    print()
+    print(f"units {done['n']}/{total} "
+          f"(restored {int(value('anaheim_serve_units_restored_total'))})"
+          f"  retries {int(value('anaheim_serve_retries_total'))}"
+          f"  backoff {format_seconds(value('anaheim_serve_backoff_seconds_total'))}"
+          f"  deadline skips "
+          f"{int(value('anaheim_serve_deadline_skips_total'))}")
+    hist = registry.get("anaheim_serve_unit_seconds")
+    if hist is not None and hist.snapshot_samples():
+        rows = []
+        for sample in hist.snapshot_samples():
+            labels = sample["labels"]
+            rows.append([labels["kind"], labels["workload"],
+                         sample["count"],
+                         format_seconds(hist.quantile(0.5, **labels)),
+                         format_seconds(hist.quantile(0.95, **labels))])
+        print(format_table(["kind", "workload", "units", "p50", "p95"],
+                           rows, title="unit latency (simulated)"))
+    state = registry.get("anaheim_degradation_state")
+    if state is not None and state.snapshot_samples():
+        names = ("healthy", "pim-degraded", "gpu-only", "failed")
+        level = int(state.value())
+        print(f"degradation: {names[min(level, 3)]}")
+    if args.metrics_out:
+        _write_text(args.metrics_out, registry.render_prometheus(),
+                    "metrics (prom)")
+    if document["interrupted"]:
+        return 2
+    return 0 if document["ok"] else 1
+
+
 def cmd_profile(args) -> int:
     tracer = Tracer()
     if args.workload == "functional":
@@ -632,6 +874,41 @@ def _add_target_flags(parser, default_pim: str = "near-bank",
                         choices=sorted(LIBRARIES))
 
 
+def _add_serve_flags(parser) -> None:
+    """Target + ServePolicy flags shared by ``serve`` and ``top``."""
+    parser.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    parser.add_argument("--pim", default="near-bank",
+                        choices=["near-bank", "custom-hbm", "none"])
+    parser.add_argument("--library", default="Cheddar",
+                        choices=sorted(LIBRARIES))
+    parser.add_argument("--seed", type=int, default=0,
+                        help="service seed (drives backoff jitter)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retry budget per unit (default 2)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock deadline; overrunning "
+                             "jobs stop between units")
+    parser.add_argument("--kernel-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-kernel simulated-time timeout (hung PIM "
+                             "kernels are killed and rerouted to the GPU)")
+    parser.add_argument("--seeds", default="0,1,2",
+                        help="campaign seeds for faults jobs")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fault-rate multiplier for attached plans")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="attach a fault plan to run/bench jobs")
+    parser.add_argument("--stuck-site", type=int, action="append",
+                        help="persistent stuck-at PIM site (repeatable)")
+    parser.add_argument("--degraded-after", type=int, default=1,
+                        help="quarantined sites before PIM_DEGRADED")
+    parser.add_argument("--gpu-only-after", type=int, default=3,
+                        help="quarantined sites before GPU_ONLY")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help="units between checkpoint writes (default 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="anaheim-repro",
@@ -677,6 +954,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing trials per metric for the `functional` "
                             "workload (best-of; default 3)")
+    bench.add_argument("--history", action="store_true",
+                       help="print the recorded run-to-run trend "
+                            "(every bench run appends to "
+                            "history/<workload>.jsonl under --dir)")
 
     profile = sub.add_parser(
         "profile", help="span-tree wall-clock profile of one modeled run")
@@ -719,40 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", nargs="+", metavar="SPEC",
                        help="job specs: run:<wl>[,..], bench:<wl>[,..], "
                             "faults[:layer[:workload]]")
-    serve.add_argument("--gpu", default="a100", choices=sorted(GPUS))
-    serve.add_argument("--pim", default="near-bank",
-                       choices=["near-bank", "custom-hbm", "none"])
-    serve.add_argument("--library", default="Cheddar",
-                       choices=sorted(LIBRARIES))
-    serve.add_argument("--seed", type=int, default=0,
-                       help="service seed (drives backoff jitter)")
-    serve.add_argument("--max-retries", type=int, default=2,
-                       help="retry budget per unit (default 2)")
-    serve.add_argument("--deadline", type=float, default=None,
-                       metavar="SECONDS",
-                       help="per-job wall-clock deadline; overrunning "
-                            "jobs stop between units")
-    serve.add_argument("--kernel-timeout", type=float, default=None,
-                       metavar="SECONDS",
-                       help="per-kernel simulated-time timeout (hung PIM "
-                            "kernels are killed and rerouted to the GPU)")
-    serve.add_argument("--seeds", default="0,1,2",
-                       help="campaign seeds for faults jobs")
-    serve.add_argument("--scale", type=float, default=1.0,
-                       help="fault-rate multiplier for attached plans")
-    serve.add_argument("--fault-seed", type=int, default=None,
-                       help="attach a fault plan to run/bench jobs")
-    serve.add_argument("--stuck-site", type=int, action="append",
-                       help="persistent stuck-at PIM site (repeatable)")
-    serve.add_argument("--degraded-after", type=int, default=1,
-                       help="quarantined sites before PIM_DEGRADED")
-    serve.add_argument("--gpu-only-after", type=int, default=3,
-                       help="quarantined sites before GPU_ONLY")
+    _add_serve_flags(serve)
     serve.add_argument("--checkpoint", metavar="FILE",
                        help="record finished units to this file "
                             "(crash-safe atomic writes)")
-    serve.add_argument("--checkpoint-every", type=int, default=1,
-                       help="units between checkpoint writes (default 1)")
     serve.add_argument("--resume", metavar="FILE",
                        help="resume from a checkpoint; replays only the "
                             "missing units, output is byte-identical to "
@@ -768,6 +1019,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the serve document as JSON")
     serve.add_argument("--manifest", metavar="FILE",
                        help="write the serve document to a file")
+
+    metrics_p = sub.add_parser(
+        "metrics", help="run one instrumented workload and export its "
+                        "metrics (Prometheus text, JSON snapshot+digest, "
+                        "or JSONL events)")
+    metrics_p.add_argument("--workload", default="HELR",
+                           help=f"one of {', '.join(sorted(apps.WORKLOADS))}"
+                                f", functional (default HELR)")
+    metrics_p.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    metrics_p.add_argument("--pim", default="near-bank",
+                           choices=["near-bank", "custom-hbm", "none"])
+    metrics_p.add_argument("--library", default="Cheddar",
+                           choices=sorted(LIBRARIES))
+    metrics_p.add_argument("--format", default="prom",
+                           choices=["prom", "json", "jsonl"],
+                           help="export format (default: Prometheus text)")
+    metrics_p.add_argument("--out", metavar="FILE",
+                           help="write the export here instead of stdout")
+    metrics_p.add_argument("--events-out", metavar="FILE",
+                           help="also write the JSONL event log here")
+    metrics_p.add_argument("--utilization", action="store_true",
+                           help="print the derived utilization report")
+    metrics_p.add_argument("--repeats", type=int, default=1,
+                           help="timing trials for the `functional` "
+                                "workload (default 1)")
+    metrics_p.add_argument("--smoke", action="store_true",
+                           help="gating self-check: exposition parses, "
+                                "utilization accounting closes within "
+                                "1e-9, snapshots are run-to-run "
+                                "byte-identical")
+
+    top = sub.add_parser(
+        "top", help="serve a job matrix with a live-ish progress line "
+                    "per unit, then the latency/retry/degradation "
+                    "summary from the metrics registry")
+    top.add_argument("--jobs", nargs="+", metavar="SPEC", required=True,
+                     help="job specs: run:<wl>[,..], bench:<wl>[,..], "
+                          "faults[:layer[:workload]]")
+    _add_serve_flags(top)
+    top.add_argument("--checkpoint", metavar="FILE",
+                     help="record finished units to this file")
+    top.add_argument("--resume", metavar="FILE",
+                     help="resume from a checkpoint")
+    top.add_argument("--metrics-out", metavar="FILE",
+                     help="write the final Prometheus exposition here")
     return parser
 
 
@@ -776,7 +1072,8 @@ def main(argv=None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
                 "microbench": cmd_microbench, "bench": cmd_bench,
                 "profile": cmd_profile, "faults": cmd_faults,
-                "serve": cmd_serve}
+                "serve": cmd_serve, "metrics": cmd_metrics,
+                "top": cmd_top}
     try:
         return handlers[args.command](args)
     except ReproError as exc:

@@ -38,6 +38,7 @@ class AnaheimFramework:
                  working_set_bytes: float = 0.0,
                  keep_segments: bool = False,
                  tracer=None,
+                 metrics=None,
                  fault_plan=None,
                  health=None,
                  breakers=None,
@@ -46,8 +47,11 @@ class AnaheimFramework:
         self.pim = pim
         self.library = library
         self.tracer = tracer
-        self.gpu_model = GpuModel(gpu, library, tracer=tracer)
-        self.pim_executor = (PimExecutor(pim, tracer=tracer)
+        self.metrics = metrics
+        self.gpu_model = GpuModel(gpu, library, tracer=tracer,
+                                  metrics=metrics)
+        self.pim_executor = (PimExecutor(pim, tracer=tracer,
+                                         metrics=metrics)
                              if pim is not None else None)
         self.cache = CacheModel(l2_bytes=gpu.l2_cache_bytes,
                                 working_set_bytes=working_set_bytes)
@@ -67,6 +71,7 @@ class AnaheimFramework:
                                       cache=self.cache,
                                       keep_segments=self.keep_segments,
                                       tracer=self.tracer,
+                                      metrics=self.metrics,
                                       plan=self.fault_plan,
                                       health=self.health,
                                       breakers=self.breakers,
@@ -74,7 +79,8 @@ class AnaheimFramework:
         return Scheduler(self.gpu_model, self.pim_executor,
                          cache=self.cache,
                          keep_segments=self.keep_segments,
-                         tracer=self.tracer)
+                         tracer=self.tracer,
+                         metrics=self.metrics)
 
     def default_options(self) -> LoweringOptions:
         """Best options for the bound devices: full fusion, plus PIM

@@ -53,6 +53,11 @@ class ScheduleReport:
     transitions: int = 0
     time_by_category: dict = field(default_factory=dict)
     gpu_dram_bytes: float = 0.0
+    #: DRAM bytes of transfer-category kernels specifically (a subset
+    #: of ``gpu_dram_bytes``) — the numerator of the transfer-bandwidth
+    #: utilization the :class:`~repro.obs.utilization.UtilizationReport`
+    #: computes.
+    transfer_bytes: float = 0.0
     pim_internal_bytes: float = 0.0
     pim_activations: int = 0
     energy_gpu_dynamic: float = 0.0
@@ -111,6 +116,7 @@ class ScheduleReport:
         out.time_by_category = {k: v * factor
                                 for k, v in self.time_by_category.items()}
         out.gpu_dram_bytes = self.gpu_dram_bytes * factor
+        out.transfer_bytes = self.transfer_bytes * factor
         out.pim_internal_bytes = self.pim_internal_bytes * factor
         out.pim_activations = int(self.pim_activations * factor)
         out.energy_gpu_dynamic = self.energy_gpu_dynamic * factor
@@ -132,6 +138,7 @@ class ScheduleReport:
             out.time_by_category[key] = out.time_by_category.get(
                 key, 0.0) + value
         out.gpu_dram_bytes += other.gpu_dram_bytes
+        out.transfer_bytes += other.transfer_bytes
         out.pim_internal_bytes += other.pim_internal_bytes
         out.pim_activations += other.pim_activations
         out.energy_gpu_dynamic += other.energy_gpu_dynamic
@@ -189,6 +196,32 @@ def _merge_fault_summaries(a: dict, b: dict) -> dict:
     return out
 
 
+class _SchedulerMetrics:
+    """Metric families the scheduler updates (one lookup at init)."""
+
+    def __init__(self, registry):
+        from repro.obs.metrics import KERNEL_SECONDS_BUCKETS
+        self.kernels = registry.counter(
+            "anaheim_kernels_total", "Kernels dispatched",
+            labelnames=("device", "category"))
+        self.kernel_seconds = registry.histogram(
+            "anaheim_kernel_seconds",
+            "Simulated kernel time including recovery traffic",
+            labelnames=("device", "category"),
+            buckets=KERNEL_SECONDS_BUCKETS)
+        self.transitions = registry.counter(
+            "anaheim_transitions_total", "GPU<->PIM device transitions")
+        self.faults = registry.counter(
+            "anaheim_fault_events_total",
+            "Fault pipeline events seen by the resilient scheduler",
+            labelnames=("event",))
+
+    def kernel(self, device: str, category, duration: float) -> None:
+        self.kernels.inc(device=device, category=category.value)
+        self.kernel_seconds.observe(duration, device=device,
+                                    category=category.value)
+
+
 class Scheduler:
     """Executes a trace against a GPU model and (optionally) a PIM device."""
 
@@ -196,13 +229,17 @@ class Scheduler:
                  pim_executor: PimExecutor | None = None,
                  cache: CacheModel | None = None,
                  keep_segments: bool = True,
-                 tracer=None):
+                 tracer=None,
+                 metrics=None):
         self.gpu_model = gpu_model
         self.pim_executor = pim_executor
         self.cache = cache or CacheModel(
             l2_bytes=gpu_model.config.l2_cache_bytes)
         self.keep_segments = keep_segments
         self.tracer = tracer
+        self.metrics = metrics
+        self._m = _SchedulerMetrics(metrics) if metrics is not None \
+            else None
 
     # -- Per-kernel dispatch (split out so tracing wraps one call) ----------
 
@@ -219,6 +256,8 @@ class Scheduler:
         cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
         report.gpu_time += cost.time
         report.gpu_dram_bytes += cost.dram_bytes
+        if kernel.category is OpCategory.TRANSFER:
+            report.transfer_bytes += cost.dram_bytes
         report.energy_gpu_dynamic += self.gpu_model.kernel_energy(
             kernel, cost)
         return cost.time
@@ -247,12 +286,16 @@ class Scheduler:
                 with tracer.span(name, kernel=kernel.name):
                     duration = dispatch(kernel, report)
                 tracer.count(f"scheduler.kernels.{device}")
+            if self._m is not None:
+                self._m.kernel(device, kernel.category, duration)
             if previous_device is not None and previous_device != device:
                 clock += overhead
                 report.transition_time += overhead
                 report.transitions += 1
                 if tracer is not None:
                     tracer.count("scheduler.transitions")
+                if self._m is not None:
+                    self._m.transitions.inc()
             start = clock
             clock += duration
             report.time_by_category[kernel.category] = (
@@ -308,13 +351,15 @@ class ResilientScheduler(Scheduler):
                  cache: CacheModel | None = None,
                  keep_segments: bool = True,
                  tracer=None,
+                 metrics=None,
                  plan=None,
                  injector: FaultInjector | None = None,
                  health=None,
                  breakers=None,
                  kernel_timeout: float | None = None):
         super().__init__(gpu_model, pim_executor, cache=cache,
-                         keep_segments=keep_segments, tracer=tracer)
+                         keep_segments=keep_segments, tracer=tracer,
+                         metrics=metrics)
         if plan is None and injector is not None:
             plan = injector.plan
         self.plan = plan
@@ -338,6 +383,8 @@ class ResilientScheduler(Scheduler):
         cost = self.gpu_model.kernel_cost(kernel, dram_bytes=dram)
         report.gpu_time += cost.time
         report.gpu_dram_bytes += cost.dram_bytes
+        if kernel.category is OpCategory.TRANSFER:
+            report.transfer_bytes += cost.dram_bytes
         report.energy_gpu_dynamic += self.gpu_model.kernel_energy(kernel,
                                                                   cost)
         return cost.time
@@ -369,6 +416,10 @@ class ResilientScheduler(Scheduler):
                 report.transitions += 1
                 if tracer is not None:
                     tracer.count("scheduler.transitions")
+                if self._m is not None:
+                    self._m.transitions.inc()
+            if self._m is not None:
+                self._m.kernel(device, category, duration)
             start = clock
             clock += duration
             report.time_by_category[category] = (
@@ -382,6 +433,10 @@ class ResilientScheduler(Scheduler):
         def breaker_device(device: str, category) -> str:
             return "transfer" if category is OpCategory.TRANSFER else device
 
+        def note_event(event: str) -> None:
+            if self._m is not None:
+                self._m.faults.inc(event=event)
+
         def note_success(device: str, category) -> None:
             if breakers is not None:
                 breakers.record_success(breaker_device(device, category),
@@ -392,6 +447,7 @@ class ResilientScheduler(Scheduler):
             if breakers is not None and breakers.record_failure(bdev, clock):
                 if tracer is not None:
                     tracer.count(f"scheduler.breaker.open.{bdev}")
+                note_event("breaker_open")
                 if health is not None:
                     health.note_breaker_open(bdev, clock)
             if health is not None:
@@ -404,6 +460,7 @@ class ResilientScheduler(Scheduler):
         def note_quarantine(site) -> None:
             if tracer is not None:
                 tracer.count("scheduler.faults.quarantined_sites")
+            note_event("quarantine")
             if health is not None:
                 health.note_quarantine(site, clock)
 
@@ -436,6 +493,7 @@ class ResilientScheduler(Scheduler):
                     rerouted += 1
                     if tracer is not None:
                         tracer.count("scheduler.faults.rerouted")
+                    note_event("rerouted")
                     exec_kernel = gpu_equivalent(kernel)
                     device, site = "gpu", None
                 elif health is not None and health.gpu_only:
@@ -444,6 +502,7 @@ class ResilientScheduler(Scheduler):
                     counts["degraded_reroutes"] += 1
                     if tracer is not None:
                         tracer.count("scheduler.faults.degraded_reroutes")
+                    note_event("degraded_reroute")
                     exec_kernel = gpu_equivalent(kernel)
                     device, site = "gpu", None
                 elif breakers is not None \
@@ -451,6 +510,7 @@ class ResilientScheduler(Scheduler):
                     counts["breaker_reroutes"] += 1
                     if tracer is not None:
                         tracer.count("scheduler.faults.breaker_reroutes")
+                    note_event("breaker_reroute")
                     exec_kernel = gpu_equivalent(kernel)
                     device, site = "gpu", None
 
@@ -482,6 +542,7 @@ class ResilientScheduler(Scheduler):
                         counts["kernel_timeouts"] += 1
                         if tracer is not None:
                             tracer.count("scheduler.faults.kernel_timeouts")
+                        note_event("kernel_timeout")
                         note_failure("pim", exec_kernel.category)
                         gpu_fallback(exec_kernel.name,
                                      gpu_equivalent(exec_kernel))
@@ -512,16 +573,19 @@ class ResilientScheduler(Scheduler):
                         counts["kernel_timeouts"] += 1
                         if tracer is not None:
                             tracer.count("scheduler.faults.kernel_timeouts")
+                        note_event("kernel_timeout")
                         note_failure(device, exec_kernel.category)
                     else:
                         note_success(device, exec_kernel.category)
                     break
                 if tracer is not None:
                     tracer.count("scheduler.faults.injected")
+                note_event("injected")
                 if injector.fault_is_benign(fault, instruction):
                     event = injector.event(fault, exec_kernel.name,
                                            "analytic", site=site)
                     event.benign = True
+                    note_event("benign")
                     note_success(device, exec_kernel.category)
                     break
                 event = injector.event(fault, exec_kernel.name, "analytic",
@@ -530,6 +594,7 @@ class ResilientScheduler(Scheduler):
                 event.attempts = attempts + 1
                 if tracer is not None:
                     tracer.count("scheduler.faults.detected")
+                note_event("detected")
                 note_failure(device, exec_kernel.category)
                 attempts += 1
                 if (attempts <= plan.max_attempts
@@ -537,6 +602,7 @@ class ResilientScheduler(Scheduler):
                     event.recovery = "retry"
                     if tracer is not None:
                         tracer.count("scheduler.faults.retries")
+                    note_event("retry")
                     continue
                 if not plan.allow_fallback:
                     if health is None:
@@ -549,6 +615,7 @@ class ResilientScheduler(Scheduler):
                     health.note_policy_exhausted(exec_kernel.name, clock)
                     if tracer is not None:
                         tracer.count("scheduler.faults.policy_degraded")
+                    note_event("policy_degraded")
                 # GPU fallback: re-execute on the reliable device.  A
                 # failed PIM site takes a strike; enough strikes
                 # quarantine it for the rest of the schedule.
@@ -558,6 +625,7 @@ class ResilientScheduler(Scheduler):
                 event.recovery = "fallback"
                 if tracer is not None:
                     tracer.count("scheduler.faults.fallbacks")
+                note_event("fallback")
                 if device == "pim" and injector.record_site_failure(site):
                     note_quarantine(site)
                 break

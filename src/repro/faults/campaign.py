@@ -41,10 +41,30 @@ MAX_DECRYPT_ERROR = 1e-2
 #: Minimum detected/effective ratio the campaign gate demands.
 COVERAGE_THRESHOLD = 0.99
 
+#: Fault-summary counters mirrored into the metrics registry.
+_SUMMARY_EVENTS = ("injected", "benign", "effective", "detected",
+                   "undetected", "recovered_retry", "recovered_fallback",
+                   "unrecovered", "rerouted")
+
+
+def _record_summary(metrics, layer: str, summary: dict) -> None:
+    """Mirror one unit's fault summary into campaign counters."""
+    if metrics is None:
+        return
+    counter = metrics.counter(
+        "anaheim_campaign_faults_total",
+        "Fault-campaign injection/detection/recovery outcomes",
+        labelnames=("layer", "event"))
+    for event in _SUMMARY_EVENTS:
+        value = summary.get(event, 0)
+        if value:
+            counter.inc(value, layer=layer, event=event)
+
 
 def run_functional_campaign(plan: FaultPlan,
                             max_error: float = MAX_DECRYPT_ERROR,
-                            record_wall: bool = True) -> dict:
+                            record_wall: bool = True,
+                            metrics=None) -> dict:
     """Bootstrap a ciphertext with faults live; report coverage.
 
     Key generation and the one-time warmup bootstrap run *outside* the
@@ -93,12 +113,14 @@ def run_functional_campaign(plan: FaultPlan,
     }
     if record_wall:
         result["wall_s"] = wall_s
+    _record_summary(metrics, "functional", summary)
     return result
 
 
 def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
                           gpu=None, pim=None, health=None, breakers=None,
-                          kernel_timeout: float | None = None) -> dict:
+                          kernel_timeout: float | None = None,
+                          metrics=None) -> dict:
     """Schedule a workload clean and resilient; report time overhead.
 
     ``health``/``breakers``/``kernel_timeout`` thread the serving
@@ -125,6 +147,7 @@ def run_analytic_campaign(plan: FaultPlan, workload: str = "Boot",
     clean_t = clean.report.total_time
     fault_t = faulted.report.total_time
     summary = dict(faulted.report.fault_summary)
+    _record_summary(metrics, "analytic", summary)
     return {
         "layer": "analytic",
         "seed": plan.seed,
@@ -157,14 +180,17 @@ def run_campaign_unit(layer: str, seed: int, *, scale: float = 1.0,
                       workload: str = "Boot", stuck_sites=(),
                       record_wall: bool = True, gpu=None, pim=None,
                       health=None, breakers=None,
-                      kernel_timeout: float | None = None) -> dict:
+                      kernel_timeout: float | None = None,
+                      metrics=None) -> dict:
     """Execute one matrix cell (fully determined by its arguments)."""
     plan = default_plan(seed=seed, scale=scale, stuck_sites=stuck_sites)
     if layer == "functional":
-        return run_functional_campaign(plan, record_wall=record_wall)
+        return run_functional_campaign(plan, record_wall=record_wall,
+                                       metrics=metrics)
     return run_analytic_campaign(plan, workload=workload, gpu=gpu, pim=pim,
                                  health=health, breakers=breakers,
-                                 kernel_timeout=kernel_timeout)
+                                 kernel_timeout=kernel_timeout,
+                                 metrics=metrics)
 
 
 def _aggregate(runs) -> dict:
@@ -229,7 +255,8 @@ def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
                functional: bool = True, analytic: bool = True,
                coverage_threshold: float = COVERAGE_THRESHOLD,
                gpu=None, pim=None, record_wall: bool = True,
-               completed: dict | None = None, on_unit=None) -> dict:
+               completed: dict | None = None, on_unit=None,
+               metrics=None) -> dict:
     """The campaign matrix: (layer x seed) sweep plus the gate verdict.
 
     ``completed`` (from a checkpoint) short-circuits already-finished
@@ -244,7 +271,7 @@ def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
         results[key] = run_campaign_unit(
             layer, seed, scale=scale, workload=workload,
             stuck_sites=stuck_sites, record_wall=record_wall,
-            gpu=gpu, pim=pim)
+            gpu=gpu, pim=pim, metrics=metrics)
         if on_unit is not None:
             on_unit(key, results[key])
     return assemble_matrix(results, seeds, scale=scale,

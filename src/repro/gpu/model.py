@@ -34,10 +34,19 @@ class GpuModel:
     """Costs GPU kernels against a :class:`GpuConfig` and library profile."""
 
     def __init__(self, config: GpuConfig, library: LibraryProfile = CHEDDAR,
-                 tracer=None):
+                 tracer=None, metrics=None):
         self.config = config
         self.library = library
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_costs = metrics.counter(
+                "anaheim_gpu_kernel_costs_total",
+                "GPU kernel costings by category",
+                labelnames=("category",))
+            self._m_dram = metrics.counter(
+                "anaheim_gpu_dram_bytes_total",
+                "DRAM bytes charged to GPU kernels")
 
     # -- Calibrated sustained rates -------------------------------------------
 
@@ -90,6 +99,9 @@ class GpuModel:
             self.tracer.count("gpu.kernel_costs")
             self.tracer.count(f"gpu.kernel_costs.{kernel.category.value}")
             self.tracer.count("gpu.dram_bytes", dram_bytes)
+        if self.metrics is not None:
+            self._m_costs.inc(category=kernel.category.value)
+            self._m_dram.inc(dram_bytes)
         return KernelCost(time=time, compute_time=compute_time,
                           memory_time=memory_time, dram_bytes=dram_bytes)
 

@@ -10,8 +10,15 @@ This package makes runs of the reproduction *measurable*:
   Perfetto / ``chrome://tracing``) generated from tracer spans or from
   a :class:`~repro.core.scheduler.ScheduleReport`'s simulated Gantt
   segments, plus a full JSON run manifest with config provenance.
+* :mod:`repro.obs.metrics` — a process-wide, label-aware metrics
+  registry (counters, gauges, histograms) with deterministic snapshots,
+  Prometheus text exposition, and a structured JSONL event log.
+* :mod:`repro.obs.utilization` — :class:`UtilizationReport`, derived
+  device-utilization accounting (busy fractions, MMAC lane occupancy,
+  bandwidth utilization, overlap efficiency) from any schedule report.
 * :mod:`repro.obs.baseline` — ``BENCH_<workload>.json`` performance
-  baselines and a tolerance-based regression check.
+  baselines, a tolerance-based regression check, and per-workload
+  run-history trend files.
 * :mod:`repro.obs.profile` — aggregated span-tree rendering with
   self/cumulative times (the ``anaheim-repro profile`` output).
 * :mod:`repro.obs.provenance` — git SHA, environment, and dataclass
@@ -24,14 +31,24 @@ from repro.obs.baseline import (BaselineRegression, baseline_metrics,
 from repro.obs.export import (chrome_trace_from_report,
                               chrome_trace_from_tracer, report_dict,
                               run_manifest, write_json)
+from repro.obs.metrics import (Counter, EventLog, Gauge, Histogram,
+                               MetricsRegistry, get_registry,
+                               parse_prometheus)
 from repro.obs.profile import render_counters, render_span_tree
 from repro.obs.provenance import config_dict, environment_info, git_sha
 from repro.obs.tracer import Span, Tracer, maybe_span
+from repro.obs.utilization import UtilizationReport
 
 __all__ = [
     "BaselineRegression",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "Span",
     "Tracer",
+    "UtilizationReport",
     "baseline_metrics",
     "baseline_path",
     "check_baseline",
@@ -39,9 +56,11 @@ __all__ = [
     "chrome_trace_from_tracer",
     "config_dict",
     "environment_info",
+    "get_registry",
     "git_sha",
     "load_baseline",
     "maybe_span",
+    "parse_prometheus",
     "render_counters",
     "render_span_tree",
     "report_dict",

@@ -113,3 +113,87 @@ def check_baseline(baseline: dict, report: ScheduleReport,
                    tolerance: float = 0.02) -> list:
     return check_baseline_metrics(baseline, baseline_metrics(report),
                                   tolerance=tolerance)
+
+
+# -- Run history ---------------------------------------------------------------
+#
+# Baselines answer "did this run regress against the pinned reference";
+# the history answers "how has this metric *moved*" — every bench run
+# appends one JSONL line to ``history/<workload>.jsonl`` next to the
+# baseline file, and ``bench --history`` renders the trend.
+
+
+def history_path(directory, workload: str) -> Path:
+    return Path(directory) / "history" / f"{workload}.jsonl"
+
+
+def append_history(directory, workload: str, metrics: dict,
+                   config: dict | None = None,
+                   timestamp: str | None = None) -> Path:
+    """Append one bench run's metrics to the workload's history file."""
+    path = history_path(directory, workload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"workload": workload, "config": config or {},
+             "git_sha": environment_info()["git_sha"],
+             "metrics": metrics}
+    if timestamp is not None:
+        entry["timestamp"] = timestamp
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(directory, workload: str) -> list:
+    """All recorded runs, oldest first; [] when no history exists."""
+    path = history_path(directory, workload)
+    if not path.exists():
+        return []
+    entries = []
+    with open(path) as fh:
+        for line in fh:
+            if line.strip():
+                entries.append(json.loads(line))
+    return entries
+
+
+def _format_delta(current, reference):
+    if current is None or reference is None:
+        return "-"
+    if reference == 0:
+        return "-" if current == 0 else "new"
+    return f"{(current / reference - 1.0):+.2%}"
+
+
+def render_history(entries: list, baseline: dict | None = None,
+                   metrics=("total_time", "energy", "edp")) -> str:
+    """Trend table: each run's metrics with delta vs the previous run,
+    and (when a baseline document is given) delta vs the baseline."""
+    if not entries:
+        return "no history recorded"
+    base_metrics = (baseline or {}).get("metrics", {})
+    lines = []
+    header = ["run", "sha"]
+    for name in metrics:
+        header += [name, "vs prev", "vs base"]
+    widths = None
+    rows = []
+    previous = None
+    for i, entry in enumerate(entries):
+        values = entry.get("metrics", {})
+        row = [str(i), (entry.get("git_sha") or "-")[:9]]
+        for name in metrics:
+            value = values.get(name)
+            row.append("-" if value is None else f"{value:.6g}")
+            row.append(_format_delta(
+                value, (previous or {}).get(name)))
+            row.append(_format_delta(value, base_metrics.get(name)))
+        rows.append(row)
+        previous = values
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) if i > 1 else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(row,
+                                                              widths))))
+    return "\n".join(lines)

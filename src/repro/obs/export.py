@@ -102,6 +102,7 @@ def report_dict(report: ScheduleReport, segments: bool = False) -> dict:
                              for cat, seconds
                              in report.time_by_category.items()},
         "gpu_dram_bytes": report.gpu_dram_bytes,
+        "transfer_bytes": report.transfer_bytes,
         "pim_internal_bytes": report.pim_internal_bytes,
         "pim_activations": report.pim_activations,
         "energy_gpu_dynamic": report.energy_gpu_dynamic,
@@ -125,8 +126,13 @@ def report_dict(report: ScheduleReport, segments: bool = False) -> dict:
 def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
                  library=None, options=None, workload: str = "",
                  degree: int | None = None, fault_plan=None,
-                 extra: dict | None = None) -> dict:
-    """Full provenance + results document for one execution."""
+                 metrics=None, extra: dict | None = None) -> dict:
+    """Full provenance + results document for one execution.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) embeds
+    the full metrics snapshot plus its digest, so a manifest pins the
+    exact counter state that produced the report.
+    """
     manifest = {
         "tool": "anaheim-repro",
         "workload": workload,
@@ -142,6 +148,9 @@ def run_manifest(report: ScheduleReport, *, gpu=None, pim=None,
         },
         "report": report_dict(report),
     }
+    if metrics is not None:
+        manifest["metrics"] = {"digest": metrics.digest(),
+                               "snapshot": metrics.snapshot()}
     if extra:
         manifest.update(extra)
     return manifest

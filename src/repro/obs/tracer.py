@@ -61,7 +61,12 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **tags):
-        """Time a region; nests under the innermost open span."""
+        """Time a region; nests under the innermost open span.
+
+        A raising body still closes the span (the ``finally``) and tags
+        it ``status=error`` — so an aborted run's trace shows *where*
+        it died instead of a forever-open span with no end time.
+        """
         index = len(self.spans)
         parent = self._stack[-1] if self._stack else -1
         record = Span(name=name, index=index, parent=parent,
@@ -71,6 +76,9 @@ class Tracer:
         self._stack.append(index)
         try:
             yield record
+        except BaseException:
+            record.tags.setdefault("status", "error")
+            raise
         finally:
             self._stack.pop()
             record.end = self._clock() - self._origin

@@ -1,0 +1,229 @@
+"""Hardware-utilization accounting derived from a schedule timeline.
+
+Anaheim's core claims are utilization claims: the MMAC lanes stream a
+chunk per PIM clock while rows are open (§VI-A), every bank works in
+lockstep on its slice of a limb (§VI-B), and the serialized GPU/PIM
+stream leaves little for pipelining to recover once the element-wise
+share shrinks (§V-C, Fig. 10).  A :class:`UtilizationReport` computes
+those breakdowns from any :class:`~repro.core.scheduler.ScheduleReport`:
+
+* **per-device busy fractions** — seconds each device held the stream
+  (from the Gantt segments when kept, else the report's aggregate
+  times), as a fraction of the makespan;
+* **PIM occupancy** — the share of PIM busy time the MMAC lanes spent
+  streaming chunks versus exposed row ACT/PRE turnarounds, recovered
+  from ``pim_internal_bytes`` and the PIM clock (the executor charges
+  ``cycles_per_chunk`` per 256-bit chunk per unit, §VI-A), and the
+  achieved fraction of aggregate internal bandwidth;
+* **GPU DRAM-bandwidth utilization** — achieved bytes/s while the GPU
+  was busy against peak, plus the transfer slice specifically
+  (``transfer_bytes`` over the transfer-category time at peak);
+* **overlap efficiency** — ``pipelining_bound / total_time``: how
+  close the serialized schedule already is to a perfectly-overlapped
+  one (1.0 = pipelining could recover nothing).
+
+The accounting is exact: busy times summed from segments match the
+report's per-device aggregates to float precision
+(:meth:`UtilizationReport.accounting_error`), which the ``metrics
+--smoke`` gate checks on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import ScheduleReport
+from repro.core.trace import CATEGORY_LABELS, OpCategory
+
+
+def _busy_from_segments(report: ScheduleReport) -> dict:
+    busy: dict = {}
+    for segment in report.segments:
+        busy[segment.device] = busy.get(segment.device, 0.0) \
+            + segment.duration
+    return busy
+
+
+@dataclass
+class UtilizationReport:
+    """Utilization breakdown of one scheduled execution."""
+
+    label: str
+    total_time: float
+    #: Seconds each device held the execution stream.
+    busy_time: dict = field(default_factory=dict)
+    transition_time: float = 0.0
+    #: |sum(busy) + transitions - total| — 0 up to float rounding for
+    #: any schedule the stream scheduler produced.
+    accounting_error: float = 0.0
+    overlap_efficiency: float = 1.0
+    pipelining_headroom: float = 1.0
+    #: Fraction of the makespan in each kernel category.
+    category_fraction: dict = field(default_factory=dict)
+    #: PIM occupancy (populated when a PimConfig is supplied).
+    pim_bank_busy_fraction: float | None = None
+    mmac_stream_time: float | None = None
+    mmac_lane_occupancy: float | None = None
+    pim_act_overhead_fraction: float | None = None
+    pim_internal_bw_utilization: float | None = None
+    #: GPU bandwidth (populated when a GpuConfig is supplied).
+    gpu_dram_bw_utilization: float | None = None
+    transfer_time: float = 0.0
+    transfer_bw_utilization: float | None = None
+
+    # -- Derived -------------------------------------------------------------
+
+    def busy_fraction(self, device: str) -> float:
+        if self.total_time == 0:
+            return 0.0
+        return self.busy_time.get(device, 0.0) / self.total_time
+
+    @classmethod
+    def from_report(cls, report: ScheduleReport, gpu=None,
+                    pim=None) -> "UtilizationReport":
+        """Derive utilization from a report (and optional configs).
+
+        ``gpu`` is a :class:`~repro.gpu.configs.GpuConfig`; ``pim`` a
+        :class:`~repro.pim.configs.PimConfig`.  Without them the
+        device-time and overlap accounting still applies; the
+        bandwidth/occupancy fields need the hardware peaks.
+        """
+        total = report.total_time
+        if report.segments:
+            busy = _busy_from_segments(report)
+        else:
+            busy = {}
+            if report.gpu_time:
+                busy["gpu"] = report.gpu_time
+            if report.pim_time:
+                busy["pim"] = report.pim_time
+        accounted = sum(busy.values()) + report.transition_time
+        bound = report.pipelining_bound()
+        out = cls(
+            label=report.label,
+            total_time=total,
+            busy_time=busy,
+            transition_time=report.transition_time,
+            accounting_error=abs(accounted - total),
+            overlap_efficiency=(bound / total) if total else 1.0,
+            pipelining_headroom=report.pipelining_headroom(),
+            category_fraction={
+                CATEGORY_LABELS[cat]: report.category_share(cat)
+                for cat in OpCategory
+                if cat in report.time_by_category},
+        )
+        out.transfer_time = report.time_by_category.get(
+            OpCategory.TRANSFER, 0.0)
+        pim_busy = busy.get("pim", 0.0)
+        if pim is not None and pim_busy > 0:
+            out.pim_bank_busy_fraction = pim_busy / total if total else 0.0
+            # The executor streams one chunk per ``cycles_per_chunk``
+            # unit cycles; each unit serves its banks' chunks serially.
+            chunk_accesses = report.pim_internal_bytes / pim.chunk_bytes
+            per_unit = chunk_accesses / pim.units
+            stream = per_unit * pim.cycles_per_chunk / pim.clock_hz
+            out.mmac_stream_time = stream
+            out.mmac_lane_occupancy = min(1.0, stream / pim_busy)
+            out.pim_act_overhead_fraction = 1.0 - out.mmac_lane_occupancy
+            out.pim_internal_bw_utilization = (
+                report.pim_internal_bytes
+                / (pim_busy * pim.internal_bandwidth))
+        gpu_busy = busy.get("gpu", 0.0)
+        if gpu is not None and gpu_busy > 0:
+            out.gpu_dram_bw_utilization = (
+                report.gpu_dram_bytes
+                / (gpu_busy * gpu.dram_bandwidth))
+            if out.transfer_time > 0 and report.transfer_bytes:
+                out.transfer_bw_utilization = (
+                    report.transfer_bytes
+                    / (out.transfer_time * gpu.dram_bandwidth))
+        return out
+
+    # -- Export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "total_time": self.total_time,
+            "busy_time": dict(sorted(self.busy_time.items())),
+            "busy_fraction": {device: self.busy_fraction(device)
+                              for device in sorted(self.busy_time)},
+            "transition_time": self.transition_time,
+            "accounting_error": self.accounting_error,
+            "overlap_efficiency": self.overlap_efficiency,
+            "pipelining_headroom": self.pipelining_headroom,
+            "category_fraction": self.category_fraction,
+            "pim_bank_busy_fraction": self.pim_bank_busy_fraction,
+            "mmac_stream_time": self.mmac_stream_time,
+            "mmac_lane_occupancy": self.mmac_lane_occupancy,
+            "pim_act_overhead_fraction": self.pim_act_overhead_fraction,
+            "pim_internal_bw_utilization":
+                self.pim_internal_bw_utilization,
+            "gpu_dram_bw_utilization": self.gpu_dram_bw_utilization,
+            "transfer_time": self.transfer_time,
+            "transfer_bw_utilization": self.transfer_bw_utilization,
+        }
+
+    def record(self, registry) -> None:
+        """Publish the breakdown as gauges on a metrics registry."""
+        busy = registry.gauge(
+            "anaheim_device_busy_fraction",
+            "Fraction of the makespan each device held the stream",
+            labelnames=("device",))
+        for device in sorted(self.busy_time):
+            busy.set(self.busy_fraction(device), device=device)
+        overlap = registry.gauge(
+            "anaheim_overlap_efficiency",
+            "pipelining_bound / total_time (1.0 = nothing to overlap)")
+        overlap.set(self.overlap_efficiency)
+        scalar_gauges = (
+            ("anaheim_mmac_lane_occupancy",
+             "Streaming share of PIM busy time",
+             self.mmac_lane_occupancy),
+            ("anaheim_pim_internal_bw_utilization",
+             "Achieved fraction of aggregate PIM internal bandwidth",
+             self.pim_internal_bw_utilization),
+            ("anaheim_gpu_dram_bw_utilization",
+             "Achieved fraction of peak GPU DRAM bandwidth while busy",
+             self.gpu_dram_bw_utilization),
+            ("anaheim_transfer_bw_utilization",
+             "Transfer bytes over transfer time at peak bandwidth",
+             self.transfer_bw_utilization),
+        )
+        for name, help_text, value in scalar_gauges:
+            if value is not None:
+                registry.gauge(name, help_text).set(value)
+
+    def render(self) -> str:
+        """Human-readable utilization table."""
+        def pct(value) -> str:
+            return "-" if value is None else f"{value:7.2%}"
+
+        lines = [f"utilization: {self.label or '(unlabeled)'} "
+                 f"({self.total_time:.6g}s makespan)"]
+        for device in sorted(self.busy_time):
+            lines.append(f"  {device + ' busy':<28s}"
+                         f"{pct(self.busy_fraction(device))}  "
+                         f"({self.busy_time[device]:.6g}s)")
+        if self.total_time:
+            lines.append(f"  {'transitions':<28s}"
+                         f"{pct(self.transition_time / self.total_time)}"
+                         f"  ({self.transition_time:.6g}s)")
+        lines.append(f"  {'overlap efficiency':<28s}"
+                     f"{pct(self.overlap_efficiency)}  (pipelining "
+                     f"headroom {self.pipelining_headroom:.3f}x)")
+        for name, value in (
+                ("PIM bank busy", self.pim_bank_busy_fraction),
+                ("MMAC lane occupancy", self.mmac_lane_occupancy),
+                ("PIM ACT/PRE overhead", self.pim_act_overhead_fraction),
+                ("PIM internal BW util", self.pim_internal_bw_utilization),
+                ("GPU DRAM BW util", self.gpu_dram_bw_utilization),
+                ("transfer BW util", self.transfer_bw_utilization)):
+            if value is not None:
+                lines.append(f"  {name:<28s}{pct(value)}")
+        if self.category_fraction:
+            shares = "  ".join(f"{label} {share:.1%}" for label, share
+                               in self.category_fraction.items())
+            lines.append(f"  by category: {shares}")
+        lines.append(f"  accounting error: {self.accounting_error:.3g}s")
+        return "\n".join(lines)

@@ -48,9 +48,21 @@ ZERO_COST = PimCost(0.0, 0.0, 0, 0, 0.0)
 class PimExecutor:
     """Costs :class:`PimKernel` descriptors against a :class:`PimConfig`."""
 
-    def __init__(self, config: PimConfig, tracer=None):
+    def __init__(self, config: PimConfig, tracer=None, metrics=None):
         self.config = config
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_instructions = metrics.counter(
+                "anaheim_pim_instructions_total",
+                "PIM kernel costings by ISA instruction",
+                labelnames=("instruction",))
+            self._m_activations = metrics.counter(
+                "anaheim_pim_activations_total",
+                "Row ACT/PRE pairs summed over all banks")
+            self._m_internal = metrics.counter(
+                "anaheim_pim_internal_bytes_total",
+                "Bytes moved inside the DRAM devices")
 
     def supports(self, instruction: str, fan_in: int = 1) -> bool:
         """Whether the data buffer is large enough (Fig. 9: small B
@@ -140,6 +152,10 @@ class PimExecutor:
             self.tracer.count(f"pim.kernel_costs.{kernel.instruction}")
             self.tracer.count("pim.activations", total_acts)
             self.tracer.count("pim.internal_bytes", internal_bytes)
+        if self.metrics is not None:
+            self._m_instructions.inc(instruction=kernel.instruction)
+            self._m_activations.inc(total_acts)
+            self._m_internal.inc(internal_bytes)
         return self.apply_fault(
             PimCost(time=time, energy=energy, activations=total_acts,
                     chunk_accesses=total_chunks,

@@ -26,6 +26,11 @@ class BreakerState(enum.Enum):
     HALF_OPEN = "half-open"
 
 
+#: Gauge encoding of breaker states (0 = healthy, higher = worse).
+STATE_VALUES = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1,
+                BreakerState.OPEN: 2}
+
+
 @dataclass
 class CircuitBreaker:
     """Consecutive-failure breaker for one device."""
@@ -34,6 +39,7 @@ class CircuitBreaker:
     threshold: int = 3
     cooldown_s: float = 1e-3
     tracer: object = None
+    metrics: object = None
     state: BreakerState = BreakerState.CLOSED
     consecutive_failures: int = 0
     failures: int = 0
@@ -49,6 +55,15 @@ class CircuitBreaker:
             raise ParameterError("breaker threshold must be >= 1")
         if self.cooldown_s < 0:
             raise ParameterError("breaker cooldown must be >= 0")
+        self._publish_state()
+
+    def _publish_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "anaheim_breaker_state",
+                "Circuit-breaker state (0 closed, 1 half-open, 2 open)",
+                labelnames=("device",)).set(
+                    STATE_VALUES[self.state], device=self.device)
 
     # -- Queries -------------------------------------------------------------
 
@@ -104,6 +119,13 @@ class CircuitBreaker:
         if self.tracer is not None:
             self.tracer.count(
                 f"serve.breaker.{self.device}.{state.value}")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "anaheim_breaker_transitions_total",
+                "Circuit-breaker state transitions",
+                labelnames=("device", "to")).inc(
+                    device=self.device, to=state.value)
+            self._publish_state()
 
     def summary(self) -> dict:
         return {
@@ -126,10 +148,10 @@ class BreakerBoard:
     """One breaker per device, with a shared policy."""
 
     def __init__(self, threshold: int = 3, cooldown_s: float = 1e-3,
-                 devices=DEVICES, tracer=None):
+                 devices=DEVICES, tracer=None, metrics=None):
         self.breakers = {device: CircuitBreaker(
             device=device, threshold=threshold, cooldown_s=cooldown_s,
-            tracer=tracer) for device in devices}
+            tracer=tracer, metrics=metrics) for device in devices}
 
     def breaker(self, device: str) -> CircuitBreaker:
         return self.breakers[device]

@@ -54,7 +54,7 @@ class HealthMonitor:
 
     def __init__(self, degraded_after: int = 1, gpu_only_after: int = 3,
                  pim_fault_rate_limit: float | None = None,
-                 rate_window: int = 50, tracer=None):
+                 rate_window: int = 50, tracer=None, metrics=None):
         if degraded_after < 1 or gpu_only_after < degraded_after:
             raise ParameterError(
                 "need 1 <= degraded_after <= gpu_only_after")
@@ -66,7 +66,9 @@ class HealthMonitor:
         self.pim_fault_rate_limit = pim_fault_rate_limit
         self.rate_window = rate_window
         self.tracer = tracer
+        self.metrics = metrics
         self.state = DegradationState.HEALTHY
+        self._publish_state()
         self.quarantined = 0
         self.pim_kernels = 0
         self.pim_faults = 0
@@ -149,7 +151,20 @@ class HealthMonitor:
         self.state = state
         if self.tracer is not None:
             self.tracer.count(f"serve.degradation.{state.value}")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "anaheim_degradation_transitions_total",
+                "Health-monitor escalations", labelnames=("to",)).inc(
+                    to=state.value)
+            self._publish_state()
         return True
+
+    def _publish_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "anaheim_degradation_state",
+                "Degradation level (0 healthy .. 3 failed)").set(
+                    _ORDER.index(self.state))
 
     def summary(self) -> dict:
         return {

@@ -101,15 +101,15 @@ class ServePolicy:
                            factor=self.backoff_factor,
                            jitter=self.backoff_jitter, seed=self.seed)
 
-    def health_monitor(self, tracer=None) -> HealthMonitor:
+    def health_monitor(self, tracer=None, metrics=None) -> HealthMonitor:
         return HealthMonitor(degraded_after=self.degraded_after,
                              gpu_only_after=self.gpu_only_after,
-                             tracer=tracer)
+                             tracer=tracer, metrics=metrics)
 
-    def breaker_board(self, tracer=None) -> BreakerBoard:
+    def breaker_board(self, tracer=None, metrics=None) -> BreakerBoard:
         return BreakerBoard(threshold=self.breaker_threshold,
                             cooldown_s=self.breaker_cooldown_s,
-                            tracer=tracer)
+                            tracer=tracer, metrics=metrics)
 
 
 @dataclass(frozen=True)
@@ -180,6 +180,60 @@ class _Interrupted(Exception):
     """Internal: the unit budget (``max_units``) ran out mid-matrix."""
 
 
+class _ServeMetrics:
+    """Serving-layer metric families, declared once per runner."""
+
+    def __init__(self, registry):
+        from repro.obs.metrics import UNIT_SECONDS_BUCKETS
+        self.units = registry.counter(
+            "anaheim_serve_units_total",
+            "Serve units finished, by job kind and outcome",
+            labelnames=("kind", "status"))
+        self.unit_seconds = registry.histogram(
+            "anaheim_serve_unit_seconds",
+            "Simulated seconds per serve unit (run/bench: schedule "
+            "total_time; analytic faults: faulted timeline)",
+            labelnames=("kind", "workload"),
+            buckets=UNIT_SECONDS_BUCKETS)
+        self.retries = registry.counter(
+            "anaheim_serve_retries_total", "Unit retry attempts")
+        self.backoff = registry.counter(
+            "anaheim_serve_backoff_seconds_total",
+            "Deterministic backoff charged to job service time")
+        self.failures = registry.counter(
+            "anaheim_serve_unit_failures_total",
+            "Unit attempts that raised a ReproError")
+        self.deadline_skips = registry.counter(
+            "anaheim_serve_deadline_skips_total",
+            "Units skipped because the job deadline had passed")
+        self.restored = registry.counter(
+            "anaheim_serve_units_restored_total",
+            "Units restored from a checkpoint instead of re-executed")
+
+
+def _unit_seconds(kind: str, doc: dict):
+    """Simulated seconds represented by one unit doc, if any.
+
+    Wall clocks never feed the latency histogram: run/bench units
+    report the schedule's simulated ``total_time``; analytic fault
+    units report the faulted timeline.  Functional fault units have no
+    simulated clock (their wall time is optional and non-deterministic)
+    so they only count, never time.
+    """
+    result = doc.get("result")
+    if not isinstance(result, dict):
+        return None
+    if kind == "faults":
+        return result.get("faulted_time_s")
+    report = result.get("report")
+    if isinstance(report, dict):
+        return report.get("total_time")
+    metrics = result.get("metrics")
+    if isinstance(metrics, dict):
+        return metrics.get("total_time")
+    return None
+
+
 class JobRunner:
     """Executes a job matrix under a :class:`ServePolicy`.
 
@@ -193,6 +247,7 @@ class JobRunner:
     def __init__(self, jobs, policy: ServePolicy, gpu=None, pim=None,
                  library=None, checkpoint_path=None, resume_path=None,
                  max_units: int | None = None, tracer=None,
+                 metrics=None, on_unit=None,
                  clock=time.monotonic,
                  deadline_fatal: bool = False):
         self.jobs = list(jobs)
@@ -201,9 +256,18 @@ class JobRunner:
         self.pim = pim
         self.library = library
         self.tracer = tracer
+        #: Serving metrics (all values derived from the *simulated*
+        #: timeline and deterministic unit documents — never wall
+        #: clocks — so seeded runs produce identical snapshots).
+        self.metrics = metrics
+        #: Progress hook: ``on_unit(job, unit, doc, fresh)`` fires
+        #: after every unit lands (freshly executed or restored from a
+        #: checkpoint) — the seam ``repro top`` renders from.
+        self.on_unit = on_unit
         self.clock = clock
         self.max_units = max_units
         self.deadline_fatal = deadline_fatal
+        self._m = _ServeMetrics(metrics) if metrics is not None else None
         self.digest = matrix_digest([j.canonical() for j in self.jobs],
                                     policy.canonical())
         completed = (load_checkpoint(resume_path, self.digest)
@@ -247,13 +311,17 @@ class JobRunner:
         if degraded:
             return AnaheimFramework(gpu, None, fault_plan=plan,
                                     kernel_timeout=policy.kernel_timeout_s,
-                                    tracer=self.tracer, **kwargs), None
-        health = policy.health_monitor(self.tracer) if plan else None
-        breakers = policy.breaker_board(self.tracer) if plan else None
+                                    tracer=self.tracer,
+                                    metrics=self.metrics, **kwargs), None
+        health = (policy.health_monitor(self.tracer, self.metrics)
+                  if plan else None)
+        breakers = (policy.breaker_board(self.tracer, self.metrics)
+                    if plan else None)
         return AnaheimFramework(gpu, pim, fault_plan=plan,
                                 health=health, breakers=breakers,
                                 kernel_timeout=policy.kernel_timeout_s,
-                                tracer=self.tracer, **kwargs), health
+                                tracer=self.tracer,
+                                metrics=self.metrics, **kwargs), health
 
     def _run_unit(self, workload_name: str, degraded: bool,
                   metrics_only: bool) -> dict:
@@ -287,16 +355,17 @@ class JobRunner:
         from repro.faults.campaign import run_campaign_unit
         layer, seed_text = unit.split("/")
         policy = self.policy
-        health = (policy.health_monitor(self.tracer)
+        health = (policy.health_monitor(self.tracer, self.metrics)
                   if layer == "analytic" else None)
-        breakers = (policy.breaker_board(self.tracer)
+        breakers = (policy.breaker_board(self.tracer, self.metrics)
                     if layer == "analytic" else None)
         return run_campaign_unit(
             layer, int(seed_text), scale=policy.fault_scale,
             workload=job.workloads[0], stuck_sites=policy.stuck_sites,
             record_wall=policy.record_wall, gpu=self.gpu, pim=self.pim,
             health=health, breakers=breakers,
-            kernel_timeout=policy.kernel_timeout_s)
+            kernel_timeout=policy.kernel_timeout_s,
+            metrics=self.metrics)
 
     def _execute_unit(self, job: JobSpec, unit: str,
                       degraded: bool) -> dict:
@@ -320,12 +389,17 @@ class JobRunner:
             except ReproError as exc:
                 if self.tracer is not None:
                     self.tracer.count("serve.unit_failures")
+                if self._m is not None:
+                    self._m.failures.inc()
                 if attempt < retry.max_retries:
                     delay = retry.delay(key, attempt)
                     backoffs.append(delay)
                     if self.tracer is not None:
                         self.tracer.count("serve.retries")
                         self.tracer.count("serve.backoff_s", delay)
+                    if self._m is not None:
+                        self._m.retries.inc()
+                        self._m.backoff.inc(delay)
                     attempt += 1
                     continue
                 return {"status": "failed", "attempts": attempt + 1,
@@ -335,6 +409,25 @@ class JobRunner:
                 result, dict) else "ok"
             return {"status": status, "attempts": attempt + 1,
                     "backoff_s": backoffs, "result": result}
+
+    # -- Unit accounting -----------------------------------------------------
+
+    def _observe_unit(self, job: JobSpec, unit: str, doc: dict) -> None:
+        """Count one fresh unit and time it on the simulated clock."""
+        if self._m is None:
+            return
+        self._m.units.inc(kind=job.kind, status=doc.get("status", "ok"))
+        seconds = _unit_seconds(job.kind, doc)
+        if seconds is not None:
+            workload = unit if job.kind != "faults" else (
+                (doc.get("result") or {}).get("workload", ""))
+            self._m.unit_seconds.observe(seconds, kind=job.kind,
+                                         workload=workload)
+
+    def _notify(self, job: JobSpec, unit: str, doc: dict,
+                fresh: bool) -> None:
+        if self.on_unit is not None:
+            self.on_unit(job, unit, doc, fresh)
 
     # -- The matrix ----------------------------------------------------------
 
@@ -389,6 +482,9 @@ class JobRunner:
                 stored = self.checkpointer.units.get(key)
                 if stored is not None:
                     unit_docs[unit] = stored
+                    if self._m is not None:
+                        self._m.restored.inc()
+                    self._notify(job, unit, stored, fresh=False)
                     continue
                 if (policy.deadline_s is not None
                         and self.clock() - started > policy.deadline_s):
@@ -400,6 +496,9 @@ class JobRunner:
                             f"{policy.deadline_s}s deadline")
                     unit_docs[unit] = {"status": "deadline-skipped"}
                     status = "deadline-exceeded"
+                    if self._m is not None:
+                        self._m.deadline_skips.inc()
+                    self._notify(job, unit, unit_docs[unit], fresh=False)
                     continue
                 if (self.max_units is not None
                         and self._fresh_units >= self.max_units):
@@ -409,6 +508,8 @@ class JobRunner:
                 self._fresh_units += 1
                 unit_docs[unit] = doc
                 self.checkpointer.record(key, doc)
+                self._observe_unit(job, unit, doc)
+                self._notify(job, unit, doc, fresh=True)
                 if doc["status"] not in ("ok",):
                     status = "failed"
         return self._assemble_job(job, unit_docs, status)

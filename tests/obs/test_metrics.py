@@ -1,0 +1,239 @@
+"""Tests for the label-aware metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (Counter, EventLog, Gauge, Histogram,
+                               MetricsRegistry, format_value,
+                               parse_prometheus)
+
+
+class TestCounter:
+    def test_accumulates_and_defaults_to_zero(self):
+        counter = Counter("kernels_total", labelnames=("device",))
+        counter.inc(device="gpu")
+        counter.inc(2.5, device="gpu")
+        counter.inc(device="pim")
+        assert counter.value(device="gpu") == 3.5
+        assert counter.value(device="pim") == 1.0
+        assert counter.value(device="transfer") == 0.0
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("faults_total")
+        with pytest.raises(ParameterError):
+            counter.inc(-1.0)
+
+    def test_rejects_wrong_label_set(self):
+        counter = Counter("kernels_total", labelnames=("device",))
+        with pytest.raises(ParameterError):
+            counter.inc(category="ntt")
+        with pytest.raises(ParameterError):
+            counter.inc(device="gpu", category="ntt")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ParameterError):
+            Counter("bad-name")
+        with pytest.raises(ParameterError):
+            Counter("fine_name", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_moves_both_directions(self):
+        gauge = Gauge("state")
+        gauge.set(2.0)
+        gauge.dec()
+        assert gauge.value() == 1.0
+        gauge.inc(0.5)
+        assert gauge.value() == 1.5
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_named_bucket(self):
+        """``le`` is upper-inclusive: an observation exactly on a bound
+        counts in the bucket carrying that bound."""
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0)
+        assert hist.cumulative() == [0, 1, 1, 1]
+
+    def test_below_first_bound_lands_in_first_bucket(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(0.25)
+        assert hist.cumulative() == [1, 1, 1]
+
+    def test_above_last_bound_lands_in_inf_bucket_only(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.cumulative() == [0, 0, 1]
+        assert hist.count() == 1
+        assert hist.sum() == 100.0
+
+    def test_cumulative_counts_are_monotone(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == 5
+
+    def test_empty_quantile_is_nan(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(2):
+            hist.observe(1.5)          # both in the (1, 2] bucket
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+
+    def test_inf_bucket_quantile_clamps_to_last_finite_bound(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_range_validated(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ParameterError):
+            hist.quantile(1.5)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ParameterError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ParameterError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ParameterError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            Histogram("lat", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", labelnames=("x",))
+        second = registry.counter("a_total", labelnames=("x",))
+        assert first is second
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ParameterError):
+            registry.gauge("a_total")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", labelnames=("x",))
+        with pytest.raises(ParameterError):
+            registry.counter("a_total", labelnames=("y",))
+
+    def test_snapshot_is_sorted_and_digest_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            # Declare in one order, populate in another.
+            registry.counter("z_total", labelnames=("k",)).inc(k="b")
+            registry.counter("a_total").inc(3)
+            registry.counter("z_total", labelnames=("k",)).inc(k="a")
+            registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+            return registry
+
+        first, second = build(), build()
+        names = [f["name"] for f in first.snapshot()["metrics"]]
+        assert names == sorted(names)
+        labels = [s["labels"]["k"] for s in
+                  first.get("z_total").snapshot_samples()]
+        assert labels == ["a", "b"]
+        assert first.digest() == second.digest()
+        assert first.render_prometheus() == second.render_prometheus()
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(0.5,)).observe(1.0)
+        json.dumps(registry.snapshot())
+
+
+class TestPrometheusExposition:
+    def test_render_and_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("kernels_total", "Kernels",
+                         labelnames=("device",)).inc(7, device="gpu")
+        registry.gauge("state", "State").set(2)
+        hist = registry.histogram("lat_seconds", "Latency",
+                                  labelnames=("kind",),
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05, kind="run")
+        hist.observe(5.0, kind="run")
+        text = registry.render_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed["types"] == {"kernels_total": "counter",
+                                   "state": "gauge",
+                                   "lat_seconds": "histogram"}
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in parsed["samples"]}
+        assert samples[("kernels_total", (("device", "gpu"),))] == 7
+        assert samples[("lat_seconds_bucket",
+                        (("kind", "run"), ("le", "+Inf")))] == 2
+        assert samples[("lat_seconds_count", (("kind", "run"),))] == 2
+
+    def test_histogram_exposition_has_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert 'h_bucket{le="+Inf"} 1' in registry.render_prometheus()
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("x",)).inc(x='a"b\\c')
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["samples"][0][0] == "c_total"
+
+    def test_parser_rejects_malformed_line(self):
+        with pytest.raises(ParameterError):
+            parse_prometheus("# TYPE x counter\nx 1 2 3 4\n")
+
+    def test_parser_rejects_untyped_sample(self):
+        with pytest.raises(ParameterError):
+            parse_prometheus("mystery_total 1\n")
+
+    def test_parser_rejects_negative_counter(self):
+        with pytest.raises(ParameterError):
+            parse_prometheus("# TYPE c_total counter\nc_total -1\n")
+
+    def test_parser_rejects_non_monotone_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 3\n")
+        with pytest.raises(ParameterError):
+            parse_prometheus(text)
+
+    def test_parser_rejects_missing_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                "h_sum 1\nh_count 5\n")
+        with pytest.raises(ParameterError):
+            parse_prometheus(text)
+
+    def test_parser_rejects_bare_histogram_sample(self):
+        with pytest.raises(ParameterError):
+            parse_prometheus("# TYPE h histogram\nh 1\n")
+
+
+class TestFormatValue:
+    def test_integers_render_integral(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.5) == "0.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestEventLog:
+    def test_events_are_sequenced_and_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("run", workload="Boot")
+        log.emit("utilization", busy=0.8)
+        lines = log.to_jsonl().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+        path = tmp_path / "events.jsonl"
+        log.write(path)
+        assert path.read_text() == log.to_jsonl()

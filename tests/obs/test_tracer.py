@@ -59,6 +59,28 @@ class TestSpans:
         assert not tracer.spans[0].open
         assert tracer._stack == []
 
+    def test_raising_span_is_tagged_error(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        span = tracer.spans[0]
+        assert span.tags["status"] == "error"
+        assert not span.open and span.duration > 0
+
+    def test_error_tag_does_not_clobber_explicit_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing", status="expected"):
+                raise ValueError("boom")
+        assert tracer.spans[0].tags["status"] == "expected"
+
+    def test_successful_span_has_no_status_tag(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            pass
+        assert "status" not in tracer.spans[0].tags
+
     def test_tags_and_find(self):
         tracer = Tracer()
         with tracer.span("lower.modup", limbs=54):

@@ -260,3 +260,122 @@ class TestProfile:
         doc = json.loads(path.read_text())
         names = {e.get("name") for e in doc["traceEvents"]}
         assert "framework.run" in names
+
+
+class TestMetricsCommand:
+    def test_smoke_gates(self, capsys):
+        assert main(["metrics", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics smoke: PASS" in out
+        assert "accounting error" in out
+
+    def test_prometheus_export_validates(self, capsys):
+        from repro.obs.metrics import parse_prometheus
+        assert main(["metrics", "--workload", "HELR"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert parsed["types"]["anaheim_kernels_total"] == "counter"
+        assert parsed["types"]["anaheim_kernel_seconds"] == "histogram"
+        assert parsed["types"]["anaheim_device_busy_fraction"] == "gauge"
+
+    def test_json_digest_identical_across_runs(self, capsys):
+        assert main(["metrics", "--workload", "HELR", "--format",
+                     "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["metrics", "--workload", "HELR", "--format",
+                     "json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["digest"] == second["digest"]
+        assert first["snapshot"] == second["snapshot"]
+
+    def test_artifacts_and_utilization_printout(self, capsys, tmp_path):
+        from repro.obs.metrics import parse_prometheus
+        out = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        assert main(["metrics", "--workload", "HELR",
+                     "--out", str(out), "--events-out", str(events),
+                     "--utilization"]) == 0
+        assert parse_prometheus(out.read_text())["samples"]
+        kinds = [json.loads(line)["kind"]
+                 for line in events.read_text().splitlines()]
+        assert kinds == ["run", "utilization"]
+        printed = capsys.readouterr().out
+        assert "gpu busy" in printed and "pim busy" in printed
+
+    def test_jsonl_format_streams_events(self, capsys):
+        assert main(["metrics", "--workload", "HELR", "--format",
+                     "jsonl"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["seq"] for d in docs] == list(range(len(docs)))
+        assert docs[0]["kind"] == "run"
+
+    def test_functional_workload_hit_rates(self, capsys):
+        assert main(["metrics", "--workload", "functional",
+                     "--utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "anaheim_functional_events_total" in out
+        assert "anaheim_functional_hit_rate" in out
+        assert "scratch buffers" in out
+
+
+class TestTopCommand:
+    def test_top_progress_and_latency_table(self, capsys, tmp_path):
+        from repro.obs.metrics import parse_prometheus
+        prom = tmp_path / "top.prom"
+        assert main(["top", "--jobs", "faults:analytic:Boot",
+                     "--seeds", "0,1", "--stuck-site", "1",
+                     "--stuck-site", "5", "--degraded-after", "1",
+                     "--gpu-only-after", "2",
+                     "--metrics-out", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "[  1/2]" in out and "[  2/2]" in out
+        assert "analytic/0" in out
+        assert "units 2/2" in out
+        assert "unit latency (simulated)" in out
+        assert "degradation:" in out
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed["types"]["anaheim_serve_unit_seconds"] == \
+            "histogram"
+
+    def test_top_resume_marks_restored(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ck.json")
+        base = ["top", "--jobs", "faults:analytic:Boot",
+                "--seeds", "0,1", "--stuck-site", "1",
+                "--stuck-site", "5", "--degraded-after", "1",
+                "--gpu-only-after", "2"]
+        assert main(base + ["--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert out.count("restored") >= 2  # per-unit notes + summary
+        assert "(restored 2)" in out
+
+    def test_top_without_jobs_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["top"])
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestBenchHistory:
+    def test_runs_append_and_render_trend(self, capsys, tmp_path):
+        for _ in range(2):
+            assert main(["bench", "--workload", "HELR", "--dir",
+                         str(tmp_path)]) == 0
+        history = tmp_path / "history" / "HELR.jsonl"
+        entries = [json.loads(line)
+                   for line in history.read_text().splitlines()]
+        assert len(entries) == 2
+        assert entries[0]["metrics"]["total_time"] == \
+            entries[1]["metrics"]["total_time"]
+        capsys.readouterr()
+        assert main(["bench", "--workload", "HELR", "--dir",
+                     str(tmp_path), "--history"]) == 0
+        out = capsys.readouterr().out
+        assert "bench history: HELR (2 run(s))" in out
+        assert "vs prev" in out and "vs base" in out
+        assert "+0.00%" in out
+
+    def test_history_without_runs_is_empty(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "HELR", "--dir",
+                     str(tmp_path), "--history"]) == 0
+        assert "no history recorded" in capsys.readouterr().out
