@@ -10,22 +10,34 @@ where its speedup comes from:
 * ``ckks.batch_ntt.forward`` / ``ckks.batch_ntt.inverse`` — batched
   limb-plane transforms (each replaces ``L`` per-limb transforms).
 * ``ckks.batch_ntt.limbs`` — limbs transformed in those calls.
+* ``ckks.batch_ntt.threaded`` — transforms that split their limb
+  planes across the :mod:`repro.parallel.threads` row-block pool.
 * ``ckks.scratch.hit`` / ``ckks.scratch.miss`` — butterfly scratch
-  buffers reused vs freshly allocated.
+  slabs reused vs freshly allocated (per-thread, so a threaded run
+  records one miss per worker thread per shape).
 * ``ckks.diag_cache.hit`` / ``ckks.diag_cache.miss`` — encoded
   plaintext diagonals served from the :class:`LinearTransform` cache.
 * ``ckks.monomial_cache.hit`` / ``ckks.monomial_cache.miss`` — cached
   ``X^k`` multiplier polynomials in the evaluator.
 * ``ckks.bconv.batched`` / ``ckks.bconv.chunks`` — vectorized BConv
   calls and the chunked int64 reduction passes they needed.
+* ``ckks.bconv.threaded`` — BConv matmuls split across row blocks.
+* ``ckks.bconv_tables.hit`` / ``.miss`` / ``.evicted`` — the bounded
+  basis-conversion constant cache (long serve runs over many leveled
+  bases must not grow memory without bound).
 
 When no tracer is attached every counting site is a single ``is None``
-branch, keeping the default path free of overhead.
+branch, keeping the default path free of overhead.  Counting is
+thread-safe: the threaded limb-plane kernels bump counters from worker
+threads, so each bump merges into the tracer under a module lock.
 """
 
 from __future__ import annotations
 
+import threading
+
 _tracer = None
+_lock = threading.Lock()
 
 
 def set_tracer(tracer) -> None:
@@ -40,6 +52,10 @@ def get_tracer():
 
 
 def count(name: str, value: float = 1.0) -> None:
-    """Bump a counter on the attached tracer, if any."""
+    """Bump a counter on the attached tracer, if any (atomically —
+    the read-modify-write merge is serialized under a module lock so
+    concurrent kernel threads never lose increments)."""
     if _tracer is not None:
-        _tracer.count(name, value)
+        with _lock:
+            if _tracer is not None:
+                _tracer.count(name, value)

@@ -10,24 +10,48 @@ share (Fig. 1).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
 from repro.ckks import instrument, modmath
 from repro.ckks.rns import RnsPolynomial, basis_product, modulus_column
 from repro.errors import ParameterError
+from repro.parallel import threads as limb_threads
+
+#: Bound on the basis-conversion constant cache.  Every (level, digit)
+#: pair of a leveled computation wants its own table, but a long serve
+#: run sweeping many parameter sets must not grow memory without bound
+#: — the paper-scale working set is ~O(dnum · levels) ≈ tens of
+#: entries, so 128 keeps every hot table resident while capping growth.
+BCONV_CACHE_SIZE = 128
+
+_bconv_cache: OrderedDict = OrderedDict()
+_bconv_lock = threading.Lock()
 
 
-@lru_cache(maxsize=None)
 def _bconv_tables(src_basis: tuple, dst_basis: tuple):
     """Precompute fast-basis-conversion constants (HPS / full-RNS [16]).
 
     Returns ``(q_hat_inv, q_hat_mod_dst, src_prod_mod_dst)`` where
     ``q_hat_inv[i] = (Q̂_i)^{-1} mod q_i`` and
     ``q_hat_mod_dst[i][j] = Q̂_i mod p_j`` with ``Q̂_i = Q_src / q_i``.
+
+    Cached in a **bounded** LRU (:data:`BCONV_CACHE_SIZE` entries,
+    thread-safe) instead of an unbounded ``lru_cache``; hits, misses,
+    and evictions are reported through :mod:`repro.ckks.instrument`
+    as ``ckks.bconv_tables.*``.
     """
+    key = (src_basis, dst_basis)
+    with _bconv_lock:
+        tables = _bconv_cache.get(key)
+        if tables is not None:
+            _bconv_cache.move_to_end(key)
+            instrument.count("ckks.bconv_tables.hit")
+            return tables
+    instrument.count("ckks.bconv_tables.miss")
     src_prod = basis_product(src_basis)
     q_hat_inv = np.empty(len(src_basis), dtype=np.int64)
     q_hat_mod = np.empty((len(src_basis), len(dst_basis)), dtype=np.int64)
@@ -37,7 +61,25 @@ def _bconv_tables(src_basis: tuple, dst_basis: tuple):
         for j, p in enumerate(dst_basis):
             q_hat_mod[i, j] = q_hat % p
     src_prod_mod = np.array([src_prod % p for p in dst_basis], dtype=np.int64)
-    return q_hat_inv, q_hat_mod, src_prod_mod
+    tables = (q_hat_inv, q_hat_mod, src_prod_mod)
+    with _bconv_lock:
+        _bconv_cache[key] = tables
+        _bconv_cache.move_to_end(key)
+        while len(_bconv_cache) > BCONV_CACHE_SIZE:
+            _bconv_cache.popitem(last=False)
+            instrument.count("ckks.bconv_tables.evicted")
+    return tables
+
+
+def bconv_cache_info() -> dict:
+    """Size/bound of the basis-conversion table cache (tests use it)."""
+    with _bconv_lock:
+        return {"size": len(_bconv_cache), "maxsize": BCONV_CACHE_SIZE}
+
+
+def clear_bconv_cache() -> None:
+    with _bconv_lock:
+        _bconv_cache.clear()
 
 
 def basis_convert(poly: RnsPolynomial, dst_basis: tuple) -> RnsPolynomial:
@@ -68,17 +110,30 @@ def basis_convert(poly: RnsPolynomial, dst_basis: tuple) -> RnsPolynomial:
     # acc[j] = Σ_i y_i · (Q̂_i mod p_j): a (|dst| × |src|) @ (|src| × N)
     # product.  Every term is below max(q)·max(p) < 2^62, so instead of
     # reducing after each limb we accumulate `chunk` limbs at a time in
-    # int64 and reduce once per chunk.
+    # int64 and reduce once per chunk.  Destination rows are mutually
+    # independent, so the product is split into contiguous row blocks
+    # across the kernel thread pool; each block runs the exact per-row
+    # operation sequence of the serial loop, keeping the result
+    # bit-identical for any thread count.
     dst_col = modulus_column(dst_basis)
     max_term = (max(src_basis) - 1) * (max(dst_basis) - 1)
     headroom = (1 << 63) - 1 - (max(dst_basis) - 1)
     chunk = max(1, headroom // max_term)
     acc = np.zeros((len(dst_basis), poly.degree), dtype=np.int64)
-    for start in range(0, len(src_basis), chunk):
-        stop = start + chunk
-        np.add(acc, q_hat_mod[start:stop].T @ y[start:stop], out=acc)
-        np.remainder(acc, dst_col, out=acc)
-        instrument.count("ckks.bconv.chunks")
+    starts = range(0, len(src_basis), chunk)
+    instrument.count("ckks.bconv.chunks", len(starts))
+
+    def accumulate(lo: int, hi: int) -> None:
+        rows = acc[lo:hi]
+        col = dst_col[lo:hi]
+        for start in starts:
+            stop = start + chunk
+            np.add(rows, q_hat_mod[start:stop, lo:hi].T @ y[start:stop],
+                   out=rows)
+            np.remainder(rows, col, out=rows)
+
+    if limb_threads.run_blocks(len(dst_basis), accumulate) > 1:
+        instrument.count("ckks.bconv.threaded")
     # u is a small non-negative integer (< |src|), so u·(Q_src mod p)
     # stays far below the int64 bound before its reduction.
     corr = np.multiply(u[None, :], src_prod_mod.reshape(-1, 1))

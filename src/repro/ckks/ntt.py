@@ -13,10 +13,13 @@ per prime.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.ckks import instrument, modmath
 from repro.errors import ParameterError
+from repro.parallel import threads as limb_threads
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:
@@ -139,18 +142,30 @@ class BatchNttContext:
         self.n_inv_col = np.array([c.n_inv for c in contexts],
                                   dtype=np.int64).reshape(limbs, 1)
         self._scratch: dict = {}
+        self._scratch_lock = threading.Lock()
 
     def _buffers(self, shape: tuple):
-        """(u, v, mask) scratch of ``shape``, reused across calls."""
-        buffers = self._scratch.get(shape)
+        """(u, v, mask) scratch of ``shape``, reused across calls.
+
+        Keyed per **thread** as well as per shape: the threaded path
+        runs one butterfly block per pool thread, and scratch slabs
+        are written concurrently — a shared slab would race.  Pool
+        threads are long-lived, so each thread's slabs are reused
+        across calls just like the serial path's.
+        """
+        key = (threading.get_ident(), shape)
+        with self._scratch_lock:
+            buffers = self._scratch.get(key)
+            if buffers is None:
+                instrument.count("ckks.scratch.miss")
+            else:
+                instrument.count("ckks.scratch.hit")
         if buffers is None:
             buffers = (np.empty(shape, dtype=np.int64),
                        np.empty(shape, dtype=np.int64),
                        np.empty(shape, dtype=bool))
-            self._scratch[shape] = buffers
-            instrument.count("ckks.scratch.miss")
-        else:
-            instrument.count("ckks.scratch.hit")
+            with self._scratch_lock:
+                self._scratch[key] = buffers
         return buffers
 
     def _prepare(self, array: np.ndarray, kind: str) -> np.ndarray:
@@ -167,20 +182,23 @@ class BatchNttContext:
                                      or 1))
         return np.ascontiguousarray(array, dtype=np.int64).copy()
 
-    def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Negacyclic NTT of every limb plane (axes ``(..., L, N)``)."""
-        a = self._prepare(coeffs, "forward")
+    def _forward_passes(self, a: np.ndarray, psis: np.ndarray,
+                        q_col: np.ndarray) -> None:
+        """Cooley-Tukey passes in place on ``a`` (``(..., Lb, N)``), with
+        ``psis``/``q_col`` already sliced to the same limb rows.  Every
+        limb row is independent, so running a row block through these
+        passes produces exactly the values a whole-array pass would."""
         n = self.degree
-        limbs = len(self.basis)
+        limbs = a.shape[-2]
         lead = a.shape[:-2]
         u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
-        q3 = self.q_col.reshape(limbs, 1, 1)
+        q3 = q_col.reshape(limbs, 1, 1)
         t = n
         m = 1
         while m < n:
             t //= 2
             b = a.reshape(lead + (limbs, m, 2, t))
-            s = self.psis[:, m:2 * m].reshape(limbs, m, 1)
+            s = psis[:, m:2 * m].reshape(limbs, m, 1)
             shape = lead + (limbs, m, t)
             u = u_buf.reshape(shape)
             v = v_buf.reshape(shape)
@@ -191,22 +209,22 @@ class BatchNttContext:
             modmath.mod_add_into(u, v, q3, out=b[..., 0, :], mask=mask)
             modmath.mod_sub_into(u, v, q3, out=b[..., 1, :], mask=mask)
             m *= 2
-        return a
 
-    def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Inverse negacyclic NTT of every limb plane."""
-        a = self._prepare(values, "inverse")
+    def _inverse_passes(self, a: np.ndarray, inv_psis: np.ndarray,
+                        q_col: np.ndarray, n_inv_col: np.ndarray) -> None:
+        """Gentleman-Sande passes plus the final ``N^{-1}`` scaling, in
+        place on ``a`` (``(..., Lb, N)``) with row-sliced tables."""
         n = self.degree
-        limbs = len(self.basis)
+        limbs = a.shape[-2]
         lead = a.shape[:-2]
         u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
-        q3 = self.q_col.reshape(limbs, 1, 1)
+        q3 = q_col.reshape(limbs, 1, 1)
         t = 1
         m = n
         while m > 1:
             h = m // 2
             b = a.reshape(lead + (limbs, h, 2, t))
-            s = self.inv_psis[:, h:2 * h].reshape(limbs, h, 1)
+            s = inv_psis[:, h:2 * h].reshape(limbs, h, 1)
             shape = lead + (limbs, h, t)
             u = u_buf.reshape(shape)
             v = v_buf.reshape(shape)
@@ -219,8 +237,41 @@ class BatchNttContext:
             np.remainder(b[..., 1, :], q3, out=b[..., 1, :])
             t *= 2
             m = h
-        np.multiply(a, self.n_inv_col, out=a)
-        np.remainder(a, self.q_col, out=a)
+        np.multiply(a, n_inv_col, out=a)
+        np.remainder(a, q_col, out=a)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT of every limb plane (axes ``(..., L, N)``).
+
+        2-D ``(L, N)`` inputs — the hot path from the RNS layer — split
+        their limb rows into contiguous blocks across the shared thread
+        pool; higher-rank inputs run serially (their first-axis row
+        slices are not limb planes, and middle-axis slices are not
+        contiguous views).
+        """
+        a = self._prepare(coeffs, "forward")
+        if a.ndim == 2:
+            def work(lo: int, hi: int) -> None:
+                self._forward_passes(a[lo:hi], self.psis[lo:hi],
+                                     self.q_col[lo:hi])
+            if limb_threads.run_blocks(len(self.basis), work) > 1:
+                instrument.count("ckks.batch_ntt.threaded")
+        else:
+            self._forward_passes(a, self.psis, self.q_col)
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT of every limb plane."""
+        a = self._prepare(values, "inverse")
+        if a.ndim == 2:
+            def work(lo: int, hi: int) -> None:
+                self._inverse_passes(a[lo:hi], self.inv_psis[lo:hi],
+                                     self.q_col[lo:hi], self.n_inv_col[lo:hi])
+            if limb_threads.run_blocks(len(self.basis), work) > 1:
+                instrument.count("ckks.batch_ntt.threaded")
+        else:
+            self._inverse_passes(a, self.inv_psis, self.q_col,
+                                 self.n_inv_col)
         return a
 
 

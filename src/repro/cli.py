@@ -347,15 +347,107 @@ def _bench_functional(args) -> int:
     return 0
 
 
+def _bench_parallel(args) -> int:
+    """Pool-throughput bench: parallel campaign vs serial, gated.
+
+    Runs the same analytic campaign serially and across ``--workers``
+    worker processes, byte-compares the two documents, and records the
+    **deterministic** pool speedup — :func:`~repro.parallel.pool_timeline`
+    replaying the per-unit simulated costs onto worker lanes — in
+    ``BENCH_parallel.json``.  Wall clocks are reported for information
+    only (``extra``), never gated: the modeled speedup is a pure
+    function of (costs, workers) and reproduces exactly under
+    ``bench --check`` on any host, including single-core CI runners.
+    """
+    import time as _time
+    from repro.faults.campaign import run_matrix
+    from repro.parallel import pool_timeline
+
+    seeds = tuple(range(args.units))
+    workers = args.workers
+
+    start = _time.perf_counter()
+    serial = run_matrix(seeds=seeds, functional=False,
+                        record_wall=False, workload="Boot")
+    wall_serial_s = _time.perf_counter() - start
+    start = _time.perf_counter()
+    parallel = run_matrix(seeds=seeds, functional=False,
+                          record_wall=False, workload="Boot",
+                          workers=workers, threads=args.threads)
+    wall_parallel_s = _time.perf_counter() - start
+    digest_match = (json.dumps(serial, sort_keys=True)
+                    == json.dumps(parallel, sort_keys=True))
+
+    costs = [run["faulted_time_s"] for run in serial["analytic"]]
+    timeline = pool_timeline(costs, workers)
+    metrics = {
+        "units": float(timeline["units"]),
+        "workers": float(workers),
+        "serial_s": timeline["serial_s"],
+        "makespan_s": timeline["makespan_s"],
+        "throughput_speedup": timeline["speedup"],
+        "digest_match": 1.0 if digest_match else 0.0,
+    }
+    config = {"units": args.units, "workers": workers,
+              "threads": args.threads, "workload": "Boot"}
+    extra = {"wall_serial_s": wall_serial_s,
+             "wall_parallel_s": wall_parallel_s,
+             "wall_speedup": (wall_serial_s / wall_parallel_s
+                              if wall_parallel_s else 0.0)}
+    summary = (f"{timeline['units']} units x {workers} workers: "
+               f"modeled speedup {timeline['speedup']:.2f}x "
+               f"({format_seconds(timeline['serial_s'])} -> "
+               f"{format_seconds(timeline['makespan_s'])} simulated), "
+               f"documents {'identical' if digest_match else 'DIFFER'}; "
+               f"wall {wall_serial_s:.2f}s -> {wall_parallel_s:.2f}s "
+               f"(informational)")
+    if args.check:
+        path = baseline_path(args.dir, "parallel")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro bench "
+                  f"--workload parallel` first")
+            return 2
+        baseline = load_baseline(args.dir, "parallel")
+        regressions = check_baseline_metrics(baseline, metrics,
+                                             tolerance=args.tolerance)
+        if regressions:
+            print(f"parallel: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"parallel: all metrics within ±{args.tolerance:.0%} of "
+              f"{path}")
+        print(summary)
+        return 0 if digest_match else 1
+    if not digest_match:
+        print(f"parallel: FAIL — {summary}")
+        return 1
+    if timeline["speedup"] < 2.0:
+        print(f"parallel: FAIL — modeled speedup "
+              f"{timeline['speedup']:.2f}x < 2x; {summary}")
+        return 1
+    path = write_baseline_metrics(args.dir, "parallel", metrics,
+                                  config=config, extra=extra)
+    append_history(args.dir, "parallel", metrics, config=config)
+    print(f"wrote baseline {path}")
+    print(summary)
+    return 0
+
+
 def _bench_history(args) -> int:
     """Render the recorded run-to-run trend for one workload."""
     entries = load_history(args.dir, args.workload)
     baseline = (load_baseline(args.dir, args.workload)
                 if baseline_path(args.dir, args.workload).exists()
                 else None)
-    trend_metrics = (("bootstrap_s", "key_switch_s", "ntt_batch_speedup")
-                     if args.workload == "functional"
-                     else ("total_time", "energy", "edp"))
+    if args.workload == "functional":
+        trend_metrics = ("bootstrap_s", "key_switch_s",
+                         "ntt_batch_speedup")
+    elif args.workload == "parallel":
+        trend_metrics = ("throughput_speedup", "serial_s", "makespan_s")
+    else:
+        trend_metrics = ("total_time", "energy", "edp")
     print(f"bench history: {args.workload} ({len(entries)} run(s))")
     print(render_history(entries, baseline, metrics=trend_metrics))
     return 0
@@ -366,6 +458,8 @@ def cmd_bench(args) -> int:
         return _bench_history(args)
     if args.workload == "functional":
         return _bench_functional(args)
+    if args.workload == "parallel":
+        return _bench_parallel(args)
     built = _bench_framework(args)
     if built is None:
         return 1
@@ -422,14 +516,18 @@ def _faults_baseline_metrics(result: dict) -> dict:
 
 def cmd_faults(args) -> int:
     from repro.faults.campaign import run_matrix
+    from repro.parallel import set_threads
 
+    set_threads(args.threads)
     seeds = tuple(int(s) for s in args.seeds.split(","))
     stuck = tuple(args.stuck_site or ())
     result = run_matrix(
         seeds=seeds, scale=args.scale, workload=args.workload,
         stuck_sites=stuck,
         functional=args.layer in ("both", "functional"),
-        analytic=args.layer in ("both", "analytic"))
+        analytic=args.layer in ("both", "analytic"),
+        record_wall=not args.no_wall,
+        workers=args.workers, threads=args.threads)
     gate_ok = result["gate"]["passed"]
 
     if args.manifest:
@@ -505,14 +603,19 @@ def _serve_policy(args):
 
 
 def _serve_runner(args, jobs, policy, checkpoint=None, resume=None,
-                  max_units=None):
+                  max_units=None, metrics=None, worker_metrics=None,
+                  on_unit=None):
+    from repro.parallel import set_threads
     from repro.serving import JobRunner
+    set_threads(args.threads)
     gpu = GPUS[args.gpu]
     pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
     return JobRunner(jobs, policy, gpu=gpu, pim=pim,
                      library=LIBRARIES[args.library],
                      checkpoint_path=checkpoint, resume_path=resume,
-                     max_units=max_units)
+                     max_units=max_units, metrics=metrics,
+                     on_unit=on_unit, workers=args.workers,
+                     threads=args.threads, worker_metrics=worker_metrics)
 
 
 def _serve_smoke(args) -> int:
@@ -574,9 +677,10 @@ def _serve_smoke(args) -> int:
     if args.manifest:
         _write_artifact(args.manifest, clean, "manifest", quiet=args.json)
     n = len(clean["jobs"][0]["units"])
+    pool = f"; {args.workers} workers" if args.workers > 1 else ""
     print(f"serve smoke: PASS ({n} units; resumed {runner.resumed_units} "
           f"from checkpoint, byte-identical document; degradation "
-          f"states {states})")
+          f"states {states}{pool})")
     return 0 if clean["ok"] else 1
 
 
@@ -675,7 +779,8 @@ def _metrics_smoke(args) -> int:
 #: cache-style counters, reported as hit rates.
 _FUNCTIONAL_RATES = (("scratch buffers", "ckks.scratch"),
                      ("diag cache", "ckks.diag_cache"),
-                     ("monomial cache", "ckks.monomial_cache"))
+                     ("monomial cache", "ckks.monomial_cache"),
+                     ("bconv tables", "ckks.bconv_tables"))
 
 
 def _metrics_functional(args, registry, events):
@@ -776,14 +881,16 @@ def cmd_top(args) -> int:
         print(f"[{done['n']:>3}/{total}] {job.id:<10} {unit:<20} "
               f"{status:<18} {note}")
 
-    gpu = GPUS[args.gpu]
-    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
-    runner = JobRunner(jobs, policy, gpu=gpu, pim=pim,
-                       library=LIBRARIES[args.library],
-                       checkpoint_path=args.checkpoint,
-                       resume_path=args.resume,
-                       metrics=registry, on_unit=on_unit)
+    import time as _time
+    worker_registry = MetricsRegistry() if args.workers > 1 else None
+    runner = _serve_runner(args, jobs, policy,
+                           checkpoint=args.checkpoint,
+                           resume=args.resume, metrics=registry,
+                           worker_metrics=worker_registry,
+                           on_unit=on_unit)
+    wall_start = _time.perf_counter()
     document = runner.run()
+    wall_s = _time.perf_counter() - wall_start
 
     def value(name, **labels):
         metric = registry.get(name)
@@ -812,8 +919,26 @@ def cmd_top(args) -> int:
         names = ("healthy", "pim-degraded", "gpu-only", "failed")
         level = int(state.value())
         print(f"degradation: {names[min(level, 3)]}")
+    if runner.worker_status:
+        rows = []
+        for label in sorted(runner.worker_status):
+            status = runner.worker_status[label]
+            busy = status["busy_s"] / wall_s if wall_s > 0 else 0.0
+            rows.append([label, status["units"], f"{busy:.0%}",
+                         status["last_unit"]])
+        print(format_table(["worker", "units", "busy", "last unit"],
+                           rows, title=f"pool: {args.workers} workers, "
+                                       f"{wall_s:.2f}s wall"))
     if args.metrics_out:
-        _write_text(args.metrics_out, registry.render_prometheus(),
+        export = registry
+        if worker_registry is not None:
+            # Worker telemetry (wall-clock based) lives in its own
+            # registry so the serve families stay digest-identical to
+            # a serial run; fold it in only for this export.
+            export = MetricsRegistry()
+            export.merge(registry)
+            export.merge(worker_registry)
+        _write_text(args.metrics_out, export.render_prometheus(),
                     "metrics (prom)")
     if document["interrupted"]:
         return 2
@@ -907,6 +1032,12 @@ def _add_serve_flags(parser) -> None:
                         help="quarantined sites before GPU_ONLY")
     parser.add_argument("--checkpoint-every", type=int, default=1,
                         help="units between checkpoint writes (default 1)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for fresh units (documents "
+                             "and digests byte-identical to --workers 1)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="kernel threads per worker (threaded "
+                             "limb-plane NTT/BConv)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -941,9 +1072,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="write or check a BENCH_<workload>.json baseline")
-    _add_target_flags(bench, extra_workloads=("functional",))
+    _add_target_flags(bench, extra_workloads=("functional", "parallel"))
     bench.add_argument("--dir", default=".",
                        help="directory holding baseline files")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the `parallel` "
+                            "workload (default 4)")
+    bench.add_argument("--threads", type=int, default=1,
+                       help="kernel threads per worker for the "
+                            "`parallel` workload")
+    bench.add_argument("--units", type=int, default=8,
+                       help="analytic campaign units for the `parallel` "
+                            "workload (default 8)")
     bench.add_argument("--check", action="store_true",
                        help="compare a fresh run against the stored "
                             "baseline; exit nonzero on regression")
@@ -980,6 +1120,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "PIM site (repeatable)")
     faults.add_argument("--layer", default="both",
                         choices=["both", "functional", "analytic"])
+    faults.add_argument("--no-wall", action="store_true",
+                        help="omit the functional layer's wall-clock "
+                             "field; the document becomes a pure "
+                             "function of seeds/scale/workload")
+    faults.add_argument("--workers", type=int, default=1,
+                        help="worker processes for campaign units "
+                             "(results byte-identical to --workers 1)")
+    faults.add_argument("--threads", type=int, default=1,
+                        help="kernel threads per worker (threaded "
+                             "limb-plane NTT/BConv)")
     faults.add_argument("--dir", default=".",
                         help="directory holding BENCH_faults.json")
     faults.add_argument("--write-baseline", action="store_true",

@@ -193,6 +193,24 @@ def run_campaign_unit(layer: str, seed: int, *, scale: float = 1.0,
                                  metrics=metrics)
 
 
+def _campaign_pool_unit(task):
+    """Worker-side campaign cell (module-level, hence picklable).
+
+    Metrics land in a fresh per-unit registry that travels back with
+    the result so the parent can merge registries in unit order —
+    keeping the merged snapshot byte-identical to a serial sweep.
+    """
+    (layer, seed, scale, workload, stuck_sites, record_wall, gpu, pim,
+     collect_metrics) = task
+    from repro.obs.metrics import MetricsRegistry
+    registry = MetricsRegistry() if collect_metrics else None
+    result = run_campaign_unit(
+        layer, seed, scale=scale, workload=workload,
+        stuck_sites=stuck_sites, record_wall=record_wall,
+        gpu=gpu, pim=pim, metrics=registry)
+    return result, registry
+
+
 def _aggregate(runs) -> dict:
     """Pool the per-run fault summaries of one campaign layer."""
     keys = ("injected", "benign", "effective", "detected", "undetected",
@@ -256,24 +274,60 @@ def run_matrix(seeds=(0, 1, 2), scale: float = 1.0,
                coverage_threshold: float = COVERAGE_THRESHOLD,
                gpu=None, pim=None, record_wall: bool = True,
                completed: dict | None = None, on_unit=None,
-               metrics=None) -> dict:
+               metrics=None, workers: int = 1,
+               threads: int = 1) -> dict:
     """The campaign matrix: (layer x seed) sweep plus the gate verdict.
 
     ``completed`` (from a checkpoint) short-circuits already-finished
     units; ``on_unit(key, result)`` fires after each fresh unit so a
-    caller can checkpoint incrementally.
+    caller can checkpoint incrementally.  ``workers > 1`` fans the
+    missing cells out across a :class:`~repro.parallel.WorkerPool`
+    (each cell is a pure function of its arguments, so the assembled
+    document is byte-identical to a serial sweep); a crashed worker
+    costs one cell, re-run inline.  ``threads`` sets each worker's
+    kernel thread count.
     """
     results = dict(completed or {})
-    for layer, seed in campaign_units(seeds, functional, analytic):
-        key = unit_key(layer, seed)
-        if key in results:
-            continue
-        results[key] = run_campaign_unit(
-            layer, seed, scale=scale, workload=workload,
-            stuck_sites=stuck_sites, record_wall=record_wall,
-            gpu=gpu, pim=pim, metrics=metrics)
-        if on_unit is not None:
-            on_unit(key, results[key])
+    missing = [(layer, seed)
+               for layer, seed in campaign_units(seeds, functional,
+                                                 analytic)
+               if unit_key(layer, seed) not in results]
+    if workers > 1 and len(missing) > 1:
+        from repro.parallel import WorkerPool, worker_warmup
+        tasks = [(layer, seed, scale, workload, tuple(stuck_sites),
+                  record_wall, gpu, pim, metrics is not None)
+                 for layer, seed in missing]
+        with WorkerPool(workers, initializer=worker_warmup,
+                        initargs=(threads,)) as pool:
+            outcomes = pool.run(_campaign_pool_unit, tasks)
+        for (layer, seed), task, outcome in zip(missing, tasks,
+                                                outcomes):
+            if outcome.crashed:
+                result, registry = _campaign_pool_unit(task)
+            else:
+                result, registry = outcome.value
+            if registry is not None and metrics is not None:
+                metrics.merge(registry)
+            key = unit_key(layer, seed)
+            results[key] = result
+            if on_unit is not None:
+                on_unit(key, result)
+    else:
+        # Serial cells still record into per-unit registries merged in
+        # order — the same float-summation grouping the pool produces,
+        # so the merged snapshot digest-matches any worker count.
+        from repro.obs.metrics import MetricsRegistry
+        for layer, seed in missing:
+            key = unit_key(layer, seed)
+            registry = MetricsRegistry() if metrics is not None else None
+            results[key] = run_campaign_unit(
+                layer, seed, scale=scale, workload=workload,
+                stuck_sites=stuck_sites, record_wall=record_wall,
+                gpu=gpu, pim=pim, metrics=registry)
+            if registry is not None:
+                metrics.merge(registry)
+            if on_unit is not None:
+                on_unit(key, results[key])
     return assemble_matrix(results, seeds, scale=scale,
                            stuck_sites=stuck_sites,
                            coverage_threshold=coverage_threshold)

@@ -117,6 +117,27 @@ class Metric:
     def clear(self) -> None:
         self._samples.clear()
 
+    def _check_mergeable(self, other: "Metric") -> None:
+        """One-line rejection of structurally incompatible families."""
+        if type(other) is not type(self):
+            raise ParameterError(
+                f"cannot merge {other.kind} into {self.kind} metric "
+                f"{self.name!r}")
+        if other.labelnames != self.labelnames:
+            raise ParameterError(
+                f"cannot merge metric {self.name!r}: label names "
+                f"{list(other.labelnames)} != {list(self.labelnames)}")
+
+    def merge(self, other: "Metric") -> None:
+        """Fold ``other``'s samples into this family.
+
+        Deterministic label-sorted semantics: samples are visited in
+        sorted label-value order, counters/histograms accumulate, and
+        gauges take the incoming value (the merger is replaying
+        ``other`` *after* this registry's own history).
+        """
+        raise NotImplementedError
+
 
 class Counter(Metric):
     """A monotonically non-decreasing total."""
@@ -143,6 +164,11 @@ class Counter(Metric):
                 f"{format_value(value)}"
                 for key, value in self._sorted_samples()]
 
+    def merge(self, other: Metric) -> None:
+        self._check_mergeable(other)
+        for key, value in other._sorted_samples():
+            self._samples[key] = self._samples.get(key, 0.0) + value
+
 
 class Gauge(Metric):
     """A value that can move in both directions."""
@@ -151,6 +177,11 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels) -> None:
         self._samples[self._key(labels)] = float(value)
+
+    def merge(self, other: Metric) -> None:
+        self._check_mergeable(other)
+        for key, value in other._sorted_samples():
+            self._samples[key] = value
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = self._key(labels)
@@ -266,6 +297,23 @@ class Histogram(Metric):
                 return lower + frac * (upper - lower)
         return self.buckets[-1]
 
+    def merge(self, other: Metric) -> None:
+        self._check_mergeable(other)
+        if other.buckets != self.buckets:
+            raise ParameterError(
+                f"cannot merge histogram {self.name!r}: bucket edges "
+                f"{[format_value(b) for b in other.buckets]} != "
+                f"{[format_value(b) for b in self.buckets]}")
+        for key, theirs in other._sorted_samples():
+            state = self._samples.get(key)
+            if state is None:
+                state = self._samples[key] = _HistogramState(
+                    len(self.buckets) + 1)
+            for i, count in enumerate(theirs.bucket_counts):
+                state.bucket_counts[i] += count
+            state.sum += theirs.sum
+            state.count += theirs.count
+
     # -- Export --------------------------------------------------------------
 
     def snapshot_samples(self) -> list:
@@ -346,6 +394,31 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         self._metrics.clear()
+
+    # -- Merge ---------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's families into this one.
+
+        The worker-pool seam: each worker process records into its own
+        registry, and the parent merges them back **in unit order**, so
+        the merged registry is byte-identical to what a serial run
+        would have recorded (counters and histograms accumulate; a
+        gauge takes the incoming value, replaying the worker's write
+        after this registry's history).  Families are visited in sorted
+        name order; a structural mismatch — kind, label names, or
+        histogram bucket edges — is a one-line
+        :class:`~repro.errors.ParameterError`.
+        """
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                kwargs = ({"buckets": theirs.buckets}
+                          if isinstance(theirs, Histogram) else {})
+                mine = self._declare(type(theirs), name, theirs.help,
+                                     theirs.labelnames, **kwargs)
+            mine.merge(theirs)
 
     # -- Export --------------------------------------------------------------
 

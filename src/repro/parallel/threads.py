@@ -1,0 +1,120 @@
+"""Tier-2 parallelism: threaded row-block kernels for limb planes.
+
+The batched NTT butterfly passes and the chunked BConv matmuls spend
+their time inside NumPy ufuncs and ``@`` products, which release the
+GIL — so independent RNS limb planes (rows of an ``(L, N)`` array) can
+be processed by a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+with real concurrency on multicore hosts.
+
+Determinism is preserved by construction: the planes are split into
+**contiguous row blocks**, every block performs exactly the per-row
+operation sequence of the serial kernel, and each block writes only its
+own rows of the (pre-allocated) output — so the result is bit-identical
+to the serial pass for any thread count (the property tests assert
+this).  The partition depends only on ``(rows, threads)``, never on
+scheduling order.
+
+The module-level thread count mirrors the engine convention of
+:mod:`repro.ckks.instrument`: a process-wide setting (``--threads`` on
+the CLI) rather than a parameter threaded through every polynomial op.
+The executor is rebuilt after ``fork()`` — a worker process inherits
+the parent's executor *object* but not its threads, so
+:func:`run_blocks` re-creates it on first use in the child.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+#: Below this many rows per would-be block, threading costs more in
+#: dispatch than it saves — the kernel runs serially instead.
+MIN_ROWS_PER_BLOCK = 2
+
+_lock = threading.Lock()
+_threads = 1
+_executor: ThreadPoolExecutor | None = None
+_executor_pid: int | None = None
+_executor_size = 0
+
+
+def set_threads(count: int) -> None:
+    """Set the process-wide kernel thread count (1 = serial)."""
+    global _threads
+    if count < 1:
+        raise ParameterError("thread count must be >= 1")
+    with _lock:
+        _threads = int(count)
+
+
+def get_threads() -> int:
+    """The current kernel thread count."""
+    return _threads
+
+
+@contextmanager
+def thread_scope(count: int):
+    """Temporarily set the kernel thread count (tests use this)."""
+    previous = get_threads()
+    set_threads(count)
+    try:
+        yield
+    finally:
+        set_threads(previous)
+
+
+def _get_executor(size: int) -> ThreadPoolExecutor:
+    """The shared executor, rebuilt on resize and after ``fork()``."""
+    global _executor, _executor_pid, _executor_size
+    with _lock:
+        pid = os.getpid()
+        if _executor is None or _executor_pid != pid \
+                or _executor_size < size:
+            # NB: after fork() the inherited executor's threads do not
+            # exist in the child; dropping the reference (rather than
+            # shutdown(), whose queue join could hang) is the safe move.
+            _executor = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-limb")
+            _executor_pid = pid
+            _executor_size = size
+        return _executor
+
+
+def partition(rows: int, blocks: int) -> list:
+    """Contiguous ``[lo, hi)`` row blocks; depends only on its inputs."""
+    blocks = max(1, min(blocks, rows))
+    return [(b * rows // blocks, (b + 1) * rows // blocks)
+            for b in range(blocks)
+            if (b + 1) * rows // blocks > b * rows // blocks]
+
+
+def block_count(rows: int) -> int:
+    """How many row blocks the current setting would split ``rows``
+    into — 1 when threading is off or the work is too small to pay."""
+    if _threads <= 1 or rows < 2 * MIN_ROWS_PER_BLOCK:
+        return 1
+    return min(_threads, rows // MIN_ROWS_PER_BLOCK)
+
+
+def run_blocks(rows: int, work) -> int:
+    """Run ``work(lo, hi)`` over contiguous row blocks of ``[0, rows)``.
+
+    Serial (in the calling thread, one block) when threading is off or
+    the row count is too small; otherwise the blocks are dispatched to
+    the shared executor and joined before returning.  Exceptions from
+    any block propagate.  Returns the number of blocks used.
+    """
+    blocks = block_count(rows)
+    if blocks <= 1:
+        work(0, rows)
+        return 1
+    spans = partition(rows, blocks)
+    executor = _get_executor(_threads)
+    futures = [executor.submit(work, lo, hi) for lo, hi in spans]
+    for future in futures:
+        future.result()
+    return len(spans)

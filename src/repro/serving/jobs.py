@@ -180,6 +180,69 @@ class _Interrupted(Exception):
     """Internal: the unit budget (``max_units``) ran out mid-matrix."""
 
 
+@dataclass(frozen=True)
+class _UnitTask:
+    """Everything a worker process needs to execute one unit.
+
+    Frozen and built only from picklable pieces (the policy and job
+    spec are frozen dataclasses; gpu/pim/library are config objects),
+    so it travels to pool workers under any start method.
+    """
+
+    policy: ServePolicy
+    job: JobSpec
+    unit: str
+    key: str
+    degraded: bool
+    collect_metrics: bool
+    gpu: object = None
+    pim: object = None
+    library: object = None
+
+
+def _pool_attempt(task: _UnitTask):
+    """Worker-side unit execution (the default ``pool_task_fn``).
+
+    Runs the *exact* serial retry loop against a throwaway runner
+    whose metrics land in a fresh registry; returns ``(unit doc,
+    registry or None)`` for the parent to commit in matrix order.
+    Deterministic: retries are seeded by the unit key and backoff is
+    charged to service time, so a unit produces the same doc in any
+    worker — or inline in the parent after a worker crash.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    registry = MetricsRegistry() if task.collect_metrics else None
+    runner = JobRunner([task.job], task.policy, gpu=task.gpu,
+                       pim=task.pim, library=task.library,
+                       metrics=registry)
+    doc = runner._attempt_unit(task.job, task.unit, task.key,
+                               task.degraded)
+    return doc, registry
+
+
+class _WorkerTelemetry:
+    """Per-worker attribution metrics.
+
+    Kept in a registry *separate* from the serving metrics: worker
+    pids, unit placement, and in-worker wall clocks are scheduling-
+    dependent, and the main registry's digest must stay identical
+    across worker counts.
+    """
+
+    def __init__(self, registry):
+        self.units = registry.counter(
+            "anaheim_worker_units_total",
+            "Units committed, by pool worker",
+            labelnames=("worker",))
+        self.busy = registry.counter(
+            "anaheim_worker_busy_seconds_total",
+            "In-worker wall seconds spent executing units",
+            labelnames=("worker",))
+        self.crashes = registry.counter(
+            "anaheim_worker_crashes_total",
+            "Worker processes lost mid-unit (unit re-run inline)")
+
+
 class _ServeMetrics:
     """Serving-layer metric families, declared once per runner."""
 
@@ -242,6 +305,15 @@ class JobRunner:
     mid-campaign kill (the checkpoint survives; a fresh runner with
     ``resume_path`` picks up where this one stopped).  ``clock`` is the
     wall-clock source for deadlines (injectable for tests).
+
+    ``workers > 1`` fans fresh units out across a
+    :class:`~repro.parallel.WorkerPool` (``threads`` is the per-worker
+    kernel thread count); results are committed in matrix order so
+    every document, checkpoint, and metrics digest is byte-identical
+    to ``workers=1``.  ``worker_metrics`` is an optional *separate*
+    registry for per-worker attribution (``anaheim_worker_*``), and
+    ``pool_task_fn`` is the picklable worker entry point (the test
+    seam; defaults to :func:`_pool_attempt`).
     """
 
     def __init__(self, jobs, policy: ServePolicy, gpu=None, pim=None,
@@ -249,7 +321,9 @@ class JobRunner:
                  max_units: int | None = None, tracer=None,
                  metrics=None, on_unit=None,
                  clock=time.monotonic,
-                 deadline_fatal: bool = False):
+                 deadline_fatal: bool = False,
+                 workers: int = 1, threads: int = 1,
+                 worker_metrics=None, pool_task_fn=None):
         self.jobs = list(jobs)
         self.policy = policy
         self.gpu = gpu
@@ -267,6 +341,20 @@ class JobRunner:
         self.clock = clock
         self.max_units = max_units
         self.deadline_fatal = deadline_fatal
+        if workers < 1:
+            raise ParameterError("worker count must be >= 1")
+        self.workers = workers
+        self.threads = threads
+        self.worker_metrics = worker_metrics
+        self.pool_task_fn = (pool_task_fn if pool_task_fn is not None
+                             else _pool_attempt)
+        #: Per-worker progress (label -> units/busy_s/last_unit), the
+        #: seam ``repro top`` renders worker rows from.
+        self.worker_status: dict = {}
+        self._wm = (_WorkerTelemetry(worker_metrics)
+                    if worker_metrics is not None else None)
+        self._pool = None
+        self._worker_labels: dict = {}
         self._m = _ServeMetrics(metrics) if metrics is not None else None
         self.digest = matrix_digest([j.canonical() for j in self.jobs],
                                     policy.canonical())
@@ -410,6 +498,32 @@ class JobRunner:
             return {"status": status, "attempts": attempt + 1,
                     "backoff_s": backoffs, "result": result}
 
+    def _attempt_unit_isolated(self, job: JobSpec, unit: str, key: str,
+                               degraded: bool) -> dict:
+        """The retry loop against a fresh per-unit registry, merged
+        back afterwards.
+
+        This makes the serial path perform the *same float additions*
+        as the worker pool (per-unit subtotals folded in unit order).
+        Float addition is not associative, so accumulating every kernel
+        directly into the job-lifetime registry would differ from the
+        merged per-unit subtotals in the last bits — and ``--workers
+        N`` must digest-match ``--workers 1`` exactly.
+        """
+        if self.metrics is None:
+            return self._attempt_unit(job, unit, key, degraded)
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        saved_metrics, saved_m = self.metrics, self._m
+        self.metrics = registry
+        self._m = _ServeMetrics(registry)
+        try:
+            doc = self._attempt_unit(job, unit, key, degraded)
+        finally:
+            self.metrics, self._m = saved_metrics, saved_m
+        self.metrics.merge(registry)
+        return doc
+
     # -- Unit accounting -----------------------------------------------------
 
     def _observe_unit(self, job: JobSpec, unit: str, doc: dict) -> None:
@@ -469,7 +583,147 @@ class JobRunner:
                 doc["status"] = "failed"
         return doc
 
+    # -- The worker pool -----------------------------------------------------
+
+    def _worker_pool(self):
+        from repro.parallel import WorkerPool, worker_warmup
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers,
+                                    initializer=worker_warmup,
+                                    initargs=(self.threads,))
+        return self._pool
+
+    def _worker_label(self, pid: int) -> str:
+        """Stable display label per worker pid, in commit order
+        (``parent`` for crash-recovery units re-run inline)."""
+        if pid < 0:
+            return "parent"
+        label = self._worker_labels.get(pid)
+        if label is None:
+            label = f"w{len(self._worker_labels)}"
+            self._worker_labels[pid] = label
+        return label
+
+    def _account_worker(self, key: str, pid: int, wall_s: float) -> None:
+        label = self._worker_label(pid)
+        status = self.worker_status.setdefault(
+            label, {"units": 0, "busy_s": 0.0, "last_unit": ""})
+        status["units"] += 1
+        status["busy_s"] += wall_s
+        status["last_unit"] = key
+        if self._wm is not None:
+            self._wm.units.inc(worker=label)
+            self._wm.busy.inc(wall_s, worker=label)
+
+    def _unit_task(self, job: JobSpec, unit: str, key: str,
+                   degraded: bool) -> _UnitTask:
+        return _UnitTask(policy=self.policy, job=job, unit=unit, key=key,
+                         degraded=degraded,
+                         collect_metrics=self.metrics is not None,
+                         gpu=self.gpu, pim=self.pim, library=self.library)
+
+    def _run_job_parallel(self, job: JobSpec) -> dict:
+        """The matrix walk with fresh units fanned out to the pool.
+
+        Byte-identity with the serial path holds because results are
+        *committed* strictly in matrix order — checkpoint records,
+        metric merges, and notifications happen exactly as a serial
+        run would have issued them — regardless of which worker
+        finished first.  Degradation carry-over is speculative: every
+        fresh unit dispatches with the flag known at dispatch time; if
+        a committed unit flips the job degraded, the not-yet-committed
+        speculative results are discarded and the rest redispatched
+        re-lowered (the flag is monotone, so at most one redispatch).
+        A crashed worker costs one unit, re-run inline in the parent
+        through the same ``pool_task_fn``.  Deadlines are checked per
+        dispatch round (between rounds, progress is kept).
+        """
+        from repro.obs.tracer import maybe_span
+        policy = self.policy
+        unit_docs: dict = {}
+        status = "ok"
+        started = self.clock()
+        units = job.units(policy.seeds)
+        with maybe_span(self.tracer, "serve.job", id=job.id,
+                        kind=job.kind):
+            fresh: list = []
+            for unit in units:
+                key = f"{job.id}:{unit}"
+                stored = self.checkpointer.units.get(key)
+                if stored is not None:
+                    unit_docs[unit] = stored
+                    if self._m is not None:
+                        self._m.restored.inc()
+                    self._notify(job, unit, stored, fresh=False)
+                else:
+                    fresh.append((unit, key))
+            interrupted = False
+            if self.max_units is not None:
+                budget = max(0, self.max_units - self._fresh_units)
+                if len(fresh) > budget:
+                    interrupted = True
+                    fresh = fresh[:budget]
+            pending = list(fresh)
+            while pending:
+                if (policy.deadline_s is not None
+                        and self.clock() - started > policy.deadline_s):
+                    if self.tracer is not None:
+                        self.tracer.count("serve.deadline_exceeded")
+                    if self.deadline_fatal:
+                        raise DeadlineError(
+                            f"job {job.id} exceeded its "
+                            f"{policy.deadline_s}s deadline")
+                    status = "deadline-exceeded"
+                    for unit, key in pending:
+                        unit_docs[unit] = {"status": "deadline-skipped"}
+                        if self._m is not None:
+                            self._m.deadline_skips.inc()
+                        self._notify(job, unit, unit_docs[unit],
+                                     fresh=False)
+                    break
+                degraded = self._job_degraded(job, unit_docs)
+                tasks = [self._unit_task(job, unit, key, degraded)
+                         for unit, key in pending]
+                results = self._worker_pool().run(self.pool_task_fn,
+                                                  tasks)
+                committed = 0
+                for (unit, key), task, res in zip(pending, tasks,
+                                                  results):
+                    if self._job_degraded(job, unit_docs) \
+                            != task.degraded:
+                        break
+                    if res.crashed:
+                        if self.tracer is not None:
+                            self.tracer.count("serve.worker_crashes")
+                        if self._wm is not None:
+                            self._wm.crashes.inc()
+                        inline_start = time.perf_counter()
+                        doc, registry = self.pool_task_fn(task)
+                        self._account_worker(
+                            key, -1, time.perf_counter() - inline_start)
+                    else:
+                        doc, registry = res.value
+                        self._account_worker(key, res.worker, res.wall_s)
+                    if registry is not None and self.metrics is not None:
+                        self.metrics.merge(registry)
+                    self._fresh_units += 1
+                    unit_docs[unit] = doc
+                    self.checkpointer.record(key, doc)
+                    self._observe_unit(job, unit, doc)
+                    self._notify(job, unit, doc, fresh=True)
+                    if doc["status"] not in ("ok",):
+                        status = "failed"
+                    committed += 1
+                pending = pending[committed:]
+            if interrupted:
+                raise _Interrupted()
+        ordered = {unit: unit_docs[unit] for unit in units
+                   if unit in unit_docs}
+        return self._assemble_job(job, ordered, status)
+
     def _run_job(self, job: JobSpec) -> dict:
+        if self.workers > 1:
+            return self._run_job_parallel(job)
         from repro.obs.tracer import maybe_span
         policy = self.policy
         unit_docs: dict = {}
@@ -504,7 +758,8 @@ class JobRunner:
                         and self._fresh_units >= self.max_units):
                     raise _Interrupted()
                 degraded = self._job_degraded(job, unit_docs)
-                doc = self._attempt_unit(job, unit, key, degraded)
+                doc = self._attempt_unit_isolated(job, unit, key,
+                                                  degraded)
                 self._fresh_units += 1
                 unit_docs[unit] = doc
                 self.checkpointer.record(key, doc)
@@ -525,6 +780,10 @@ class JobRunner:
         except _Interrupted:
             interrupted = True
             self.checkpointer.flush()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
         # NB: ``resumed_units`` is deliberately NOT part of the document
         # — a resumed run must be byte-identical to an uninterrupted
         # one, and only this field would differ.  It stays available as

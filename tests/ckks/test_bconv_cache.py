@@ -1,0 +1,89 @@
+"""Bounded LRU behavior of the basis-conversion table cache.
+
+A long serve run sweeps many leveled bases; the table cache must stay
+capped, evict least-recently-used entries first, and report hits,
+misses, and evictions through the engine counters.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.ckks import instrument, keyswitch, modmath
+from repro.ckks.keyswitch import (_bconv_tables, bconv_cache_info,
+                                  clear_bconv_cache)
+
+PRIMES = tuple(modmath.generate_primes(6, 128, bits=20))
+
+
+@contextmanager
+def tracing():
+    class _Tracer:
+        def __init__(self):
+            self.counters = {}
+
+        def count(self, name, value=1.0):
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    tracer = _Tracer()
+    old = instrument.get_tracer()
+    instrument.set_tracer(tracer)
+    try:
+        yield tracer.counters
+    finally:
+        instrument.set_tracer(old)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_bconv_cache()
+    yield
+    clear_bconv_cache()
+
+
+def key_for(i):
+    """A distinct (src, dst) basis pair per index."""
+    return (PRIMES[i], PRIMES[i + 1]), (PRIMES[i + 2],)
+
+
+class TestBconvCache:
+    def test_miss_then_hit(self):
+        src, dst = key_for(0)
+        with tracing() as counts:
+            first = _bconv_tables(src, dst)
+            second = _bconv_tables(src, dst)
+        assert counts["ckks.bconv_tables.miss"] == 1
+        assert counts["ckks.bconv_tables.hit"] == 1
+        assert first is second
+        assert bconv_cache_info()["size"] == 1
+
+    def test_size_stays_bounded_and_evicts(self, monkeypatch):
+        monkeypatch.setattr(keyswitch, "BCONV_CACHE_SIZE", 2)
+        with tracing() as counts:
+            for i in range(3):
+                _bconv_tables(*key_for(i))
+        assert bconv_cache_info()["size"] == 2
+        assert counts["ckks.bconv_tables.evicted"] == 1
+        # the evicted (oldest) entry is a miss again
+        with tracing() as counts:
+            _bconv_tables(*key_for(0))
+        assert counts.get("ckks.bconv_tables.miss", 0) == 1
+
+    def test_lru_order_spares_recently_touched(self, monkeypatch):
+        monkeypatch.setattr(keyswitch, "BCONV_CACHE_SIZE", 2)
+        _bconv_tables(*key_for(0))
+        _bconv_tables(*key_for(1))
+        _bconv_tables(*key_for(0))      # refresh key 0
+        _bconv_tables(*key_for(2))      # evicts key 1, not key 0
+        with tracing() as counts:
+            _bconv_tables(*key_for(0))
+            _bconv_tables(*key_for(2))
+        assert counts.get("ckks.bconv_tables.hit", 0) == 2
+        assert "ckks.bconv_tables.miss" not in counts
+
+    def test_clear_and_info(self):
+        _bconv_tables(*key_for(0))
+        assert bconv_cache_info()["size"] == 1
+        assert bconv_cache_info()["maxsize"] == keyswitch.BCONV_CACHE_SIZE
+        clear_bconv_cache()
+        assert bconv_cache_info()["size"] == 0

@@ -237,3 +237,93 @@ class TestEventLog:
         path = tmp_path / "events.jsonl"
         log.write(path)
         assert path.read_text() == log.to_jsonl()
+
+
+class TestMerge:
+    """Registry/family merge — the worker-pool seam.  Counters and
+    histograms accumulate, gauges replay the incoming write, and any
+    structural mismatch is a one-line ParameterError."""
+
+    def test_counter_merge_adds_by_label(self):
+        a = Counter("kernels_total", labelnames=("device",))
+        b = Counter("kernels_total", labelnames=("device",))
+        a.inc(2.0, device="gpu")
+        b.inc(3.0, device="gpu")
+        b.inc(1.0, device="pim")
+        a.merge(b)
+        assert a.value(device="gpu") == 5.0
+        assert a.value(device="pim") == 1.0
+
+    def test_gauge_merge_takes_incoming_value(self):
+        a = Gauge("depth")
+        b = Gauge("depth")
+        a.set(7.0)
+        b.set(3.0)
+        a.merge(b)
+        assert a.value() == 3.0
+
+    def test_histogram_merge_accumulates_buckets_sum_count(self):
+        a = Histogram("lat", buckets=(1.0, 2.0))
+        b = Histogram("lat", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.cumulative() == [1, 2, 3]
+        assert a.count() == 3
+        assert a.sum() == pytest.approx(11.0)
+
+    def test_histogram_bucket_mismatch_is_one_line_error(self):
+        a = Histogram("lat", buckets=(1.0, 2.0))
+        b = Histogram("lat", buckets=(1.0, 4.0))
+        with pytest.raises(ParameterError) as err:
+            a.merge(b)
+        assert "\n" not in str(err.value)
+        assert "bucket edges" in str(err.value)
+
+    def test_kind_and_label_mismatches_rejected(self):
+        counter = Counter("x")
+        with pytest.raises(ParameterError):
+            counter.merge(Gauge("x"))
+        labeled = Counter("x", labelnames=("device",))
+        with pytest.raises(ParameterError):
+            counter.merge(labeled)
+
+    def test_registry_merge_adopts_missing_families(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("shared_total").inc(1.0)
+        b.counter("shared_total").inc(2.0)
+        b.gauge("only_in_b").set(5.0)
+        b.histogram("lat_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        a.merge(b)
+        assert a.get("shared_total").value() == 3.0
+        assert a.get("only_in_b").value() == 5.0
+        assert a.get("lat_seconds").buckets == (1.0, 2.0)
+        assert a.get("lat_seconds").count() == 1
+
+    def test_merge_in_unit_order_matches_serial_digest(self):
+        """Per-unit subtotals folded in order reproduce the digest of
+        one registry that recorded everything itself — the property
+        the parallel serve path relies on."""
+        increments = [0.1, 0.2, 0.30000000000000004, 0.4]
+        serial = MetricsRegistry()
+        merged = MetricsRegistry()
+        for amount in increments:
+            unit = MetricsRegistry()
+            unit.counter("work_total").inc(amount)
+            merged.merge(unit)
+            # the serial path also records through a per-unit registry,
+            # so both sides perform the same float additions
+            lone = MetricsRegistry()
+            lone.counter("work_total").inc(amount)
+            serial.merge(lone)
+        assert merged.digest() == serial.digest()
+
+    def test_registry_merge_structural_mismatch_propagates(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ParameterError):
+            a.merge(b)

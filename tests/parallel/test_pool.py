@@ -1,0 +1,147 @@
+"""Tier-1 process pool: ordered commit, crash containment, timeline.
+
+The pool functions under test must be module-level (they are pickled
+into worker processes).  The crash tests mark tasks that call
+``os._exit`` only when executed in a *child* process — the parent pid
+is captured at import time and inherited by forked workers — so the
+parent's inline fallback path stays safe.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel import PoolResult, WorkerPool, pool_timeline
+
+PARENT_PID = os.getpid()
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def double(task):
+    return task * 2
+
+
+def raise_value_error(task):
+    raise ValueError(f"scripted failure for {task}")
+
+
+def crash_in_child(task):
+    if os.getpid() != PARENT_PID:
+        os._exit(1)
+    return f"parent:{task}"
+
+
+def crash_on_boom(task):
+    if task == "boom" and os.getpid() != PARENT_PID:
+        os._exit(1)
+    return f"ok:{task}"
+
+
+class TestInlinePath:
+    def test_empty_tasks(self):
+        assert WorkerPool(2).run(double, []) == []
+
+    def test_workers_one_runs_inline(self):
+        results = WorkerPool(1).run(double, [1, 2, 3])
+        assert [r.value for r in results] == [2, 4, 6]
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.worker == os.getpid() for r in results)
+        assert not any(r.crashed for r in results)
+
+    def test_single_task_runs_inline_even_with_many_workers(self):
+        with WorkerPool(4) as pool:
+            results = pool.run(double, [21])
+        assert results[0].value == 42
+        assert results[0].worker == os.getpid()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ParameterError):
+            WorkerPool(0)
+
+    def test_inline_exception_propagates(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1).run(raise_value_error, ["x"])
+
+
+class TestPooledExecution:
+    def test_results_in_task_order(self):
+        with WorkerPool(2) as pool:
+            results = pool.run(double, list(range(6)))
+        assert [r.index for r in results] == list(range(6))
+        assert [r.value for r in results] == [0, 2, 4, 6, 8, 10]
+        assert all(r.worker > 0 for r in results)
+        assert not any(r.crashed for r in results)
+
+    def test_worker_exception_propagates(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError):
+                pool.run(raise_value_error, ["x", "y"])
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="crash scripting needs fork")
+class TestCrashContainment:
+    def test_every_unit_crashing_is_contained(self):
+        with WorkerPool(2) as pool:
+            results = pool.run(crash_in_child, ["a", "b", "c"])
+            assert [r.index for r in results] == [0, 1, 2]
+            assert all(r.crashed for r in results)
+            assert all(r.value is None for r in results)
+            assert all("died" in r.error for r in results)
+            assert pool.crashes == 3
+
+    def test_one_crash_spares_the_rest(self):
+        tasks = ["a", "boom", "b", "c", "d"]
+        with WorkerPool(2) as pool:
+            results = pool.run(crash_on_boom, tasks)
+        assert [r.index for r in results] == list(range(len(tasks)))
+        assert pool.crashes >= 1
+        crashed = [r for r in results if r.crashed]
+        assert crashed  # the boom unit (pool may over-blame a neighbor)
+        for r in results:
+            if not r.crashed:
+                assert r.value == f"ok:{tasks[r.index]}"
+
+    def test_caller_can_rerun_crashed_units_inline(self):
+        with WorkerPool(2) as pool:
+            results = pool.run(crash_in_child, ["a", "b"])
+        redone = [crash_in_child(task) if res.crashed else res.value
+                  for task, res in zip(["a", "b"], results)]
+        assert redone == ["parent:a", "parent:b"]
+
+
+class TestPoolTimeline:
+    def test_uniform_costs_saturate_lanes(self):
+        t = pool_timeline([1.0] * 8, 4)
+        assert t["units"] == 8 and t["workers"] == 4
+        assert t["serial_s"] == 8.0
+        assert t["makespan_s"] == 2.0
+        assert t["speedup"] == 4.0
+        assert t["assignment"] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_greedy_least_loaded_assignment(self):
+        t = pool_timeline([3.0, 1.0, 1.0, 1.0], 2)
+        assert t["assignment"] == [0, 1, 1, 1]
+        assert t["lane_busy_s"] == [3.0, 3.0]
+        assert t["makespan_s"] == 3.0
+        assert t["speedup"] == 2.0
+
+    def test_busy_time_closes_against_serial_total(self):
+        costs = [0.7, 1.3, 0.2, 2.1, 0.9]
+        t = pool_timeline(costs, 3)
+        assert sum(t["lane_busy_s"]) == pytest.approx(t["serial_s"])
+        assert t["makespan_s"] <= t["serial_s"]
+
+    def test_deterministic(self):
+        costs = [0.5, 1.5, 0.25, 0.75, 1.0]
+        assert pool_timeline(costs, 3) == pool_timeline(costs, 3)
+
+    def test_empty_and_single_lane(self):
+        t = pool_timeline([], 4)
+        assert t["makespan_s"] == 0.0 and t["speedup"] == 1.0
+        t = pool_timeline([1.0, 2.0], 1)
+        assert t["speedup"] == 1.0
+        with pytest.raises(ParameterError):
+            pool_timeline([1.0], 0)
