@@ -460,6 +460,8 @@ def cmd_bench(args) -> int:
         return _bench_functional(args)
     if args.workload == "parallel":
         return _bench_parallel(args)
+    if args.workload == "overload":
+        return _bench_overload(args)
     built = _bench_framework(args)
     if built is None:
         return 1
@@ -602,6 +604,265 @@ def _serve_policy(args):
         stuck_sites=tuple(args.stuck_site or ()))
 
 
+def _admission_policy(args):
+    from repro.serving import AdmissionPolicy
+    return AdmissionPolicy(
+        queue_cap=args.queue_cap,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        shed_policy=args.shed_policy,
+        deadline_slack=args.deadline_slack,
+        brownout_after=args.brownout_after,
+        brownout_deadline_factor=args.brownout_deadline_factor)
+
+
+def _overload_traffic(args):
+    """(arrival spec, tenants, chaos events) from the CLI flags."""
+    from repro.serving import parse_arrival_spec, parse_tenants
+    from repro.serving.overload import chaos_events
+    tenants = parse_tenants(args.tenants)
+    spec = parse_arrival_spec(args.arrivals, args.duration,
+                              seed=args.seed)
+    chaos = (chaos_events(args.fault_seed, args.duration,
+                          scale=args.scale)
+             if args.fault_seed is not None else ())
+    return spec, tenants, chaos
+
+
+def _run_overload(args, workers=None, metrics=None, worker_metrics=None,
+                  on_unit=None):
+    """One ``serve --arrivals`` pass: simulate admission, execute."""
+    from repro.parallel import set_threads
+    from repro.serving import run_overload_serve
+    set_threads(args.threads)
+    spec, tenants, chaos = _overload_traffic(args)
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    return run_overload_serve(
+        spec, tenants, _admission_policy(args), _serve_policy(args),
+        gpu=gpu, pim=pim, library=LIBRARIES[args.library], chaos=chaos,
+        metrics=metrics, workers=workers if workers is not None
+        else args.workers, threads=args.threads,
+        checkpoint_path=getattr(args, "checkpoint", None),
+        resume_path=getattr(args, "resume", None),
+        checkpoint_keep=getattr(args, "checkpoint_keep", None),
+        max_units=getattr(args, "max_units", None), on_unit=on_unit,
+        worker_metrics=worker_metrics)
+
+
+def _admission_lines(summary) -> list:
+    """Human-readable admission/queue picture for serve/top output."""
+    rejected = ", ".join(f"{k} {v}" for k, v in summary["rejected"].items()
+                         if v)
+    shed = ", ".join(f"{k} {v}" for k, v in summary["shed"].items() if v)
+    queue = summary["queue"]
+    lines = [
+        f"admission: offered {summary['offered']} "
+        f"({summary['offered_qps']:.1f} qps) -> admitted "
+        f"{summary['admitted']}, rejected {summary['rejected_total']}"
+        + (f" ({rejected})" if rejected else "")
+        + f", shed {summary['shed_total']}"
+        + (f" ({shed})" if shed else ""),
+        f"queue: peak depth {queue['peak_depth']}/{queue['cap']}, wait "
+        f"p50 {format_seconds(queue['wait_p50_s'])} p95 "
+        f"{format_seconds(queue['wait_p95_s'])}; goodput "
+        f"{summary['goodput_qps']:.1f} qps, shed rate "
+        f"{summary['shed_rate']:.1%}",
+    ]
+    if summary["brownout"] is not None:
+        lines.append(f"brownout: {summary['brownout']['state']} "
+                     f"({len(summary['brownout']['events'])} "
+                     f"escalation(s))")
+    return lines
+
+
+def _serve_overload(args) -> int:
+    """serve --arrivals: the end-to-end overload-protected pipeline."""
+    metrics = MetricsRegistry()
+    worker_metrics = MetricsRegistry() if args.workers > 1 else None
+    document, runner = _run_overload(args, metrics=metrics,
+                                     worker_metrics=worker_metrics)
+    summary = document["admission"]["summary"]
+    if args.manifest:
+        _write_artifact(args.manifest, document, "manifest",
+                        quiet=args.json)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        rows = []
+        for job in document["jobs"]:
+            done = sum(1 for u in job["units"].values()
+                       if u.get("status") == "ok")
+            rows.append([job["id"], job["kind"], job["status"],
+                         f"{done}/{len(job['units'])}", job["retries"]])
+        print(format_table(
+            ["job", "kind", "status", "units", "retries"], rows,
+            title=f"serve: {len(document['jobs'])} dispatched job(s), "
+                  f"resumed {runner.resumed_units} unit(s)"))
+        for line in _admission_lines(summary):
+            print(line)
+        if document["interrupted"]:
+            print("interrupted by --max-units; progress checkpointed")
+    if document["interrupted"]:
+        return 2
+    return 0 if document["ok"] else 1
+
+
+def _overload_smoke(args) -> int:
+    """Gating end-to-end overload check (serve --smoke --arrivals).
+
+    Runs the same arrival stream through admission + execution twice —
+    serially and across a worker pool — and asserts the decisions,
+    documents, and metric digests are byte-identical; that the
+    overload actually engaged (something rejected or shed); and that
+    the admit/complete/shed accounting conserves every offered job.
+    """
+    serial_metrics = MetricsRegistry()
+    pool_metrics = MetricsRegistry()
+    workers = args.workers if args.workers > 1 else 4
+    serial_doc, _ = _run_overload(args, workers=1,
+                                  metrics=serial_metrics)
+    pool_doc, _ = _run_overload(args, workers=workers,
+                                metrics=pool_metrics,
+                                worker_metrics=MetricsRegistry())
+    summary = serial_doc["admission"]["summary"]
+    failures = []
+    if json.dumps(serial_doc, sort_keys=True) \
+            != json.dumps(pool_doc, sort_keys=True):
+        failures.append(f"document differs between --workers 1 and "
+                        f"--workers {workers}")
+    if serial_metrics.digest() != pool_metrics.digest():
+        failures.append(f"metrics digest differs between --workers 1 "
+                        f"and --workers {workers}")
+    if summary["rejected_total"] + summary["shed_total"] == 0:
+        failures.append("overload never engaged (nothing rejected or "
+                        "shed); raise --arrivals rate")
+    if summary["offered"] != summary["admitted"] \
+            + summary["rejected_total"]:
+        failures.append("offered != admitted + rejected")
+    if summary["admitted"] != summary["completed"] \
+            + summary["shed_total"]:
+        failures.append("admitted != completed + shed")
+    if len(serial_doc["jobs"]) != summary["completed"]:
+        failures.append(f"executed {len(serial_doc['jobs'])} job(s) but "
+                        f"the simulation dispatched "
+                        f"{summary['completed']}")
+    if failures:
+        for failure in failures:
+            print(f"overload smoke: {failure}")
+        print("overload smoke: FAIL")
+        return 1
+    print(f"overload smoke: PASS (offered {summary['offered']}, "
+          f"admitted {summary['admitted']}, rejected "
+          f"{summary['rejected_total']}, shed {summary['shed_total']}, "
+          f"completed {summary['completed']}; decisions, documents, "
+          f"and metric digests identical for workers 1 and {workers}; "
+          f"digest {serial_metrics.digest()[:12]})")
+    return 0
+
+
+def cmd_soak(args) -> int:
+    """Chaos soak campaign: overload x chaos grid on the sim clock."""
+    from repro.serving import parse_tenants
+    from repro.serving.soak import run_soak
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    loads = tuple(float(token) for token in args.loads.split(","))
+    chaos_kinds = tuple(args.chaos.split(","))
+    for kind in chaos_kinds:
+        if kind not in ("none", "faults"):
+            print(f"error: unknown chaos kind {kind!r} (expected "
+                  f"none/faults)", file=sys.stderr)
+            return 2
+    document = run_soak(
+        seed=args.seed, duration_s=args.duration, loads=loads,
+        chaos_kinds=chaos_kinds, process=args.process,
+        tenants=parse_tenants(args.tenants),
+        policy=_admission_policy(args), gpu=gpu, pim=pim,
+        library=LIBRARIES[args.library],
+        fault_seed=args.fault_seed if args.fault_seed is not None else 0,
+        fault_scale=args.scale)
+    gate = document["gate"]
+    if args.manifest:
+        _write_artifact(args.manifest, document, "manifest",
+                        quiet=args.json)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0 if gate["passed"] else 1
+    rows = []
+    for cell in document["cells"]:
+        summary = cell["summary"]
+        rows.append([
+            f"{cell['load']:g}x", cell["chaos"], summary["offered"],
+            summary["admitted"], summary["completed"],
+            summary["rejected_total"], summary["shed_total"],
+            f"{summary['goodput_qps']:.1f}",
+            summary["brownout"]["state"],
+            "ok" if cell["passed"] else "FAIL"])
+    print(format_table(
+        ["load", "chaos", "offered", "admitted", "completed", "rejected",
+         "shed", "goodput", "brownout", "invariants"],
+        rows, title=f"soak: capacity {document['capacity_qps']:.1f} qps, "
+                    f"{args.duration:g}s per cell, seed {args.seed}"))
+    for violation in gate["violations"]:
+        print(f"  violation: {violation}")
+    print(f"gate: {'PASS' if gate['passed'] else 'FAIL'} "
+          f"(conservation + bounded queue in every cell; overloaded "
+          f"cells must shed or reject)")
+    return 0 if gate["passed"] else 1
+
+
+def _bench_overload(args) -> int:
+    """Overload-protection bench: the pinned 2x-capacity chaos cell.
+
+    Entirely on the simulated clock, so the goodput/shed-rate numbers
+    are a pure function of the seed and reproduce exactly under
+    ``bench --check`` on any host.
+    """
+    from repro.serving.soak import (overload_bench_cell,
+                                    overload_bench_metrics)
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    cell = overload_bench_cell(gpu=gpu, pim=pim,
+                               library=LIBRARIES[args.library])
+    if not cell["passed"]:
+        for violation in cell["violations"]:
+            print(f"overload: invariant violation: {violation}")
+        return 1
+    metrics = overload_bench_metrics(cell)
+    summary = (f"offered {metrics['offered']:.0f}, goodput "
+               f"{metrics['goodput_qps']:.1f} qps, shed rate "
+               f"{metrics['shed_rate']:.1%}, reject rate "
+               f"{metrics['reject_rate']:.1%}")
+    config = {"load": cell["load"], "chaos": cell["chaos"],
+              "rate_qps": cell["rate_qps"], "gpu": gpu.name,
+              "pim": pim.name if pim else None,
+              "library": args.library}
+    if args.check:
+        path = baseline_path(args.dir, "overload")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro bench "
+                  f"--workload overload` first")
+            return 2
+        baseline = load_baseline(args.dir, "overload")
+        regressions = check_baseline_metrics(baseline, metrics,
+                                             tolerance=args.tolerance)
+        if regressions:
+            print(f"overload: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"overload: all metrics within ±{args.tolerance:.0%} of "
+              f"{path} ({summary})")
+        return 0
+    path = write_baseline_metrics(args.dir, "overload", metrics,
+                                  config=config)
+    append_history(args.dir, "overload", metrics, config=config)
+    print(f"wrote baseline {path} ({summary})")
+    return 0
+
+
 def _serve_runner(args, jobs, policy, checkpoint=None, resume=None,
                   max_units=None, metrics=None, worker_metrics=None,
                   on_unit=None):
@@ -613,6 +874,8 @@ def _serve_runner(args, jobs, policy, checkpoint=None, resume=None,
     return JobRunner(jobs, policy, gpu=gpu, pim=pim,
                      library=LIBRARIES[args.library],
                      checkpoint_path=checkpoint, resume_path=resume,
+                     checkpoint_keep=getattr(args, "checkpoint_keep",
+                                             None),
                      max_units=max_units, metrics=metrics,
                      on_unit=on_unit, workers=args.workers,
                      threads=args.threads, worker_metrics=worker_metrics)
@@ -687,10 +950,14 @@ def _serve_smoke(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serving import parse_jobs
 
+    if args.arrivals:
+        return _overload_smoke(args) if args.smoke \
+            else _serve_overload(args)
     if args.smoke:
         return _serve_smoke(args)
     if not args.jobs:
-        print("error: serve needs --jobs (or --smoke)", file=sys.stderr)
+        print("error: serve needs --jobs, --arrivals, or --smoke",
+              file=sys.stderr)
         return 2
     jobs = parse_jobs(args.jobs)
     runner = _serve_runner(args, jobs, _serve_policy(args),
@@ -859,12 +1126,59 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _top_overload(args) -> int:
+    """top --arrivals: per-unit progress, then the queue columns."""
+    from repro.serving.jobs import _unit_seconds
+
+    done = {"n": 0}
+
+    def on_unit(job, unit, doc, fresh):
+        done["n"] += 1
+        status = doc.get("status", "ok")
+        seconds = _unit_seconds(job.kind, doc)
+        note = ("restored" if not fresh
+                else f"{format_seconds(seconds)} sim"
+                if seconds is not None else "-")
+        print(f"[{done['n']:>3}] {job.id:<16} {unit:<20} {status:<18} "
+              f"{note}")
+
+    registry = MetricsRegistry()
+    worker_registry = MetricsRegistry() if args.workers > 1 else None
+    document, runner = _run_overload(args, metrics=registry,
+                                     worker_metrics=worker_registry,
+                                     on_unit=on_unit)
+    summary = document["admission"]["summary"]
+    queue = summary["queue"]
+    print()
+    print(format_table(
+        ["depth (peak)", "cap", "admitted", "rejected", "shed",
+         "wait p50", "wait p95"],
+        [[queue["peak_depth"], queue["cap"], summary["admitted"],
+          summary["rejected_total"], summary["shed_total"],
+          format_seconds(queue["wait_p50_s"]),
+          format_seconds(queue["wait_p95_s"])]],
+        title="queue"))
+    for line in _admission_lines(summary):
+        print(line)
+    if args.metrics_out:
+        _write_text(args.metrics_out, registry.render_prometheus(),
+                    "metrics (prom)")
+    if document["interrupted"]:
+        return 2
+    return 0 if document["ok"] else 1
+
+
 def cmd_top(args) -> int:
     """Live-ish serve progress: a line per unit as it lands, then the
     latency/retry/degradation picture from the metrics registry."""
     from repro.serving import JobRunner, parse_jobs
     from repro.serving.jobs import _unit_seconds
 
+    if args.arrivals:
+        return _top_overload(args)
+    if not args.jobs:
+        print("error: top needs --jobs or --arrivals", file=sys.stderr)
+        return 2
     jobs = parse_jobs(args.jobs)
     policy = _serve_policy(args)
     registry = MetricsRegistry()
@@ -1040,6 +1354,47 @@ def _add_serve_flags(parser) -> None:
                              "limb-plane NTT/BConv)")
 
 
+def _add_admission_flags(parser) -> None:
+    """AdmissionPolicy knobs shared by serve/top/soak."""
+    parser.add_argument("--queue-cap", type=int, default=16,
+                        help="bounded-queue capacity (default 16)")
+    parser.add_argument("--high-watermark", type=int, default=None,
+                        help="queue depth that triggers shedding "
+                             "(default 3*cap/4)")
+    parser.add_argument("--low-watermark", type=int, default=None,
+                        help="depth shedding drains down to "
+                             "(default cap/2)")
+    parser.add_argument("--shed-policy", default="priority",
+                        choices=["priority", "none"],
+                        help="watermark shedding: drop lowest-priority-"
+                             "newest jobs, or never shed")
+    parser.add_argument("--deadline-slack", type=float, default=1.0,
+                        help="margin on predicted completion vs deadline "
+                             "at admission (default 1.0)")
+    parser.add_argument("--brownout-after", type=int, default=8,
+                        help="arrivals under sustained queue pressure "
+                             "before brownout (default 8)")
+    parser.add_argument("--brownout-deadline-factor", type=float,
+                        default=2.0,
+                        help="deadline widening per brownout level "
+                             "(default 2.0)")
+    parser.add_argument("--tenants", default="",
+                        help="tenant weights as name:weight[,..] over "
+                             "premium/standard/batch (default: all, "
+                             "paper mix)")
+
+
+def _add_arrivals_flags(parser) -> None:
+    """Open-loop traffic flags shared by serve and top."""
+    parser.add_argument("--arrivals", metavar="SPEC",
+                        help="open-loop arrival process: poisson:<qps> "
+                             "or burst:<qps>[:<factor>[:<period_s>]] "
+                             "(enables admission control)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="simulated seconds of traffic (default 2)")
+    _add_admission_flags(parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="anaheim-repro",
@@ -1072,7 +1427,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="write or check a BENCH_<workload>.json baseline")
-    _add_target_flags(bench, extra_workloads=("functional", "parallel"))
+    _add_target_flags(bench, extra_workloads=("functional", "parallel",
+                                              "overload"))
     bench.add_argument("--dir", default=".",
                        help="directory holding baseline files")
     bench.add_argument("--workers", type=int, default=4,
@@ -1151,6 +1507,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="job specs: run:<wl>[,..], bench:<wl>[,..], "
                             "faults[:layer[:workload]]")
     _add_serve_flags(serve)
+    _add_arrivals_flags(serve)
     serve.add_argument("--checkpoint", metavar="FILE",
                        help="record finished units to this file "
                             "(crash-safe atomic writes)")
@@ -1158,13 +1515,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume from a checkpoint; replays only the "
                             "missing units, output is byte-identical to "
                             "an uninterrupted run")
+    serve.add_argument("--checkpoint-keep", type=int, default=None,
+                       metavar="N",
+                       help="also retain the N most recent checkpoint "
+                            "generations as <file>.<seq>, pruning older "
+                            "ones atomically")
     serve.add_argument("--max-units", type=int, default=None,
                        help="stop after this many fresh units "
                             "(simulates a mid-campaign kill; exit 2)")
     serve.add_argument("--smoke", action="store_true",
                        help="gating end-to-end check: clean run vs "
                             "kill + resume must match byte-for-byte, "
-                            "with GPU_ONLY degradation recorded")
+                            "with GPU_ONLY degradation recorded; with "
+                            "--arrivals, serial vs pool overload runs "
+                            "must match byte-for-byte with shedding "
+                            "active")
     serve.add_argument("--json", action="store_true",
                        help="emit the serve document as JSON")
     serve.add_argument("--manifest", metavar="FILE",
@@ -1204,16 +1569,48 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="serve a job matrix with a live-ish progress line "
                     "per unit, then the latency/retry/degradation "
                     "summary from the metrics registry")
-    top.add_argument("--jobs", nargs="+", metavar="SPEC", required=True,
+    top.add_argument("--jobs", nargs="+", metavar="SPEC",
                      help="job specs: run:<wl>[,..], bench:<wl>[,..], "
                           "faults[:layer[:workload]]")
     _add_serve_flags(top)
+    _add_arrivals_flags(top)
     top.add_argument("--checkpoint", metavar="FILE",
                      help="record finished units to this file")
     top.add_argument("--resume", metavar="FILE",
                      help="resume from a checkpoint")
     top.add_argument("--metrics-out", metavar="FILE",
                      help="write the final Prometheus exposition here")
+
+    soak = sub.add_parser(
+        "soak", help="chaos soak: overload x chaos campaign grid on the "
+                     "simulated clock, gated on admit/shed conservation "
+                     "invariants")
+    soak.add_argument("--gpu", default="a100", choices=sorted(GPUS))
+    soak.add_argument("--pim", default="near-bank",
+                      choices=["near-bank", "custom-hbm", "none"])
+    soak.add_argument("--library", default="Cheddar",
+                      choices=sorted(LIBRARIES))
+    soak.add_argument("--seed", type=int, default=0,
+                      help="traffic seed (default 0)")
+    soak.add_argument("--duration", type=float, default=2.0,
+                      help="simulated seconds per cell (default 2)")
+    soak.add_argument("--loads", default="0.5,1,2",
+                      help="load factors (multiples of capacity) to "
+                           "sweep (default 0.5,1,2)")
+    soak.add_argument("--chaos", default="none,faults",
+                      help="chaos kinds to sweep: none,faults")
+    soak.add_argument("--process", default="poisson",
+                      choices=["poisson", "burst"],
+                      help="arrival process shape (default poisson)")
+    soak.add_argument("--fault-seed", type=int, default=0,
+                      help="seed of the fault plan behind chaos cells")
+    soak.add_argument("--scale", type=float, default=1.0,
+                      help="fault-rate multiplier for chaos cells")
+    _add_admission_flags(soak)
+    soak.add_argument("--json", action="store_true",
+                      help="emit the campaign document as JSON")
+    soak.add_argument("--manifest", metavar="FILE",
+                      help="write the campaign document to a file")
     return parser
 
 
@@ -1223,7 +1620,7 @@ def main(argv=None) -> int:
                 "microbench": cmd_microbench, "bench": cmd_bench,
                 "profile": cmd_profile, "faults": cmd_faults,
                 "serve": cmd_serve, "metrics": cmd_metrics,
-                "top": cmd_top}
+                "top": cmd_top, "soak": cmd_soak}
     try:
         return handlers[args.command](args)
     except ReproError as exc:

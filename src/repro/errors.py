@@ -58,3 +58,9 @@ class CheckpointError(SerializationError):
 class DeadlineError(ReproError):
     """Raised when a job exceeds its wall-clock deadline and the
     caller asked for deadline overruns to be fatal."""
+
+
+class AdmissionError(ReproError):
+    """Raised when the admission controller refuses a job at enqueue:
+    rate-limited, queue full, or predicted completion past its
+    deadline — the overload layer's one-line rejection."""

@@ -62,6 +62,12 @@ KERNEL_SECONDS_BUCKETS = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
 UNIT_SECONDS_BUCKETS = (1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
                         10.0, 30.0, 60.0)
 
+#: Default buckets for queue waits (simulated seconds).  Finer at the
+#: low end than the unit buckets: at light load most jobs dispatch in
+#: well under a millisecond of simulated queueing.
+QUEUE_SECONDS_BUCKETS = (1e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1, 0.25, 0.5,
+                         1.0, 2.5, 5.0, 10.0)
+
 
 def format_value(value: float) -> str:
     """Deterministic sample rendering: integers stay integral."""

@@ -5,8 +5,18 @@ long-running reproduction pipeline needs: seeded retry with
 exponential backoff, per-device circuit breakers, a PIM-to-GPU
 degradation state machine, per-job deadlines, and crash-safe
 checkpoint/resume that reproduces an uninterrupted run byte for byte.
+
+On top sits overload protection: a seeded open-loop traffic generator
+(:mod:`repro.serving.traffic`), admission control with bounded
+priority queues, token buckets, and watermark shedding
+(:mod:`repro.serving.admission`), the end-to-end overload simulation
+and serve wiring (:mod:`repro.serving.overload`), and the chaos soak
+campaign harness (:mod:`repro.serving.soak`).
 """
 
+from repro.serving.admission import (AdmissionController, AdmissionPolicy,
+                                     BoundedQueue, CostModel, QueueItem,
+                                     TokenBucket)
 from repro.serving.breaker import (DEVICES, BreakerBoard, BreakerState,
                                    CircuitBreaker)
 from repro.serving.checkpoint import (CHECKPOINT_KIND, CHECKPOINT_VERSION,
@@ -15,13 +25,32 @@ from repro.serving.checkpoint import (CHECKPOINT_KIND, CHECKPOINT_VERSION,
 from repro.serving.health import DegradationState, HealthMonitor
 from repro.serving.jobs import (JobRunner, JobSpec, ServePolicy,
                                 parse_job_spec, parse_jobs)
+from repro.serving.overload import (chaos_events, check_invariants,
+                                    jobs_from_completions,
+                                    run_overload_serve, simulate_overload)
 from repro.serving.retry import RetryPolicy
+from repro.serving.soak import (overload_bench_cell,
+                                overload_bench_metrics, run_soak,
+                                soak_cell)
+from repro.serving.traffic import (DEFAULT_TENANTS, Arrival, ArrivalSpec,
+                                   TenantSpec, capacity_qps,
+                                   generate_arrivals, parse_arrival_spec,
+                                   parse_tenants)
 
 __all__ = [
+    "AdmissionController", "AdmissionPolicy", "BoundedQueue", "CostModel",
+    "QueueItem", "TokenBucket",
     "BreakerBoard", "BreakerState", "CircuitBreaker", "DEVICES",
     "CHECKPOINT_KIND", "CHECKPOINT_VERSION", "Checkpointer",
     "load_checkpoint", "matrix_digest",
     "DegradationState", "HealthMonitor",
     "JobRunner", "JobSpec", "ServePolicy", "parse_job_spec", "parse_jobs",
+    "chaos_events", "check_invariants", "jobs_from_completions",
+    "run_overload_serve", "simulate_overload",
     "RetryPolicy",
+    "overload_bench_cell", "overload_bench_metrics", "run_soak",
+    "soak_cell",
+    "DEFAULT_TENANTS", "Arrival", "ArrivalSpec", "TenantSpec",
+    "capacity_qps", "generate_arrivals", "parse_arrival_spec",
+    "parse_tenants",
 ]

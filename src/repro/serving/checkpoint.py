@@ -10,18 +10,34 @@ timeline — resuming from a checkpoint replays the remaining units and
 reassembles output **byte-identical** to an uninterrupted run: the
 completed units' results are spliced back in verbatim (JSON
 round-tripping preserves key order and numeric values exactly).
+
+Two hardening layers on top of the matrix digest:
+
+* the generated :class:`~repro.faults.plan.FaultPlan` digest is
+  embedded alongside it, so a resume refuses a checkpoint whose fault
+  plan no longer matches what the current invocation would generate —
+  the matrix digest covers the plan's *parameters*, the plan digest
+  covers its *contents*;
+* ``keep=N`` retains the N most recent checkpoint **generations** as
+  ``<path>.<seq>`` files next to the always-current ``<path>``,
+  pruning older generations only after the newer write is durable.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 
 from repro.errors import CheckpointError
 from repro.obs.export import write_json
 
 CHECKPOINT_KIND = "serve-checkpoint"
 CHECKPOINT_VERSION = 1
+
+#: Sentinel distinguishing "caller did not ask" from "caller expects
+#: no fault plan" in :func:`load_checkpoint`.
+_UNCHECKED = object()
 
 
 def matrix_digest(jobs_canonical, policy_canonical: dict) -> str:
@@ -34,14 +50,21 @@ def matrix_digest(jobs_canonical, policy_canonical: dict) -> str:
 class Checkpointer:
     """Accumulates unit results and persists them atomically."""
 
-    def __init__(self, path, digest: str, every: int = 1):
+    def __init__(self, path, digest: str, every: int = 1,
+                 keep: int | None = None,
+                 fault_plan_digest: str | None = None):
         if every < 1:
             raise CheckpointError("checkpoint interval must be >= 1")
+        if keep is not None and keep < 1:
+            raise CheckpointError("checkpoint keep count must be >= 1")
         self.path = path
         self.digest = digest
         self.every = every
+        self.keep = keep
+        self.fault_plan_digest = fault_plan_digest
         self.units: dict = {}
         self._since_flush = 0
+        self._generation = 0
 
     def record(self, key: str, unit_doc: dict) -> None:
         """Store one finished unit; flush per the write interval."""
@@ -53,23 +76,55 @@ class Checkpointer:
     def flush(self) -> None:
         if self.path is None:
             return
-        write_json(self.path, {
+        document = {
             "tool": "anaheim-repro",
             "kind": CHECKPOINT_KIND,
             "version": CHECKPOINT_VERSION,
             "matrix_digest": self.digest,
+            "fault_plan_digest": self.fault_plan_digest,
             "units": self.units,
-        })
+        }
+        write_json(self.path, document)
+        if self.keep is not None:
+            self._generation += 1
+            write_json(f"{self.path}.{self._generation:06d}", document)
+            self._prune()
         self._since_flush = 0
 
+    def _prune(self) -> None:
+        """Drop generation files beyond ``keep``, oldest first.
 
-def load_checkpoint(path, expected_digest: str | None = None) -> dict:
+        Only runs after the newest generation is durably on disk, so a
+        crash mid-prune can only leave *extra* generations behind.
+        """
+        base = os.path.basename(str(self.path))
+        directory = os.path.dirname(str(self.path)) or "."
+        generations = []
+        for name in os.listdir(directory):
+            if not name.startswith(base + "."):
+                continue
+            suffix = name[len(base) + 1:]
+            if suffix.isdigit():
+                generations.append((int(suffix), name))
+        generations.sort()
+        for _, name in generations[:-self.keep]:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass                     # a racing prune already won
+
+
+def load_checkpoint(path, expected_digest: str | None = None,
+                    expected_fault_digest=_UNCHECKED) -> dict:
     """Completed units from a checkpoint file, validated for resume.
 
     Raises :class:`CheckpointError` (one line) on unreadable/truncated
-    files, on documents that are not serve checkpoints, and on a
-    digest mismatch — resuming a checkpoint into a *different* job
-    matrix or policy would silently mix incompatible results.
+    files, on documents that are not serve checkpoints, on a digest
+    mismatch — resuming a checkpoint into a *different* job matrix or
+    policy would silently mix incompatible results — and, when the
+    caller passes ``expected_fault_digest``, on a checkpoint whose
+    embedded fault-plan digest differs from the plan the current
+    invocation generates.
     """
     try:
         with open(path) as fh:
@@ -92,6 +147,12 @@ def load_checkpoint(path, expected_digest: str | None = None) -> dict:
         raise CheckpointError(
             f"checkpoint {path} was recorded for a different job "
             f"matrix/policy (digest mismatch); refusing to resume")
+    if expected_fault_digest is not _UNCHECKED \
+            and document.get("fault_plan_digest") != expected_fault_digest:
+        raise CheckpointError(
+            f"checkpoint {path} embeds fault-plan digest "
+            f"{document.get('fault_plan_digest')!r} but this invocation "
+            f"generates {expected_fault_digest!r}; refusing to resume")
     units = document.get("units")
     if not isinstance(units, dict):
         raise CheckpointError(f"checkpoint {path} carries no unit table")

@@ -74,6 +74,16 @@ class ServePolicy:
     #: field the functional campaign reports is omitted.
     record_wall: bool = False
 
+    def fault_plan_digest(self) -> str | None:
+        """Digest of the fault plan attached to run/bench units, if
+        any — embedded in checkpoints so a resume refuses state
+        recorded under a different plan."""
+        if self.fault_seed is None:
+            return None
+        from repro.faults.plan import default_plan
+        return default_plan(seed=self.fault_seed, scale=self.fault_scale,
+                            stuck_sites=self.stuck_sites).digest()
+
     def canonical(self) -> dict:
         return {
             "seed": self.seed,
@@ -120,6 +130,10 @@ class JobSpec:
     kind: str                    # "run" | "bench" | "faults"
     workloads: tuple = ()        # run/bench units; faults analytic target
     layers: tuple = ()           # faults: ("functional", "analytic")
+    #: The admission layer's re-lowering wire: a job dispatched in
+    #: brownout GPU_ONLY mode executes without PIM offload from its
+    #: first unit, exactly as if an earlier unit had degraded.
+    degraded_start: bool = False
 
     def units(self, seeds) -> list:
         if self.kind == "faults":
@@ -132,7 +146,8 @@ class JobSpec:
     def canonical(self) -> dict:
         return {"id": self.id, "kind": self.kind,
                 "workloads": list(self.workloads),
-                "layers": list(self.layers)}
+                "layers": list(self.layers),
+                "degraded_start": self.degraded_start}
 
 
 def parse_job_spec(token: str, index: int) -> JobSpec:
@@ -318,6 +333,7 @@ class JobRunner:
 
     def __init__(self, jobs, policy: ServePolicy, gpu=None, pim=None,
                  library=None, checkpoint_path=None, resume_path=None,
+                 checkpoint_keep: int | None = None,
                  max_units: int | None = None, tracer=None,
                  metrics=None, on_unit=None,
                  clock=time.monotonic,
@@ -358,10 +374,14 @@ class JobRunner:
         self._m = _ServeMetrics(metrics) if metrics is not None else None
         self.digest = matrix_digest([j.canonical() for j in self.jobs],
                                     policy.canonical())
-        completed = (load_checkpoint(resume_path, self.digest)
+        fault_digest = policy.fault_plan_digest()
+        completed = (load_checkpoint(resume_path, self.digest,
+                                     expected_fault_digest=fault_digest)
                      if resume_path else {})
         self.checkpointer = Checkpointer(checkpoint_path, self.digest,
-                                         every=policy.checkpoint_every)
+                                         every=policy.checkpoint_every,
+                                         keep=checkpoint_keep,
+                                         fault_plan_digest=fault_digest)
         self.checkpointer.units.update(completed)
         self.resumed_units = len(completed)
         self._fresh_units = 0
@@ -553,11 +573,37 @@ class JobRunner:
         """
         if job.kind == "faults":
             return False
+        if job.degraded_start:
+            return True
         for doc in unit_docs.values():
             result = doc.get("result") or {}
             if result.get("end_state") in _DEGRADED_END_STATES:
                 return True
         return False
+
+    def _check_deadline(self, job: JobSpec, started: float) -> bool:
+        """True iff ``job``'s serve deadline has passed.
+
+        The single seam for both execution paths: counts the event,
+        and raises :class:`DeadlineError` when deadlines are fatal.
+        """
+        deadline = self.policy.deadline_s
+        if deadline is None or self.clock() - started <= deadline:
+            return False
+        if self.tracer is not None:
+            self.tracer.count("serve.deadline_exceeded")
+        if self.deadline_fatal:
+            raise DeadlineError(
+                f"job {job.id} exceeded its {deadline}s deadline")
+        return True
+
+    def _skip_deadline(self, job: JobSpec, unit: str,
+                       unit_docs: dict) -> None:
+        """Record ``unit`` as deadline-skipped and notify."""
+        unit_docs[unit] = {"status": "deadline-skipped"}
+        if self._m is not None:
+            self._m.deadline_skips.inc()
+        self._notify(job, unit, unit_docs[unit], fresh=False)
 
     def _assemble_job(self, job: JobSpec, unit_docs: dict,
                       status: str) -> dict:
@@ -665,21 +711,10 @@ class JobRunner:
                     fresh = fresh[:budget]
             pending = list(fresh)
             while pending:
-                if (policy.deadline_s is not None
-                        and self.clock() - started > policy.deadline_s):
-                    if self.tracer is not None:
-                        self.tracer.count("serve.deadline_exceeded")
-                    if self.deadline_fatal:
-                        raise DeadlineError(
-                            f"job {job.id} exceeded its "
-                            f"{policy.deadline_s}s deadline")
+                if self._check_deadline(job, started):
                     status = "deadline-exceeded"
                     for unit, key in pending:
-                        unit_docs[unit] = {"status": "deadline-skipped"}
-                        if self._m is not None:
-                            self._m.deadline_skips.inc()
-                        self._notify(job, unit, unit_docs[unit],
-                                     fresh=False)
+                        self._skip_deadline(job, unit, unit_docs)
                     break
                 degraded = self._job_degraded(job, unit_docs)
                 tasks = [self._unit_task(job, unit, key, degraded)
@@ -740,19 +775,9 @@ class JobRunner:
                         self._m.restored.inc()
                     self._notify(job, unit, stored, fresh=False)
                     continue
-                if (policy.deadline_s is not None
-                        and self.clock() - started > policy.deadline_s):
-                    if self.tracer is not None:
-                        self.tracer.count("serve.deadline_exceeded")
-                    if self.deadline_fatal:
-                        raise DeadlineError(
-                            f"job {job.id} exceeded its "
-                            f"{policy.deadline_s}s deadline")
-                    unit_docs[unit] = {"status": "deadline-skipped"}
+                if self._check_deadline(job, started):
                     status = "deadline-exceeded"
-                    if self._m is not None:
-                        self._m.deadline_skips.inc()
-                    self._notify(job, unit, unit_docs[unit], fresh=False)
+                    self._skip_deadline(job, unit, unit_docs)
                     continue
                 if (self.max_units is not None
                         and self._fresh_units >= self.max_units):

@@ -1,0 +1,264 @@
+"""Admission control: buckets, bounded queues, shedding, brownout."""
+
+import pytest
+
+from repro.errors import AdmissionError, ParameterError, ReproError
+from repro.serving.admission import (AdmissionController, AdmissionPolicy,
+                                     BoundedQueue, CostModel, QueueItem,
+                                     TokenBucket)
+from repro.serving.health import DegradationState, HealthMonitor
+from repro.serving.traffic import Arrival, TenantSpec
+
+MODEL = CostModel({"Boot": {"pim": 0.1, "gpu": 0.2}})
+
+TENANTS = (
+    TenantSpec(name="gold", priority=0, deadline_s=0.5,
+               mix=(("run", "Boot", 1.0),)),
+    TenantSpec(name="bulk", priority=2, deadline_s=None, rate_qps=2.0,
+               burst=1, mix=(("run", "Boot", 1.0),)),
+)
+
+
+def arrival(index=0, t_s=0.0, tenant="gold", priority=0,
+            deadline_s=0.5) -> Arrival:
+    return Arrival(index=index, t_s=t_s, tenant=tenant, kind="run",
+                   workload="Boot", priority=priority,
+                   deadline_s=deadline_s)
+
+
+def controller(policy=None, health=None, tenants=TENANTS,
+               metrics=None) -> AdmissionController:
+    return AdmissionController(policy or AdmissionPolicy(),
+                               MODEL, tenants, health=health,
+                               metrics=metrics)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate_qps=1.0, burst=2)
+        assert bucket.allow(0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)        # burst spent
+        assert bucket.allow(1.0)            # one token back after 1s
+        assert not bucket.allow(1.0)
+
+    def test_uncapped(self):
+        bucket = TokenBucket(rate_qps=None)
+        assert all(bucket.allow(0.0) for _ in range(100))
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate_qps=1.0, burst=1)
+        assert bucket.allow(5.0)
+        assert not bucket.allow(4.0)        # stale clock: no refill
+        assert bucket.allow(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TokenBucket(rate_qps=0.0)
+        with pytest.raises(ParameterError):
+            TokenBucket(rate_qps=1.0, burst=0)
+
+
+class TestBoundedQueue:
+    def item(self, priority, seq, cost=0.1):
+        return QueueItem(arrival=arrival(index=seq, priority=priority,
+                                         deadline_s=None),
+                         seq=seq, enqueued_s=0.0, cost_s=cost)
+
+    def test_pop_order_priority_then_fifo(self):
+        queue = BoundedQueue(cap=8)
+        for priority, seq in ((2, 0), (0, 1), (1, 2), (0, 3)):
+            queue.push(self.item(priority, seq))
+        order = [queue.pop().seq for _ in range(4)]
+        assert order == [1, 3, 2, 0]
+
+    def test_full_raises_one_line_admission_error(self):
+        queue = BoundedQueue(cap=1)
+        queue.push(self.item(0, 0))
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.push(self.item(0, 1))
+        assert "\n" not in str(excinfo.value)
+
+    def test_shed_removes_lowest_priority_newest_first(self):
+        queue = BoundedQueue(cap=8, high_watermark=4, low_watermark=2)
+        for priority, seq in ((0, 0), (1, 1), (2, 2), (2, 3)):
+            queue.push(self.item(priority, seq))
+        victims = [v.seq for v in queue.shed_to_low_watermark()]
+        assert victims == [3, 2]
+        assert queue.depth == 2
+
+    def test_backlog_and_peak(self):
+        queue = BoundedQueue(cap=4)
+        queue.push(self.item(0, 0, cost=0.2))
+        queue.push(self.item(0, 1, cost=0.3))
+        assert queue.backlog_s() == pytest.approx(0.5)
+        queue.pop()
+        assert queue.peak_depth == 2
+
+    def test_watermark_validation(self):
+        with pytest.raises(ParameterError):
+            BoundedQueue(cap=0)
+        with pytest.raises(ParameterError):
+            BoundedQueue(cap=4, high_watermark=5)
+        with pytest.raises(ParameterError):
+            BoundedQueue(cap=4, high_watermark=2, low_watermark=2)
+
+    def test_pop_empty(self):
+        with pytest.raises(ReproError):
+            BoundedQueue(cap=1).pop()
+
+
+class TestCostModel:
+    def test_mode_selects_cost(self):
+        assert MODEL.cost("run", "Boot", "pim") == 0.1
+        assert MODEL.cost("run", "Boot", "gpu") == 0.2
+
+    def test_unknown_workload(self):
+        with pytest.raises(ParameterError, match="Sort"):
+            MODEL.cost("run", "Sort")
+
+    def test_empty_model(self):
+        with pytest.raises(ParameterError):
+            CostModel({})
+
+
+class TestAdmission:
+    def test_admit_enqueues(self):
+        ctl = controller()
+        ctl.admit(arrival(), 0.0)
+        assert ctl.queue.depth == 1
+
+    def test_rate_limited_tenant_rejected(self):
+        ctl = controller()
+        ctl.admit(arrival(index=0, tenant="bulk", priority=2,
+                          deadline_s=None), 0.0)
+        with pytest.raises(AdmissionError, match="rate-limited") as exc:
+            ctl.admit(arrival(index=1, tenant="bulk", priority=2,
+                              deadline_s=None), 0.0)
+        assert "\n" not in str(exc.value)
+
+    def test_queue_full_rejected(self):
+        ctl = controller(AdmissionPolicy(queue_cap=2, high_watermark=2,
+                                         low_watermark=1,
+                                         shed_policy="none"))
+        for index in range(2):
+            ctl.admit(arrival(index=index, deadline_s=None), 0.0)
+        with pytest.raises(AdmissionError, match="queue full"):
+            ctl.admit(arrival(index=2, deadline_s=None), 0.0)
+
+    def test_deadline_infeasible_rejected_at_the_door(self):
+        ctl = controller()
+        # Server backlog alone pushes predicted completion past 0.5s.
+        with pytest.raises(AdmissionError, match="deadline") as exc:
+            ctl.admit(arrival(), 0.0, server_backlog_s=1.0)
+        assert "\n" not in str(exc.value)
+        assert ctl.queue.depth == 0         # rejected before enqueue
+
+    def test_queue_backlog_counts_toward_prediction(self):
+        ctl = controller()
+        for index in range(5):              # 0.5s queued ahead
+            ctl.admit(arrival(index=index, deadline_s=None), 0.0)
+        with pytest.raises(AdmissionError, match="deadline"):
+            ctl.admit(arrival(index=9), 0.0)
+
+    def test_offer_records_decisions(self):
+        ctl = controller()
+        ctl.offer(arrival(index=0), 0.0)
+        ctl.offer(arrival(index=1), 0.0, server_backlog_s=5.0)
+        assert [d["decision"] for d in ctl.decisions] == \
+            ["admitted", "rejected"]
+        assert ctl.decisions[1]["reason"] == "deadline-infeasible"
+        assert ctl.counts["admitted"] == 1
+        assert ctl.counts["deadline-infeasible"] == 1
+
+    def test_watermark_shedding_on_offer(self):
+        policy = AdmissionPolicy(queue_cap=4, high_watermark=3,
+                                 low_watermark=1)
+        ctl = controller(policy)
+        for index in range(3):
+            ctl.offer(arrival(index=index, deadline_s=None,
+                              priority=index), 0.0)
+        assert ctl.queue.depth == 1         # shed back to the low mark
+        assert ctl.shed_counts["watermark"] == 2
+        shed = [d for d in ctl.decisions if d["decision"] == "shed"]
+        assert [d["index"] for d in shed] == [2, 1]
+
+    def test_shed_policy_none_keeps_the_queue(self):
+        policy = AdmissionPolicy(queue_cap=4, high_watermark=3,
+                                 low_watermark=1, shed_policy="none")
+        ctl = controller(policy)
+        for index in range(4):
+            ctl.offer(arrival(index=index, deadline_s=None), 0.0)
+        assert ctl.queue.depth == 4
+        assert ctl.shed_counts["watermark"] == 0
+
+    def test_unknown_shed_policy(self):
+        with pytest.raises(ParameterError, match="shed"):
+            controller(AdmissionPolicy(shed_policy="random"))
+
+
+class TestBrownout:
+    def policy(self):
+        return AdmissionPolicy(queue_cap=8, high_watermark=6,
+                               low_watermark=2, brownout_after=3,
+                               brownout_deadline_factor=2.0)
+
+    def hot_controller(self, health):
+        ctl = controller(self.policy(), health=health)
+        # Sustained pressure: keep the depth at/above the low watermark.
+        for index in range(20):
+            ctl.offer(arrival(index=index, deadline_s=None), 0.0)
+        return ctl
+
+    def test_sustained_pressure_escalates(self):
+        health = HealthMonitor()
+        self.hot_controller(health)
+        assert health.state is DegradationState.GPU_ONLY
+        reasons = [event["reason"] for event in health.events]
+        assert any("brownout" in reason for reason in reasons)
+
+    def test_deadline_widening_tracks_the_level(self):
+        health = HealthMonitor()
+        ctl = controller(self.policy(), health=health)
+        assert ctl.effective_deadline(arrival()) == pytest.approx(0.5)
+        health.escalate(DegradationState.PIM_DEGRADED, 0.0, "test")
+        assert ctl.effective_deadline(arrival()) == pytest.approx(1.0)
+        health.escalate(DegradationState.GPU_ONLY, 0.0, "test")
+        assert ctl.effective_deadline(arrival()) == pytest.approx(2.0)
+        assert ctl.mode == "gpu"
+
+    def test_light_load_never_browns_out(self):
+        health = HealthMonitor()
+        ctl = controller(self.policy(), health=health)
+        for index in range(20):             # queue drained every time
+            ctl.offer(arrival(index=index, deadline_s=None), 0.0)
+            ctl.queue.pop()
+        assert health.state is DegradationState.HEALTHY
+        assert ctl.mode == "pim"
+
+    def test_no_health_monitor_is_fine(self):
+        ctl = self.hot_controller(None)
+        assert ctl.mode == "pim"
+        assert ctl.deadline_factor() == 1.0
+
+
+class TestMetrics:
+    def test_admission_families_recorded(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        ctl = controller(AdmissionPolicy(queue_cap=4, high_watermark=3,
+                                         low_watermark=1),
+                         metrics=registry)
+        for index in range(3):
+            ctl.offer(arrival(index=index, deadline_s=None), 0.0)
+        ctl.offer(arrival(index=3), 0.0, server_backlog_s=9.0)
+        ctl.record_wait(0.05)
+        assert registry.get("anaheim_admission_total").value(
+            decision="admitted") == 3
+        assert registry.get("anaheim_admission_total").value(
+            decision="deadline-infeasible") == 1
+        assert registry.get("anaheim_shed_total").value(
+            reason="watermark") == 2
+        assert registry.get("anaheim_queue_depth_peak").value() == 3
+        wait = registry.get("anaheim_queue_wait_seconds")
+        assert wait.snapshot_samples()[0]["count"] == 1

@@ -99,6 +99,110 @@ def test_interval_validation():
         Checkpointer(None, DIGEST, every=0)
 
 
+class TestFaultPlanDigest:
+    def test_embedded_and_validated(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpointer(path, DIGEST,
+                     fault_plan_digest="f" * 64).record("a", {})
+        assert json.loads(path.read_text())["fault_plan_digest"] == \
+            "f" * 64
+        assert "a" in load_checkpoint(path, DIGEST,
+                                      expected_fault_digest="f" * 64)
+
+    def test_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpointer(path, DIGEST,
+                     fault_plan_digest="f" * 64).record("a", {})
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, DIGEST, expected_fault_digest="0" * 64)
+        assert "\n" not in str(excinfo.value)
+        assert "fault-plan" in str(excinfo.value)
+
+    def test_none_vs_plan_mismatch_both_ways(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpointer(path, DIGEST).record("a", {})   # no plan attached
+        assert "a" in load_checkpoint(path, DIGEST,
+                                      expected_fault_digest=None)
+        with pytest.raises(CheckpointError, match="fault-plan"):
+            load_checkpoint(path, DIGEST, expected_fault_digest="f" * 64)
+
+    def test_caller_who_does_not_ask_is_not_checked(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpointer(path, DIGEST,
+                     fault_plan_digest="f" * 64).record("a", {})
+        assert "a" in load_checkpoint(path, DIGEST)
+
+    def test_runner_refuses_mismatched_plan(self, tmp_path):
+        """End to end: a checkpoint whose recorded fault plan drifted
+        from what the resuming policy generates is refused.  (A changed
+        fault_seed already trips the matrix-digest guard; this guard
+        catches the plan itself changing under an unchanged policy.)"""
+        from repro.serving.jobs import JobRunner, JobSpec, ServePolicy
+
+        path = tmp_path / "serve.ckpt.json"
+        jobs = [JobSpec(id="0-run", kind="run", workloads=("Boot",))]
+
+        class NoopRunner(JobRunner):
+            def _execute_unit(self, job, unit, degraded):
+                return {"unit": unit}
+
+        policy = ServePolicy(fault_seed=1)
+        NoopRunner(jobs, policy, checkpoint_path=path).run()
+        document = json.loads(path.read_text())
+        assert document["fault_plan_digest"] == policy.fault_plan_digest()
+        document["fault_plan_digest"] = "0" * 64
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="fault-plan"):
+            NoopRunner(jobs, policy, resume_path=path)
+        # untampered, the same resume is accepted
+        document["fault_plan_digest"] = policy.fault_plan_digest()
+        path.write_text(json.dumps(document))
+        NoopRunner(jobs, policy, resume_path=path)
+
+
+class TestGenerations:
+    def unit(self, n):
+        return {"status": "ok", "n": n}
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = Checkpointer(path, DIGEST, keep=2)
+        for n in range(5):
+            ckpt.record(f"u{n}", self.unit(n))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ck.json", "ck.json.000004", "ck.json.000005"]
+        # the latest pointer and the newest generation agree
+        assert path.read_text() == (tmp_path / "ck.json.000005").read_text()
+
+    def test_every_generation_is_loadable(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = Checkpointer(path, DIGEST, keep=3)
+        for n in range(3):
+            ckpt.record(f"u{n}", self.unit(n))
+        for generation in (1, 2, 3):
+            units = load_checkpoint(f"{path}.{generation:06d}", DIGEST)
+            assert len(units) == generation
+
+    def test_no_keep_means_no_generations(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpointer(path, DIGEST).record("a", {"status": "ok"})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_keep_validation(self):
+        with pytest.raises(CheckpointError):
+            Checkpointer(None, DIGEST, keep=0)
+
+    def test_unrelated_suffixes_survive_pruning(self, tmp_path):
+        path = tmp_path / "ck.json"
+        (tmp_path / "ck.json.bak").write_text("{}")
+        ckpt = Checkpointer(path, DIGEST, keep=1)
+        ckpt.record("a", {"status": "ok"})
+        ckpt.record("b", {"status": "ok"})
+        assert (tmp_path / "ck.json.bak").exists()
+        assert not (tmp_path / "ck.json.000001").exists()
+        assert (tmp_path / "ck.json.000002").exists()
+
+
 def test_checkpoint_writes_are_atomic(tmp_path, monkeypatch):
     """A kill mid-flush leaves the previous checkpoint readable."""
     from repro.obs import export

@@ -213,6 +213,16 @@ class TestDegradationCarryOver:
         assert runner.calls == [("0-run:Boot", False),
                                 ("1-run:HELR", False)]
 
+    def test_degraded_start_skips_straight_to_gpu(self):
+        """A brownout decision made at admission time (``degraded_start``)
+        dispatches every unit degraded from the first."""
+        jobs = [JobSpec(id="0-run", kind="run", workloads=("Boot", "HELR"),
+                        degraded_start=True)]
+        runner = StubRunner(jobs, ServePolicy())
+        runner.run()
+        assert runner.calls == [("0-run:Boot", True),
+                                ("0-run:HELR", True)]
+
     def test_carry_over_survives_resume(self, tmp_path):
         """The degradation signal rides in the checkpointed docs."""
         ckpt = tmp_path / "ck.json"

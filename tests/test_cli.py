@@ -351,9 +351,74 @@ class TestTopCommand:
         assert "(restored 2)" in out
 
     def test_top_without_jobs_errors(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["top"])
+        assert main(["top"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestOverloadCommands:
+    def test_serve_arrivals_json_conserves_offered_jobs(self, capsys):
+        assert main(["serve", "--arrivals", "poisson:64",
+                     "--duration", "0.5", "--seeds", "0",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        summary = doc["admission"]["summary"]
+        assert summary["offered"] == summary["admitted"] \
+            + summary["rejected_total"]
+        assert summary["admitted"] == summary["completed"] \
+            + summary["shed_total"]
+        assert len(doc["jobs"]) == summary["completed"]
+
+    def test_serve_arrivals_table_prints_queue_picture(self, capsys):
+        assert main(["serve", "--arrivals", "poisson:64",
+                     "--duration", "0.5", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "admission: offered" in out
+        assert "queue: peak depth" in out
+        assert "goodput" in out
+
+    def test_soak_json_gates_green(self, capsys):
+        assert main(["soak", "--duration", "0.5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gate"]["passed"]
+        assert len(doc["cells"]) == 6       # 3 loads x 2 chaos kinds
+
+    def test_soak_table(self, capsys):
+        assert main(["soak", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "soak: capacity" in out
+        assert "brownout" in out
+        assert "gate: PASS" in out
+
+    def test_soak_bad_chaos_kind(self, capsys):
+        assert main(["soak", "--chaos", "meteor"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_bench_overload_write_then_check(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "overload", "--dir",
+                     str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_overload.json").exists()
+        assert main(["bench", "--workload", "overload", "--dir",
+                     str(tmp_path), "--check"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_bench_overload_perturbed_baseline_fails(self, capsys,
+                                                     tmp_path):
+        assert main(["bench", "--workload", "overload", "--dir",
+                     str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_overload.json"
+        doc = json.loads(path.read_text())
+        doc["metrics"]["goodput_qps"] *= 1.10
+        path.write_text(json.dumps(doc))
+        assert main(["bench", "--workload", "overload", "--dir",
+                     str(tmp_path), "--check"]) == 1
+        assert "goodput_qps" in capsys.readouterr().out
+
+    def test_top_arrivals_shows_queue_columns(self, capsys):
+        assert main(["top", "--arrivals", "poisson:64",
+                     "--duration", "0.5", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "admission: offered" in out
+        assert "queue: peak depth" in out
 
 
 class TestBenchHistory:
