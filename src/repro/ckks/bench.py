@@ -19,19 +19,10 @@ import time
 import numpy as np
 
 from repro.ckks import instrument
-from repro.ckks.bootstrap import Bootstrapper
-from repro.ckks.evaluator import CkksEvaluator
-from repro.ckks.keys import KeyGenerator
+from repro.ckks.fixture import BENCH_PARAMS, bootstrap_fixture
 from repro.ckks.keyswitch import key_switch
 from repro.ckks.ntt import NttContext
 from repro.ckks.rns import batch_ntt_context
-from repro.params import CkksParams
-
-#: Parameter set for the functional benchmarks — identical to the
-#: bootstrap test fixture so the timings track what the tier-1 suite
-#: actually exercises.
-BENCH_PARAMS = dict(degree=2 ** 7, level_count=15, aux_count=4,
-                    prime_bits=28, base_prime_bits=31)
 
 #: NTT transforms per timing trial; one transform of a (19, 128) limb
 #: matrix is microseconds, far below timer resolution.
@@ -55,11 +46,8 @@ def run_functional_bench(repeats: int = 3, tracer=None) -> dict:
     ``counters`` record batched-NTT calls, scratch reuse, and cache
     hits alongside the wall-clock metrics.
     """
-    params = CkksParams.create(**BENCH_PARAMS)
-    keygen = KeyGenerator(params, seed=11)
-    keys = keygen.generate(sparse_secret=True)
-    ev = CkksEvaluator(params, keys)
-    bts = Bootstrapper(ev, keygen)
+    fx = bootstrap_fixture()
+    params, keys, ev, bts = fx.params, fx.keys, fx.ev, fx.bts
 
     full_basis = tuple(params.moduli) + tuple(params.aux_moduli)
     rng = np.random.default_rng(7)
@@ -89,13 +77,10 @@ def run_functional_bench(repeats: int = 3, tracer=None) -> dict:
     def one_key_switch():
         key_switch(ct.a, keys.relin, ev.decomp)
 
-    # End-to-end bootstrap from the lowest level.  The first call is an
-    # untimed warmup: it generates the CtS/StC rotation keys and fills
-    # the diagonal-plaintext caches, which is one-time setup cost.
-    m = 0.3 * (rng.normal(size=params.slot_count)
-               + 1j * rng.normal(size=params.slot_count))
-    ct_low = ev.drop_to_basis(ev.encrypt_message(m),
-                              tuple(params.moduli[:1]))
+    # End-to-end bootstrap from the lowest level.  The fixture's
+    # construction already ran the untimed warmup (CtS/StC rotation
+    # keys, diagonal-plaintext caches — one-time setup cost).
+    ct_low = fx.ct_low
     refreshed = bts.bootstrap(ct_low)
 
     old_tracer = instrument.get_tracer()
@@ -114,11 +99,10 @@ def run_functional_bench(repeats: int = 3, tracer=None) -> dict:
     metrics["ntt_batch_speedup"] = (metrics["ntt_forward_reference_s"]
                                     / metrics["ntt_forward_batched_s"])
 
-    dec = ev.decrypt_message(refreshed, params.slot_count)
     return {
         "metrics": metrics,
         "counters": dict(tracer.counters) if tracer is not None else {},
-        "precision_max_err": float(np.abs(dec - m).max()),
+        "precision_max_err": fx.decrypt_error(refreshed),
         "config": {"params": dict(BENCH_PARAMS), "repeats": repeats,
                    "ntt_loops": NTT_LOOPS,
                    "limb_count": len(full_basis)},

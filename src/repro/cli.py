@@ -27,7 +27,7 @@ from repro.core.framework import AnaheimFramework
 from repro.core.gantt import render_breakdown, render_gantt
 from repro.core.scheduler import ScheduleReport, Segment
 from repro.core.trace import OpCategory, PimKernel
-from repro.errors import ReproError
+from repro.errors import ParameterError, ReproError
 from repro.gpu.configs import A100_80GB, LIBRARIES, RTX_4090
 from repro.obs.baseline import (append_history, baseline_metrics,
                                 baseline_path, check_baseline,
@@ -446,6 +446,10 @@ def _bench_history(args) -> int:
                          "ntt_batch_speedup")
     elif args.workload == "parallel":
         trend_metrics = ("throughput_speedup", "serial_s", "makespan_s")
+    elif args.workload == "ras":
+        trend_metrics = ("corrected", "uncorrected", "overhead")
+    elif args.workload == "overload":
+        trend_metrics = ("goodput_qps", "shed_rate", "reject_rate")
     else:
         trend_metrics = ("total_time", "energy", "edp")
     print(f"bench history: {args.workload} ({len(entries)} run(s))")
@@ -462,6 +466,8 @@ def cmd_bench(args) -> int:
         return _bench_parallel(args)
     if args.workload == "overload":
         return _bench_overload(args)
+    if args.workload == "ras":
+        return _bench_ras(args)
     built = _bench_framework(args)
     if built is None:
         return 1
@@ -588,6 +594,194 @@ def cmd_faults(args) -> int:
     return 0 if gate_ok else 1
 
 
+def _ras_base(args):
+    from repro.dram.reliability import ReliabilityConfig
+    return ReliabilityConfig(seed=args.seed)
+
+
+def _ras_smoke(args) -> int:
+    """Gating end-to-end memory-RAS check (``ras --smoke``).
+
+    Runs the default RAS matrix twice — serially and across a worker
+    pool — with wall clocks off, and asserts the documents and metric
+    digests are byte-identical; that the gate passed with zero
+    uncorrected errors in the default cell; that the scrubber and ECC
+    actually engaged; and that scrub overhead stayed under the bound.
+    """
+    from repro.faults.ras_campaign import run_ras_matrix
+
+    base = _ras_base(args)
+    workers = args.workers if args.workers > 1 else 4
+
+    def one_run(n_workers, registry):
+        return run_ras_matrix(base=base, workload=args.workload,
+                              functional=True, record_wall=False,
+                              metrics=registry, workers=n_workers,
+                              threads=args.threads)
+
+    serial_metrics = MetricsRegistry()
+    pool_metrics = MetricsRegistry()
+    serial_doc = one_run(1, serial_metrics)
+    pool_doc = one_run(workers, pool_metrics)
+    cell = serial_doc["default_cell"]
+    ras = cell["ras"]
+    failures = []
+    if json.dumps(serial_doc, sort_keys=True) \
+            != json.dumps(pool_doc, sort_keys=True):
+        failures.append(f"document differs between --workers 1 and "
+                        f"--workers {workers}")
+    if serial_metrics.digest() != pool_metrics.digest():
+        failures.append(f"metrics digest differs between --workers 1 "
+                        f"and --workers {workers}")
+    if not serial_doc["gate"]["passed"]:
+        for violation in serial_doc["gate"]["violations"]:
+            failures.append(f"gate violation: {violation}")
+    if ras["uncorrected"] != 0:
+        failures.append(f"default cell left {ras['uncorrected']} "
+                        f"uncorrected error(s)")
+    if ras["corrected"] == 0:
+        failures.append("ECC never corrected anything; the retention "
+                        "model did not engage")
+    if sum(ras["scrub_passes"].values()) == 0:
+        failures.append("the scrubber never ran a pass")
+    if cell["overhead"] >= serial_doc["gate"]["overhead_bound"]:
+        failures.append(f"scrub overhead {cell['overhead']:.4f} over "
+                        f"bound {serial_doc['gate']['overhead_bound']}")
+    if failures:
+        for failure in failures:
+            print(f"ras smoke: {failure}")
+        print("ras smoke: FAIL")
+        return 1
+    print(f"ras smoke: PASS ({ras['errors_total']} errors: "
+          f"{ras['corrected']} corrected, {ras['detected']} detected, "
+          f"{ras['escaped']} escaped, 0 uncorrected; "
+          f"{sum(ras['scrub_passes'].values())} scrub pass(es), "
+          f"overhead {cell['overhead']:.2%}; documents and metric "
+          f"digests identical for workers 1 and {workers}; "
+          f"digest {serial_metrics.digest()[:12]})")
+    return 0
+
+
+def cmd_ras(args) -> int:
+    from repro.faults.ras_campaign import (ras_baseline_metrics,
+                                           run_ras_matrix)
+    from repro.parallel import set_threads
+
+    if args.smoke:
+        return _ras_smoke(args)
+    set_threads(args.threads)
+    rates = _parse_positive_floats(args.retention_rates,
+                                   "--retention-rates")
+    intervals = _parse_positive_floats(args.scrub_intervals,
+                                       "--scrub-intervals")
+    base = _ras_base(args)
+    result = run_ras_matrix(
+        retention_rates=rates, scrub_intervals=intervals, base=base,
+        workload=args.workload, functional=args.layer == "both",
+        record_wall=not args.no_wall, workers=args.workers,
+        threads=args.threads)
+    gate_ok = result["gate"]["passed"]
+
+    if args.manifest:
+        _write_artifact(args.manifest, result, "manifest",
+                        quiet=args.json)
+    if args.check or args.write_baseline:
+        if base.retention_rate not in rates \
+                or base.scrub_interval_s not in intervals:
+            print("error: baseline metrics come from the default cell; "
+                  "the sweep must include the default retention rate "
+                  "and scrub interval", file=sys.stderr)
+            return 1
+        metrics = ras_baseline_metrics(result)
+    if args.check:
+        path = baseline_path(args.dir, "ras")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro ras "
+                  f"--write-baseline` first")
+            return 2
+        baseline = load_baseline(args.dir, "ras")
+        regressions = check_baseline_metrics(baseline, metrics,
+                                             tolerance=args.tolerance)
+        if regressions:
+            print(f"ras: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"ras: all metrics within ±{args.tolerance:.0%} of {path}")
+        return 0 if gate_ok else 1
+    if args.write_baseline:
+        path = write_baseline_metrics(
+            args.dir, "ras", metrics,
+            config={"seed": args.seed, "workload": args.workload,
+                    "retention_rates": list(rates),
+                    "scrub_intervals": list(intervals),
+                    "config_digest": base.digest()})
+        append_history(args.dir, "ras", metrics,
+                       config={"seed": args.seed,
+                               "workload": args.workload})
+        print(f"wrote baseline {path}")
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if gate_ok else 1
+
+    rows = []
+    for cell in result["cells"]:
+        ras = cell["ras"]
+        rows.append([f"{cell['retention_rate']:g}",
+                     f"{cell['scrub_interval_s']:g}",
+                     ras["errors_total"], ras["corrected"],
+                     ras["detected"], ras["escaped"],
+                     ras["uncorrected"],
+                     sum(ras["scrub_passes"].values()),
+                     sum(ras["remaps"].values()),
+                     f"{cell['overhead']:.2%}"])
+    print(format_table(
+        ["rate/s", "scrub s", "errors", "corrected", "detected",
+         "escaped", "uncorr", "scrubs", "remaps", "overhead"],
+        rows, title=f"memory RAS matrix: workload {args.workload}, "
+                    f"seed {args.seed}"))
+    func = result.get("functional")
+    if func is not None:
+        print(f"functional: {func['events']} retention event(s), "
+              f"{func['ecc_corrected']} ECC-corrected, "
+              f"{func['ecc_detected']} detected, "
+              f"{func['checksum_caught']} escape(s) caught by checksum, "
+              f"max err {func['max_error']:.2e}")
+    print(f"gate: {'PASS' if gate_ok else 'FAIL'} "
+          f"(zero uncorrected errors, default-cell overhead < "
+          f"{result['gate']['overhead_bound']:.0%}, decrypt correct)")
+    return 0 if gate_ok else 1
+
+
+def _parse_positive_float(text, name: str) -> float:
+    """A strictly positive float from a CLI token.
+
+    RAS flags are declared as strings and parsed here so a bad value
+    raises :class:`ParameterError` — one line on stderr and exit 1,
+    not argparse's usage dump.
+    """
+    if text is None:
+        return None
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise ParameterError(f"{name} must be a number, got {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise ParameterError(f"{name} must be positive and finite, "
+                             f"got {text!r}")
+    return value
+
+
+def _parse_positive_floats(text, name: str) -> tuple:
+    """A comma-separated list of strictly positive floats."""
+    tokens = [token.strip() for token in text.split(",") if token.strip()]
+    if not tokens:
+        raise ParameterError(f"{name} must list at least one value, "
+                             f"got {text!r}")
+    return tuple(_parse_positive_float(token, name) for token in tokens)
+
+
 def _serve_policy(args):
     from repro.serving import ServePolicy
     return ServePolicy(
@@ -601,7 +795,11 @@ def _serve_policy(args):
         seeds=tuple(int(s) for s in args.seeds.split(",")),
         fault_seed=args.fault_seed,
         fault_scale=args.scale,
-        stuck_sites=tuple(args.stuck_site or ()))
+        stuck_sites=tuple(args.stuck_site or ()),
+        scrub_interval_s=_parse_positive_float(
+            getattr(args, "scrub_interval", None), "--scrub-interval"),
+        retention_rate=_parse_positive_float(
+            getattr(args, "retention_rate", None), "--retention-rate"))
 
 
 def _admission_policy(args):
@@ -859,6 +1057,60 @@ def _bench_overload(args) -> int:
     path = write_baseline_metrics(args.dir, "overload", metrics,
                                   config=config)
     append_history(args.dir, "overload", metrics, config=config)
+    print(f"wrote baseline {path} ({summary})")
+    return 0
+
+
+def _bench_ras(args) -> int:
+    """Memory-RAS bench: the pinned default-cell reliability numbers.
+
+    Wall clocks are off, so every metric is a pure function of the
+    seed and reproduces exactly under ``bench --check`` on any host.
+    """
+    from repro.dram.reliability import ReliabilityConfig
+    from repro.faults.ras_campaign import (ras_baseline_metrics,
+                                           run_ras_matrix)
+    from repro.parallel import set_threads
+    set_threads(args.threads)
+    gpu = GPUS[args.gpu]
+    pim = None if args.pim == "none" else _pim_for(args.gpu, args.pim)
+    base = ReliabilityConfig()
+    result = run_ras_matrix(base=base, functional=True,
+                            record_wall=False, gpu=gpu, pim=pim,
+                            workers=args.workers, threads=args.threads)
+    if not result["gate"]["passed"]:
+        for violation in result["gate"]["violations"]:
+            print(f"ras: gate violation: {violation}")
+        return 1
+    metrics = ras_baseline_metrics(result)
+    summary = (f"{metrics['errors_total']:.0f} errors, "
+               f"{metrics['corrected']:.0f} corrected, "
+               f"{metrics['uncorrected']:.0f} uncorrected, overhead "
+               f"{metrics['overhead']:.2%}")
+    config = {"config_digest": base.digest(), "gpu": gpu.name,
+              "pim": pim.name if pim else None,
+              "workload": result["workload"]}
+    if args.check:
+        path = baseline_path(args.dir, "ras")
+        if not path.exists():
+            print(f"no baseline at {path}; run `anaheim-repro bench "
+                  f"--workload ras` first")
+            return 2
+        baseline = load_baseline(args.dir, "ras")
+        regressions = check_baseline_metrics(baseline, metrics,
+                                             tolerance=args.tolerance)
+        if regressions:
+            print(f"ras: {len(regressions)} metric(s) outside "
+                  f"±{args.tolerance:.0%} of {path}:")
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"ras: all metrics within ±{args.tolerance:.0%} of "
+              f"{path} ({summary})")
+        return 0
+    path = write_baseline_metrics(args.dir, "ras", metrics,
+                                  config=config)
+    append_history(args.dir, "ras", metrics, config=config)
     print(f"wrote baseline {path} ({summary})")
     return 0
 
@@ -1340,6 +1592,12 @@ def _add_serve_flags(parser) -> None:
                         help="attach a fault plan to run/bench jobs")
     parser.add_argument("--stuck-site", type=int, action="append",
                         help="persistent stuck-at PIM site (repeatable)")
+    parser.add_argument("--scrub-interval", metavar="SECONDS",
+                        help="attach the memory RAS layer with this "
+                             "scrub interval (simulated seconds)")
+    parser.add_argument("--retention-rate", metavar="RATE",
+                        help="attach the memory RAS layer with this "
+                             "retention error rate (errors/s/region)")
     parser.add_argument("--degraded-after", type=int, default=1,
                         help="quarantined sites before PIM_DEGRADED")
     parser.add_argument("--gpu-only-after", type=int, default=3,
@@ -1428,7 +1686,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="write or check a BENCH_<workload>.json baseline")
     _add_target_flags(bench, extra_workloads=("functional", "parallel",
-                                              "overload"))
+                                              "overload", "ras"))
     bench.add_argument("--dir", default=".",
                        help="directory holding baseline files")
     bench.add_argument("--workers", type=int, default=4,
@@ -1498,6 +1756,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the full campaign document as JSON")
     faults.add_argument("--manifest", metavar="FILE",
                         help="write the campaign document to a file")
+
+    ras = sub.add_parser(
+        "ras", help="run the memory RAS campaign matrix (retention "
+                    "rate x scrub interval; nonzero exit on gate fail)")
+    ras.add_argument("--seed", type=int, default=0,
+                     help="reliability model seed (default 0)")
+    ras.add_argument("--workload", default="Boot",
+                     help="analytic workload to guard (default Boot)")
+    ras.add_argument("--retention-rates", default="200,1000,5000",
+                     help="comma-separated retention error rates "
+                          "(errors/s/region) to sweep")
+    ras.add_argument("--scrub-intervals", default="2e-4,1e-3,5e-3",
+                     help="comma-separated scrub intervals (simulated "
+                          "seconds) to sweep")
+    ras.add_argument("--layer", default="both",
+                     choices=["both", "analytic"],
+                     help="run the functional ECC validation cell too "
+                          "(both) or the analytic grid only")
+    ras.add_argument("--no-wall", action="store_true",
+                     help="omit the functional layer's wall-clock "
+                          "field; the document becomes a pure "
+                          "function of the seed and grid")
+    ras.add_argument("--workers", type=int, default=1,
+                     help="worker processes for campaign cells "
+                          "(results byte-identical to --workers 1)")
+    ras.add_argument("--threads", type=int, default=1,
+                     help="kernel threads per worker")
+    ras.add_argument("--dir", default=".",
+                     help="directory holding BENCH_ras.json")
+    ras.add_argument("--write-baseline", action="store_true",
+                     help="record the default-cell metrics as "
+                          "BENCH_ras.json")
+    ras.add_argument("--check", action="store_true",
+                     help="compare against the stored BENCH_ras.json")
+    ras.add_argument("--tolerance", type=float, default=0.02)
+    ras.add_argument("--smoke", action="store_true",
+                     help="gating self-check: serial vs pool documents "
+                          "and metric digests byte-identical, gate "
+                          "passed, zero uncorrected errors, scrub "
+                          "overhead under the bound")
+    ras.add_argument("--json", action="store_true",
+                     help="emit the full campaign document as JSON")
+    ras.add_argument("--manifest", metavar="FILE",
+                     help="write the campaign document to a file")
 
     serve = sub.add_parser(
         "serve", help="execute jobs resiliently: deadlines, retries, "
@@ -1619,7 +1921,7 @@ def main(argv=None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "gantt": cmd_gantt,
                 "microbench": cmd_microbench, "bench": cmd_bench,
                 "profile": cmd_profile, "faults": cmd_faults,
-                "serve": cmd_serve, "metrics": cmd_metrics,
+                "ras": cmd_ras, "serve": cmd_serve, "metrics": cmd_metrics,
                 "top": cmd_top, "soak": cmd_soak}
     try:
         return handlers[args.command](args)

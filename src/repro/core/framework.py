@@ -42,7 +42,8 @@ class AnaheimFramework:
                  fault_plan=None,
                  health=None,
                  breakers=None,
-                 kernel_timeout: float | None = None):
+                 kernel_timeout: float | None = None,
+                 ras_config=None):
         self.gpu = gpu
         self.pim = pim
         self.library = library
@@ -64,9 +65,19 @@ class AnaheimFramework:
         self.health = health
         self.breakers = breakers
         self.kernel_timeout = kernel_timeout
+        #: Memory RAS model (:class:`repro.dram.reliability
+        #: .ReliabilityConfig`).  A fresh :class:`~repro.faults.ras
+        #: .RasEngine` is built per run so every run is a pure function
+        #: of (config, trace) — wear does not leak across runs.
+        self.ras_config = ras_config if pim is not None else None
 
     def _scheduler(self) -> Scheduler:
-        if self.fault_plan is not None:
+        if self.fault_plan is not None or self.ras_config is not None:
+            ras = None
+            if self.ras_config is not None:
+                from repro.faults.ras import RasEngine
+                ras = RasEngine(self.ras_config, timing=self.pim.timing,
+                                tracer=self.tracer, metrics=self.metrics)
             return ResilientScheduler(self.gpu_model, self.pim_executor,
                                       cache=self.cache,
                                       keep_segments=self.keep_segments,
@@ -75,7 +86,8 @@ class AnaheimFramework:
                                       plan=self.fault_plan,
                                       health=self.health,
                                       breakers=self.breakers,
-                                      kernel_timeout=self.kernel_timeout)
+                                      kernel_timeout=self.kernel_timeout,
+                                      ras=ras)
         return Scheduler(self.gpu_model, self.pim_executor,
                          cache=self.cache,
                          keep_segments=self.keep_segments,

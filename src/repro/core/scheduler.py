@@ -154,7 +154,7 @@ class ScheduleReport:
 #: The degradation/breaker blocks are end-of-run state snapshots, kept
 #: verbatim by the first report in a merge.
 _INTENSIVE_FAULT_KEYS = frozenset({"coverage", "plan_digest",
-                                   "degradation", "breakers"})
+                                   "degradation", "breakers", "ras"})
 
 
 def _fault_coverage(summary: dict) -> float:
@@ -356,18 +356,28 @@ class ResilientScheduler(Scheduler):
                  injector: FaultInjector | None = None,
                  health=None,
                  breakers=None,
-                 kernel_timeout: float | None = None):
+                 kernel_timeout: float | None = None,
+                 ras=None):
         super().__init__(gpu_model, pim_executor, cache=cache,
                          keep_segments=keep_segments, tracer=tracer,
                          metrics=metrics)
         if plan is None and injector is not None:
             plan = injector.plan
+        if plan is None and ras is not None:
+            # RAS without a fault plan still needs the resilient loop:
+            # attach an empty plan (no fault draws) so the per-kernel
+            # site/verify machinery runs.
+            from repro.faults.plan import FaultPlan
+            plan = FaultPlan(seed=ras.config.seed)
         self.plan = plan
         self.injector = injector if injector is not None else (
             FaultInjector(plan) if plan is not None else None)
         self.health = health
         self.breakers = breakers
         self.kernel_timeout = kernel_timeout
+        self.ras = ras
+        if ras is not None:
+            ras.bind(self.injector, health)
 
     # -- Per-execution accounting helpers ------------------------------------
 
@@ -394,6 +404,7 @@ class ResilientScheduler(Scheduler):
             return super().run(trace)
         plan, injector = self.plan, self.injector
         tracer = self.tracer
+        ras = self.ras
         health, breakers = self.health, self.breakers
         kernel_timeout = self.kernel_timeout
         report = ScheduleReport(label=trace.label)
@@ -420,6 +431,10 @@ class ResilientScheduler(Scheduler):
                     self._m.transitions.inc()
             if self._m is not None:
                 self._m.kernel(device, category, duration)
+            if ras is not None and device == "gpu":
+                # PIM banks idle while the GPU runs: feed the
+                # opportunistic scrub budget.
+                ras.note_idle(duration)
             start = clock
             clock += duration
             report.time_by_category[category] = (
@@ -514,6 +529,16 @@ class ResilientScheduler(Scheduler):
                     exec_kernel = gpu_equivalent(kernel)
                     device, site = "gpu", None
 
+            ras_escape = False
+            if ras is not None and device == "pim":
+                # Memory maintenance due before the kernel touches its
+                # region: scrub passes, operand-fetch ECC resolution,
+                # and any remap migrations, all charged as PIM time.
+                ras_items, ras_escape = ras.before_kernel(site, clock)
+                for ras_name, ras_secs in ras_items:
+                    report.pim_time += ras_secs
+                    advance(ras_secs, "pim", ras_name, exec_kernel.category)
+
             attempts = 0
             while True:
                 instruction = getattr(exec_kernel, "instruction", None)
@@ -565,6 +590,23 @@ class ResilientScheduler(Scheduler):
                 if attempts > 0:
                     times["retry_time"] += duration + verify
                 if fault is None:
+                    if ras_escape:
+                        # An ECC escape (>= 3-bit retention error)
+                        # corrupted the operands; the residue-checksum
+                        # verify just caught it.  Rewrite the region
+                        # from redundancy and re-execute the kernel.
+                        ras_escape = False
+                        if tracer is not None:
+                            tracer.count("scheduler.ras.escapes")
+                        note_event("ras_escape")
+                        note_failure("pim", exec_kernel.category)
+                        for ras_name, ras_secs in ras.repair_items(site,
+                                                                   clock):
+                            report.pim_time += ras_secs
+                            advance(ras_secs, "pim", ras_name,
+                                    exec_kernel.category)
+                        attempts += 1
+                        continue
                     if (kernel_timeout is not None and device == "gpu"
                             and duration > kernel_timeout):
                         # A GPU overrun has no second device to fall
@@ -646,4 +688,6 @@ class ResilientScheduler(Scheduler):
             report.fault_summary["degradation"] = health.summary()
         if breakers is not None:
             report.fault_summary["breakers"] = breakers.summary()
+        if ras is not None:
+            report.fault_summary["ras"] = ras.summary()
         return report

@@ -1,0 +1,189 @@
+"""Retention/wear reliability model for in-DRAM FHE regions.
+
+Anaheim keeps live ciphertext limbs resident in DRAM banks between
+kernel executions, so the substrate's failure physics are part of the
+compute model: charge leaks between refreshes, so the probability that
+a stored word has flipped grows with the *simulated time* since the
+region was last refreshed or scrubbed, and regions that are activated
+heavily wear and leak faster.  :class:`ReliabilityConfig` captures that
+model as a small set of seeded, deterministic knobs;
+:class:`RegionState` holds the per-(bank, region) mutable health
+bookkeeping consumed by :class:`repro.faults.ras.RasEngine`.
+
+The model is intentionally coarse — a Poisson process per region whose
+rate scales with the un-scrubbed window and a wear multiplier — but it
+is charged on the same simulated timeline as the kernels
+(:mod:`repro.dram.timing`), so scrub and repair overhead land in
+``ScheduleReport`` and ``UtilizationReport`` like any other work.
+
+Every random draw comes from a per-region stream derived from the
+config seed, consumed in timeline order, so a run is a pure function
+of ``(config, trace)`` regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.dram.timing import DramTiming
+from repro.errors import ParameterError
+
+__all__ = ["ReliabilityConfig", "RegionState", "DEFAULT_RELIABILITY"]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Seeded knobs of the retention/wear error model.
+
+    Rates are per *region* — the unit of scrub, remap, and fault
+    quarantine, aligned with the fault plan's PIM sites so one region
+    index names the same stripe of banks everywhere.
+    """
+
+    #: Seed for every RNG stream the model consumes.
+    seed: int = 0
+    #: Correctable-error opportunities per second per region at zero
+    #: wear.  The per-window Poisson rate is
+    #: ``retention_rate * dt * (1 + wear_factor * wear)``.
+    retention_rate: float = 200.0
+    #: Wear multiplier per recorded region activation.
+    wear_factor: float = 1e-3
+    #: Fraction of raw errors that are double-bit (ECC detects,
+    #: cannot correct).
+    multi_bit_fraction: float = 0.05
+    #: Fraction of raw errors with >= 3 flipped bits — invisible to
+    #: SEC-DED, handed to the residue-checksum guard.
+    escape_fraction: float = 0.01
+    #: Period of the background scrubber on the simulated clock.
+    scrub_interval_s: float = 5e-3
+    #: Number of live regions (mirrors ``FaultPlan.n_sites``).
+    n_regions: int = 32
+    #: Spare regions available for predictive remapping.
+    spare_regions: int = 4
+    #: Corrected-error count at which a region is predictively
+    #: remapped to a spare.
+    remap_threshold: int = 16
+    #: Uncorrectable events (double-bit + escapes) at which a region
+    #: is reactively remapped.
+    uncorrectable_remap_threshold: int = 4
+    #: Rows swept by one per-region scrub pass (``BankLayout`` default
+    #: row budget).
+    rows_per_region: int = 64
+    #: Inline SEC-DED correction latency per corrected word.
+    correction_time_s: float = 20e-9
+
+    def __post_init__(self):
+        if self.retention_rate <= 0:
+            raise ParameterError(
+                f"retention_rate must be positive, got {self.retention_rate}")
+        if self.scrub_interval_s <= 0:
+            raise ParameterError(
+                f"scrub_interval_s must be positive, got "
+                f"{self.scrub_interval_s}")
+        if self.wear_factor < 0:
+            raise ParameterError("wear_factor must be non-negative")
+        if not 0 <= self.multi_bit_fraction < 1:
+            raise ParameterError("multi_bit_fraction must be in [0, 1)")
+        if not 0 <= self.escape_fraction < 1:
+            raise ParameterError("escape_fraction must be in [0, 1)")
+        if self.multi_bit_fraction + self.escape_fraction >= 1:
+            raise ParameterError(
+                "multi_bit_fraction + escape_fraction must be < 1")
+        if self.n_regions < 1:
+            raise ParameterError("n_regions must be >= 1")
+        if self.spare_regions < 0:
+            raise ParameterError("spare_regions must be >= 0")
+        if self.remap_threshold < 1:
+            raise ParameterError("remap_threshold must be >= 1")
+        if self.uncorrectable_remap_threshold < 1:
+            raise ParameterError("uncorrectable_remap_threshold must be >= 1")
+        if self.rows_per_region < 1:
+            raise ParameterError("rows_per_region must be >= 1")
+        if self.correction_time_s < 0:
+            raise ParameterError("correction_time_s must be >= 0")
+
+    def canonical(self) -> dict:
+        """JSON-stable dict of every knob (for digests and manifests)."""
+        return {
+            "seed": self.seed,
+            "retention_rate": self.retention_rate,
+            "wear_factor": self.wear_factor,
+            "multi_bit_fraction": self.multi_bit_fraction,
+            "escape_fraction": self.escape_fraction,
+            "scrub_interval_s": self.scrub_interval_s,
+            "n_regions": self.n_regions,
+            "spare_regions": self.spare_regions,
+            "remap_threshold": self.remap_threshold,
+            "uncorrectable_remap_threshold":
+                self.uncorrectable_remap_threshold,
+            "rows_per_region": self.rows_per_region,
+            "correction_time_s": self.correction_time_s,
+        }
+
+    def digest(self) -> str:
+        material = json.dumps(self.canonical(), sort_keys=True,
+                              separators=(",", ":"))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def rng(self, *key) -> np.random.Generator:
+        """A generator keyed off the seed and an arbitrary tuple."""
+        material = json.dumps([self.seed] + [str(k) for k in key])
+        word = int.from_bytes(
+            hashlib.sha256(material.encode()).digest()[:8], "little")
+        return np.random.default_rng(word)
+
+    def with_overrides(self, retention_rate=None,
+                       scrub_interval_s=None) -> "ReliabilityConfig":
+        """Copy with the grid-swept knobs replaced (None = keep)."""
+        updates = {}
+        if retention_rate is not None:
+            updates["retention_rate"] = retention_rate
+        if scrub_interval_s is not None:
+            updates["scrub_interval_s"] = scrub_interval_s
+        return replace(self, **updates) if updates else self
+
+    def scrub_pass_s(self, timing: DramTiming) -> float:
+        """Simulated cost of scrubbing one region: a read-correct-write
+        sweep of its rows, each paying a full activate/restore/precharge
+        plus the next activate (§III DRAM timing)."""
+        return self.rows_per_region * (timing.t_ras + timing.row_turnaround)
+
+    def migration_s(self, timing: DramTiming) -> float:
+        """Simulated cost of migrating a region to a spare: read the
+        source rows and rewrite them in the spare bank."""
+        return 2.0 * self.scrub_pass_s(timing)
+
+
+@dataclass
+class RegionState:
+    """Mutable health bookkeeping for one (bank, region) stripe."""
+
+    #: Simulated time the region was last known error-free.
+    last_clean_s: float = 0.0
+    #: Activations recorded against the region (drives the wear
+    #: multiplier).
+    wear: int = 0
+    #: ECC single-bit corrections observed in the region.
+    corrected: int = 0
+    #: ECC double-bit detections observed in the region.
+    detected: int = 0
+    #: ECC escapes (>= 3-bit) caught downstream by the checksum guard.
+    escaped: int = 0
+    #: Whether the region has been migrated to a spare.
+    remapped: bool = False
+    #: RNG stream consumed in timeline order (lazily bound).
+    stream: object = field(default=None, repr=False)
+
+    @property
+    def uncorrectable(self) -> int:
+        return self.detected + self.escaped
+
+
+#: The default model: tuned so the pinned Boot cell scrubs ~5 times,
+#: corrects a few hundred single-bit errors, and stays under 5% of the
+#: clean runtime in scrub + repair overhead.
+DEFAULT_RELIABILITY = ReliabilityConfig()

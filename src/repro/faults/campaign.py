@@ -73,33 +73,17 @@ def run_functional_campaign(plan: FaultPlan,
     omits the wall-clock field so the result is a pure function of the
     plan — required for byte-identical checkpoint/resume.
     """
-    from repro.ckks.bench import BENCH_PARAMS
-    from repro.ckks.bootstrap import Bootstrapper
-    from repro.ckks.evaluator import CkksEvaluator
-    from repro.ckks.keys import KeyGenerator
-    from repro.params import CkksParams
+    from repro.ckks.fixture import bootstrap_fixture
 
-    params = CkksParams.create(**BENCH_PARAMS)
-    keygen = KeyGenerator(params, seed=11)
-    keys = keygen.generate(sparse_secret=True)
-    ev = CkksEvaluator(params, keys)
-    bts = Bootstrapper(ev, keygen)
-
-    rng = np.random.default_rng(7)
-    message = 0.3 * (rng.normal(size=params.slot_count)
-                     + 1j * rng.normal(size=params.slot_count))
-    ct_low = ev.drop_to_basis(ev.encrypt_message(message),
-                              tuple(params.moduli[:1]))
-    bts.bootstrap(ct_low)          # warmup: rotation keys, diag caches
+    fx = bootstrap_fixture()
 
     start = time.perf_counter()
     with guard.session(plan) as sess:
-        refreshed = bts.bootstrap(ct_low)
+        refreshed = fx.bts.bootstrap(fx.ct_low)
     wall_s = time.perf_counter() - start
 
     refreshed.check_invariants()
-    decrypted = ev.decrypt_message(refreshed, params.slot_count)
-    err = float(np.abs(decrypted - message).max())
+    err = fx.decrypt_error(refreshed)
     summary = sess.log.summary()
     result = {
         "layer": "functional",

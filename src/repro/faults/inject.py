@@ -55,6 +55,7 @@ class FaultInjector:
         self._site_failures: dict = {}
         self._quarantined: set = set()
         self._stuck_sites = frozenset(plan.stuck_sites())
+        self._retired: set = set()
         self.stuck_regions: list = []
 
     # -- Bernoulli draws -----------------------------------------------------
@@ -73,7 +74,13 @@ class FaultInjector:
         return index % self.plan.n_sites
 
     def is_stuck(self, site: int) -> bool:
-        return site in self._stuck_sites
+        return site in self._stuck_sites and site not in self._retired
+
+    def retire_site(self, site: int) -> None:
+        """The RAS layer remapped ``site`` to a spare region: stuck-at
+        faults pinned to the retired physical region no longer fire
+        (the spare's cells are healthy)."""
+        self._retired.add(site)
 
     def is_quarantined(self, site) -> bool:
         return site in self._quarantined
@@ -130,6 +137,8 @@ class FaultInjector:
         """Overlay stuck cells on a chunk read from (row, col); True if
         any word changed."""
         changed = False
+        if site in self._retired:
+            return False
         for region in self.stuck_regions:
             if region.site == site and region.covers(row, col):
                 word = col % chunk.size       # one cell of the chunk

@@ -163,10 +163,13 @@ class CostModel:
 
     @classmethod
     def from_model(cls, gpu=None, pim=None, library=None,
-                   workloads=("Boot", "HELR", "Sort")) -> "CostModel":
+                   workloads=("Boot", "HELR", "Sort"),
+                   ras=None) -> "CostModel":
         """Build the table by running the analytic framework once per
         (workload, device mode) — the same cost models the scheduler
-        charges its timeline with."""
+        charges its timeline with.  ``ras`` (a ``ReliabilityConfig``)
+        attaches the memory-RAS layer to the PIM-mode run, so scrub
+        and repair overhead shrinks the advertised PIM capacity."""
         from repro.core.framework import AnaheimFramework
         from repro.gpu.configs import A100_80GB
         from repro.params import paper_params
@@ -179,7 +182,8 @@ class CostModel:
         costs = {}
         for name in workloads:
             workload = apps.build(name, params)
-            with_pim = AnaheimFramework(gpu, pim, **kwargs).run(
+            with_pim = AnaheimFramework(gpu, pim, ras_config=ras,
+                                        **kwargs).run(
                 workload.blocks, params.degree, label=name).report
             gpu_only = AnaheimFramework(gpu, None, **kwargs).run(
                 workload.blocks, params.degree, label=name).report

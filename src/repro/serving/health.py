@@ -54,17 +54,22 @@ class HealthMonitor:
 
     def __init__(self, degraded_after: int = 1, gpu_only_after: int = 3,
                  pim_fault_rate_limit: float | None = None,
-                 rate_window: int = 50, tracer=None, metrics=None):
+                 rate_window: int = 50,
+                 uncorrectable_limit: int | None = None,
+                 tracer=None, metrics=None):
         if degraded_after < 1 or gpu_only_after < degraded_after:
             raise ParameterError(
                 "need 1 <= degraded_after <= gpu_only_after")
         if pim_fault_rate_limit is not None \
                 and not 0.0 < pim_fault_rate_limit <= 1.0:
             raise ParameterError("pim_fault_rate_limit must be in (0, 1]")
+        if uncorrectable_limit is not None and uncorrectable_limit < 1:
+            raise ParameterError("uncorrectable_limit must be >= 1")
         self.degraded_after = degraded_after
         self.gpu_only_after = gpu_only_after
         self.pim_fault_rate_limit = pim_fault_rate_limit
         self.rate_window = rate_window
+        self.uncorrectable_limit = uncorrectable_limit
         self.tracer = tracer
         self.metrics = metrics
         self.state = DegradationState.HEALTHY
@@ -74,6 +79,7 @@ class HealthMonitor:
         self.pim_faults = 0
         self.gpu_faults = 0
         self.transfer_faults = 0
+        self.uncorrectable_memory = 0
         self.events: list = []
 
     # -- Queries -------------------------------------------------------------
@@ -121,6 +127,22 @@ class HealthMonitor:
             self.escalate(DegradationState.PIM_DEGRADED, now,
                           f"site {site} quarantined "
                           f"({self.quarantined} total)")
+
+    def note_uncorrectable(self, region, now: float) -> None:
+        """Memory pressure from the RAS layer: one uncorrectable-by-ECC
+        error (double-bit detection or checksum-caught escape) in
+        ``region``.  A sustained uncorrectable stream past
+        ``uncorrectable_limit`` degrades PIM -> GPU exactly like a
+        fault storm — the substrate is leaking faster than scrub and
+        spares can contain."""
+        self.uncorrectable_memory += 1
+        if (self.uncorrectable_limit is not None
+                and self.uncorrectable_memory >= self.uncorrectable_limit):
+            self.escalate(DegradationState.GPU_ONLY, now,
+                          f"{self.uncorrectable_memory} uncorrectable "
+                          f"memory errors (limit "
+                          f"{self.uncorrectable_limit}, last region "
+                          f"{region})")
 
     def note_breaker_open(self, device: str, now: float) -> None:
         """A device breaker opened; losing the GPU is terminal."""
@@ -174,6 +196,7 @@ class HealthMonitor:
             "pim_faults": self.pim_faults,
             "gpu_faults": self.gpu_faults,
             "transfer_faults": self.transfer_faults,
+            "uncorrectable_memory": self.uncorrectable_memory,
             "pim_fault_rate": self.pim_fault_rate(),
             "events": list(self.events),
         }

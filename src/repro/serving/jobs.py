@@ -70,6 +70,12 @@ class ServePolicy:
     fault_seed: int | None = None
     fault_scale: float = 1.0
     stuck_sites: tuple = ()
+    #: Memory RAS knobs: either one being set attaches a
+    #: :class:`~repro.dram.reliability.ReliabilityConfig` to run/bench
+    #: units, so scrub and repair overhead lands on the served
+    #: schedules (and, via the cost model, on admission capacity).
+    scrub_interval_s: float | None = None
+    retention_rate: float | None = None
     #: Serving output is deterministic by default: the one wall-clock
     #: field the functional campaign reports is omitted.
     record_wall: bool = False
@@ -83,6 +89,16 @@ class ServePolicy:
         from repro.faults.plan import default_plan
         return default_plan(seed=self.fault_seed, scale=self.fault_scale,
                             stuck_sites=self.stuck_sites).digest()
+
+    def ras_config(self):
+        """The RAS configuration attached to run/bench units, or
+        ``None`` when neither memory-RAS knob is set."""
+        if self.scrub_interval_s is None and self.retention_rate is None:
+            return None
+        from repro.dram.reliability import ReliabilityConfig
+        return ReliabilityConfig(seed=self.seed).with_overrides(
+            retention_rate=self.retention_rate,
+            scrub_interval_s=self.scrub_interval_s)
 
     def canonical(self) -> dict:
         return {
@@ -102,6 +118,8 @@ class ServePolicy:
             "fault_seed": self.fault_seed,
             "fault_scale": self.fault_scale,
             "stuck_sites": list(self.stuck_sites),
+            "scrub_interval_s": self.scrub_interval_s,
+            "retention_rate": self.retention_rate,
             "record_wall": self.record_wall,
         }
 
@@ -414,18 +432,23 @@ class JobRunner:
             plan = default_plan(seed=policy.fault_seed,
                                 scale=policy.fault_scale,
                                 stuck_sites=policy.stuck_sites)
+        ras = policy.ras_config()
         kwargs = dict(library=self.library) if self.library is not None \
             else {}
         if degraded:
+            # GPU-only re-lowering has no PIM banks left to scrub, so
+            # the RAS config is dropped along with the offload.
             return AnaheimFramework(gpu, None, fault_plan=plan,
                                     kernel_timeout=policy.kernel_timeout_s,
                                     tracer=self.tracer,
                                     metrics=self.metrics, **kwargs), None
+        guarded = plan is not None or ras is not None
         health = (policy.health_monitor(self.tracer, self.metrics)
-                  if plan else None)
+                  if guarded else None)
         breakers = (policy.breaker_board(self.tracer, self.metrics)
-                    if plan else None)
+                    if guarded else None)
         return AnaheimFramework(gpu, pim, fault_plan=plan,
+                                ras_config=ras,
                                 health=health, breakers=breakers,
                                 kernel_timeout=policy.kernel_timeout_s,
                                 tracer=self.tracer,

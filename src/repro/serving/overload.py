@@ -248,7 +248,8 @@ def run_overload_serve(spec, tenants, admission_policy, serve_policy,
                             for entry in tenant.mix})
         cost_model = CostModel.from_model(gpu=gpu, pim=pim,
                                           library=library,
-                                          workloads=workloads)
+                                          workloads=workloads,
+                                          ras=serve_policy.ras_config())
     health = serve_policy.health_monitor(tracer, metrics)
     sim = simulate_overload(spec, tenants, admission_policy, cost_model,
                             health=health, chaos=chaos, metrics=metrics,

@@ -1,0 +1,88 @@
+"""ReliabilityConfig: validation, digests, seeded streams, costs."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dram.reliability import DEFAULT_RELIABILITY, ReliabilityConfig
+from repro.dram.timing import HBM2_TIMING
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"retention_rate": 0.0},
+        {"retention_rate": -1.0},
+        {"scrub_interval_s": 0.0},
+        {"scrub_interval_s": -1e-3},
+        {"wear_factor": -0.1},
+        {"multi_bit_fraction": -0.01},
+        {"multi_bit_fraction": 1.0},
+        {"escape_fraction": 1.5},
+        {"multi_bit_fraction": 0.6, "escape_fraction": 0.5},
+        {"n_regions": 0},
+        {"spare_regions": -1},
+        {"remap_threshold": 0},
+        {"uncorrectable_remap_threshold": 0},
+        {"rows_per_region": 0},
+        {"correction_time_s": -1e-9},
+    ])
+    def test_bad_knobs_rejected(self, overrides):
+        with pytest.raises(ParameterError):
+            ReliabilityConfig(**overrides)
+
+    def test_default_is_valid(self):
+        assert DEFAULT_RELIABILITY.retention_rate > 0
+
+
+class TestCanonicalAndDigest:
+    def test_canonical_is_json_safe_and_complete(self):
+        config = ReliabilityConfig(seed=3)
+        doc = json.loads(json.dumps(config.canonical()))
+        for field in dataclasses.fields(config):
+            assert field.name in doc
+        assert doc["seed"] == 3
+
+    def test_digest_is_stable_and_knob_sensitive(self):
+        a = ReliabilityConfig()
+        assert a.digest() == ReliabilityConfig().digest()
+        assert a.digest() != ReliabilityConfig(seed=1).digest()
+        assert a.digest() != a.with_overrides(retention_rate=300.0).digest()
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        config = ReliabilityConfig(seed=7)
+        a = config.rng("region", 4).random(16)
+        b = ReliabilityConfig(seed=7).rng("region", 4).random(16)
+        assert (a == b).all()
+
+    def test_distinct_keys_and_seeds_diverge(self):
+        config = ReliabilityConfig(seed=7)
+        base = config.rng("region", 4).random(16)
+        assert not (config.rng("region", 5).random(16) == base).all()
+        assert not (ReliabilityConfig(seed=8).rng("region", 4)
+                    .random(16) == base).all()
+
+
+class TestOverridesAndCosts:
+    def test_with_overrides_replaces_only_what_is_set(self):
+        config = ReliabilityConfig()
+        swept = config.with_overrides(retention_rate=1000.0)
+        assert swept.retention_rate == 1000.0
+        assert swept.scrub_interval_s == config.scrub_interval_s
+        assert config.with_overrides() is config
+
+    def test_override_still_validates(self):
+        with pytest.raises(ParameterError):
+            ReliabilityConfig().with_overrides(scrub_interval_s=-1.0)
+
+    def test_scrub_and_migration_costs(self):
+        config = ReliabilityConfig()
+        per_pass = config.scrub_pass_s(HBM2_TIMING)
+        assert per_pass == pytest.approx(
+            config.rows_per_region
+            * (HBM2_TIMING.t_ras + HBM2_TIMING.row_turnaround))
+        assert config.migration_s(HBM2_TIMING) == pytest.approx(
+            2.0 * per_pass)

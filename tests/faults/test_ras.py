@@ -1,0 +1,230 @@
+"""SEC-DED properties and the RasEngine state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.reliability import ReliabilityConfig
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import default_plan
+from repro.faults.ras import RasEngine, SecDedCode
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.health import DegradationState, HealthMonitor
+
+#: One decoder per word width — construction is cheap but hypothesis
+#: calls these properties hundreds of times.
+_CODES = {}
+
+
+def _code(data_bits: int) -> SecDedCode:
+    if data_bits not in _CODES:
+        _CODES[data_bits] = SecDedCode(data_bits)
+    return _CODES[data_bits]
+
+
+@st.composite
+def _codewords(draw):
+    """(code, word, codeword) across word widths and random words —
+    the limb widths the RNS plane stores (8..40-bit residues)."""
+    data_bits = draw(st.integers(min_value=8, max_value=40))
+    code = _code(data_bits)
+    word = draw(st.integers(min_value=0, max_value=(1 << data_bits) - 1))
+    return code, word, code.encode(word)
+
+
+class TestSecDedProperties:
+    @given(_codewords())
+    @settings(max_examples=200, deadline=None)
+    def test_clean_codeword_decodes_ok(self, cwt):
+        code, word, cw = cwt
+        assert code.decode(cw) == (word, "ok")
+
+    @given(_codewords(), st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_every_single_bit_flip_is_corrected(self, cwt, data):
+        code, word, cw = cwt
+        pos = data.draw(st.integers(0, code.codeword_bits - 1))
+        decoded, status = code.decode(cw ^ (1 << pos))
+        assert status == "corrected"
+        assert decoded == word
+
+    @given(_codewords(), st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_every_double_bit_flip_is_detected_never_miscorrected(
+            self, cwt, data):
+        code, word, cw = cwt
+        positions = data.draw(st.lists(
+            st.integers(0, code.codeword_bits - 1),
+            min_size=2, max_size=2, unique=True))
+        corrupted = cw
+        for pos in positions:
+            corrupted ^= 1 << pos
+        _, status = code.decode(corrupted)
+        # Even parity rules out the single-error hypothesis, so the
+        # decoder must flag the word rather than "fix" the wrong bit.
+        assert status == "detected"
+
+    def test_exhaustive_single_and_double_flips_32bit(self):
+        code = _code(32)
+        word = 0xDEADBEEF
+        cw = code.encode(word)
+        for i in range(code.codeword_bits):
+            assert code.decode(cw ^ (1 << i)) == (word, "corrected")
+            for j in range(i + 1, code.codeword_bits):
+                _, status = code.decode(cw ^ (1 << i) ^ (1 << j))
+                assert status == "detected"
+
+    def test_word_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _code(8).encode(256)
+
+
+def _engine(metrics=None, health=None, injector=None, **overrides):
+    config = ReliabilityConfig(**overrides)
+    engine = RasEngine(config, metrics=metrics)
+    engine.bind(injector, health)
+    return engine
+
+
+class TestRasEngine:
+    def test_no_elapsed_time_no_errors(self):
+        engine = _engine()
+        items, escape = engine.before_kernel(0, 0.0)
+        assert not escape
+        assert engine.errors_total == 0
+        assert items == []
+
+    def test_same_config_same_history(self):
+        def run(engine):
+            clock = 0.0
+            for step in range(40):
+                clock += 1e-3
+                engine.before_kernel(step % 4, clock)
+            return engine.summary()
+        assert run(_engine(seed=3)) == run(_engine(seed=3))
+
+    def test_summary_accounts_every_error(self):
+        engine = _engine(seed=1, retention_rate=5000.0)
+        clock = 0.0
+        for step in range(50):
+            clock += 1e-3
+            items, escape = engine.before_kernel(step % 8, clock)
+            if escape:
+                engine.repair_items(step % 8, clock)
+        summary = engine.summary()
+        assert summary["errors_total"] == (summary["corrected"]
+                                           + summary["detected"]
+                                           + summary["escaped"])
+        assert summary["errors_total"] > 0
+        assert summary["uncorrected"] == 0
+        assert summary["ras_time_s"] > 0.0
+
+    def test_pending_escape_counts_until_repaired(self):
+        # escape_fraction 0.9: nearly every error is an ECC escape.
+        engine = _engine(seed=0, retention_rate=5000.0,
+                         escape_fraction=0.9, multi_bit_fraction=0.05)
+        clock, site = 0.0, 2
+        escape = False
+        while not escape:
+            clock += 1e-3
+            _, escape = engine.before_kernel(site, clock)
+        assert engine.summary()["uncorrected"] > 0
+        items = engine.repair_items(site, clock)
+        assert any(name == "ras.repair" for name, _ in items)
+        assert engine.summary()["uncorrected"] == 0
+
+    def test_idle_budget_absorbs_scrub_passes(self):
+        engine = _engine(seed=2)
+        engine.note_idle(1.0)  # capped at one full sweep
+        items = []
+        engine._scrub_due(engine.config.scrub_interval_s, items)
+        assert engine.scrub_passes["idle"] == 1
+        assert engine.scrub_time_s == 0.0
+        # The cap means the next due pass is charged again.
+        engine._scrub_due(2 * engine.config.scrub_interval_s, items)
+        assert engine.scrub_passes["periodic"] == 1
+        assert engine.scrub_time_s > 0.0
+
+    def test_metrics_families_exported(self):
+        registry = MetricsRegistry()
+        engine = _engine(metrics=registry, seed=1,
+                         retention_rate=5000.0, remap_threshold=4)
+        clock = 0.0
+        for step in range(60):
+            clock += 1e-3
+            items, escape = engine.before_kernel(step % 4, clock)
+            if escape:
+                engine.repair_items(step % 4, clock)
+        text = registry.render_prometheus()
+        assert "anaheim_ecc_corrected_total" in text
+        assert "anaheim_scrub_passes_total" in text
+        assert "anaheim_remap_total" in text
+
+
+class TestRemap:
+    def test_predictive_remap_uses_a_spare_and_resets_health(self):
+        engine = _engine(seed=1, retention_rate=5000.0,
+                         remap_threshold=4)
+        clock, site = 0.0, 3
+        while not engine.remaps["predictive"]:
+            clock += 1e-3
+            engine.before_kernel(site, clock)
+        assert engine.spares_used == 1
+        assert site in engine.remapped_sites
+        state = engine._regions[site]
+        assert state.remapped
+        assert state.corrected == 0 and state.wear == 0
+
+    def test_exhausted_spares_stop_remapping(self):
+        engine = _engine(seed=1, retention_rate=5000.0,
+                         remap_threshold=4, spare_regions=0)
+        clock, site = 0.0, 3
+        for _ in range(200):
+            clock += 1e-3
+            engine.before_kernel(site, clock)
+        assert engine.spares_used == 0
+        assert site in engine._spares_flagged
+        assert sum(engine.remaps.values()) == 0
+
+    def test_remap_retires_stuck_site_in_injector(self):
+        """A stuck_region fault pinned to a remapped region no longer
+        fires: the spare's physical cells are healthy."""
+        import numpy as np
+        site = 5
+        injector = FaultInjector(default_plan(seed=0, stuck_sites=(site,)))
+        assert injector.is_stuck(site)
+        engine = _engine(injector=injector, seed=1,
+                         retention_rate=5000.0, remap_threshold=4)
+        clock = 0.0
+        while not sum(engine.remaps.values()):
+            clock += 1e-3
+            engine.before_kernel(site, clock)
+        assert not injector.is_stuck(site)
+        arr = np.zeros(64, dtype=np.int64)
+        assert injector.apply_stuck_regions(site, 0, 0, arr) is False
+        assert (arr == 0).all()
+
+
+class TestHealthPressure:
+    def test_uncorrectable_stream_degrades_to_gpu_only(self):
+        health = HealthMonitor(uncorrectable_limit=8)
+        engine = _engine(health=health, seed=1, retention_rate=5000.0,
+                         multi_bit_fraction=0.4, escape_fraction=0.1)
+        clock = 0.0
+        for step in range(200):
+            clock += 1e-3
+            items, escape = engine.before_kernel(step % 4, clock)
+            if escape:
+                engine.repair_items(step % 4, clock)
+            if health.state is DegradationState.GPU_ONLY:
+                break
+        assert health.state is DegradationState.GPU_ONLY
+        assert health.uncorrectable_memory >= 8
+        assert health.summary()["uncorrectable_memory"] \
+            == health.uncorrectable_memory
+
+    def test_no_limit_counts_without_escalating(self):
+        health = HealthMonitor()
+        health.note_uncorrectable(0, 0.0)
+        assert health.uncorrectable_memory == 1
+        assert health.state is DegradationState.HEALTHY

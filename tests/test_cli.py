@@ -444,3 +444,97 @@ class TestBenchHistory:
         assert main(["bench", "--workload", "HELR", "--dir",
                      str(tmp_path), "--history"]) == 0
         assert "no history recorded" in capsys.readouterr().out
+
+
+class TestRasCommand:
+    def test_matrix_table_and_gate(self, capsys):
+        assert main(["ras", "--retention-rates", "200",
+                     "--scrub-intervals", "5e-3", "--no-wall"]) == 0
+        out = capsys.readouterr().out
+        assert "memory RAS matrix" in out
+        assert "gate: PASS" in out
+        assert "functional:" in out
+
+    def test_json_document(self, capsys):
+        assert main(["ras", "--retention-rates", "200,1000",
+                     "--scrub-intervals", "5e-3", "--layer", "analytic",
+                     "--no-wall", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gate"]["passed"]
+        assert doc["functional"] is None
+        assert len(doc["cells"]) == 2
+
+    def test_write_then_check(self, capsys, tmp_path):
+        assert main(["ras", "--no-wall", "--dir", str(tmp_path),
+                     "--write-baseline"]) == 0
+        assert (tmp_path / "BENCH_ras.json").exists()
+        assert (tmp_path / "history" / "ras.jsonl").exists()
+        capsys.readouterr()
+        assert main(["ras", "--no-wall", "--dir", str(tmp_path),
+                     "--check"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_bench_ras_write_then_check(self, capsys, tmp_path):
+        assert main(["bench", "--workload", "ras", "--dir",
+                     str(tmp_path), "--workers", "1"]) == 0
+        doc = json.loads((tmp_path / "BENCH_ras.json").read_text())
+        assert doc["metrics"]["uncorrected"] == 0.0
+        assert doc["metrics"]["overhead"] < 0.05
+        assert main(["bench", "--workload", "ras", "--dir",
+                     str(tmp_path), "--workers", "1", "--check"]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_perturbed_baseline_fails_check(self, capsys, tmp_path):
+        assert main(["ras", "--no-wall", "--dir", str(tmp_path),
+                     "--write-baseline"]) == 0
+        path = tmp_path / "BENCH_ras.json"
+        doc = json.loads(path.read_text())
+        doc["metrics"]["corrected"] *= 1.5
+        path.write_text(json.dumps(doc))
+        assert main(["ras", "--no-wall", "--dir", str(tmp_path),
+                     "--check"]) == 1
+        assert "corrected" in capsys.readouterr().out
+
+    def test_check_without_baseline_errors(self, capsys, tmp_path):
+        assert main(["ras", "--no-wall", "--dir", str(tmp_path),
+                     "--check"]) == 2
+        assert "no baseline" in capsys.readouterr().out
+
+
+class TestRasFlagValidation:
+    @pytest.mark.parametrize("value", ["0", "-1", "abc", "inf", "nan"])
+    def test_bad_scrub_interval_is_one_line_exit_1(self, capsys, value):
+        assert main(["serve", "--jobs", "run:Boot",
+                     "--scrub-interval", value]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: --scrub-interval")
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("value", ["0", "-2.5", "five"])
+    def test_bad_retention_rate_is_one_line_exit_1(self, capsys, value):
+        assert main(["serve", "--jobs", "run:Boot",
+                     "--retention-rate", value]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: --retention-rate")
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--retention-rates", "200,zero"),
+        ("--retention-rates", ","),
+        ("--scrub-intervals", "0"),
+        ("--scrub-intervals", "1e-3,-1"),
+    ])
+    def test_bad_sweep_lists_rejected(self, capsys, flag, value):
+        assert main(["ras", flag, value]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_with_ras_reports_scrub_summary(self, capsys):
+        assert main(["serve", "--jobs", "run:Boot",
+                     "--scrub-interval", "5e-3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        unit = doc["jobs"][0]["units"]["Boot"]
+        ras = unit["result"]["report"]["fault_summary"]["ras"]
+        assert ras["uncorrected"] == 0
+        assert ras["corrected"] > 0
