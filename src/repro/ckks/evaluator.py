@@ -211,6 +211,9 @@ class CkksEvaluator:
             else:
                 coeffs[power - degree] = -1
             mono = RnsPolynomial.from_int_coeffs(coeffs, x.basis).to_ntt()
+            # Cached monomials are constant multipliers; the Shoup dual
+            # makes every reuse a divide-free mul/shift/sub.
+            mono.ensure_shoup()
             self._monomial_cache[key] = mono
         else:
             instrument.count("ckks.monomial_cache.hit")

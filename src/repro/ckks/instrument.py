@@ -25,6 +25,13 @@ where its speedup comes from:
 * ``ckks.bconv_tables.hit`` / ``.miss`` / ``.evicted`` — the bounded
   basis-conversion constant cache (long serve runs over many leveled
   bases must not grow memory without bound).
+* ``ckks.modmath.shoup`` / ``ckks.modmath.strict_fallback`` — limb
+  rows multiplied through the lazy Shoup mul/shift/sub pipeline vs
+  rows that fell back to the exact ``%`` path (primes ≥ 2³⁰, or lazy
+  reduction disabled via :func:`repro.ckks.modmath.lazy_scope`).
+* ``ckks.ntt_tables.hit`` / ``.miss`` / ``.evicted`` — the bounded
+  module-level twiddle-plane cache shared by every ``NttContext`` /
+  ``BatchNttContext`` keyed on ``(degree, q)``.
 
 When no tracer is attached every counting site is a single ``is None``
 branch, keeping the default path free of overhead.  Counting is

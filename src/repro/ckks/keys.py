@@ -53,6 +53,21 @@ class EvaluationKey:
             p.limb_count for p in self.a_polys)
         return total_limbs * self.b_polys[0].degree * 4
 
+    def ensure_shoup(self) -> "EvaluationKey":
+        """Attach Shoup duals to every key limb (idempotent).
+
+        Evaluation keys are long-lived constants multiplied against a
+        fresh digit on every key switch, so precomputing their Shoup
+        quotients once lets `KeyMult` take the divide-free path.
+        ``RnsPolynomial.restrict`` propagates the dual, so leveled
+        restrictions inherit it for free.
+        """
+        for p in self.b_polys:
+            p.ensure_shoup()
+        for p in self.a_polys:
+            p.ensure_shoup()
+        return self
+
 
 @dataclass
 class KeySet:

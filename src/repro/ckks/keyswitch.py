@@ -242,6 +242,7 @@ def key_mult(digits: list, evk) -> tuple:
     if len(digits) != len(evk.b_polys):
         raise ParameterError(
             f"{len(digits)} digits but evk has {len(evk.b_polys)}")
+    evk.ensure_shoup()
     acc_b = digits[0] * evk.b_polys[0]
     acc_a = digits[0] * evk.a_polys[0]
     for j in range(1, len(digits)):
@@ -280,6 +281,7 @@ def key_switch(poly: RnsPolynomial, evk, decomp: DigitDecomposition) -> tuple:
     adds ``poly · s_from`` under the target secret.
     """
     digits, indices, target = decompose_digits(poly, decomp)
+    evk.ensure_shoup()
     acc_b = None
     acc_a = None
     for digit, j in zip(digits, indices):

@@ -133,6 +133,9 @@ class LinearTransform:
             if roll:
                 diag = np.roll(diag, roll)
             plaintext = self._encode_diag(diag, basis)
+            # Diagonal plaintexts are reused across every apply(); attach
+            # the Shoup dual once so each ct*pt multiply is divide-free.
+            plaintext.poly.ensure_shoup()
             self._plaintext_cache[key] = plaintext
         else:
             instrument.count("ckks.diag_cache.hit")
@@ -242,6 +245,7 @@ class LinearTransform:
         return ev.rescale(result)
 
     def _key_mult_restricted(self, digits, indices, target, evk):
+        evk.ensure_shoup()
         acc_b = None
         acc_a = None
         for digit, j in zip(digits, indices):

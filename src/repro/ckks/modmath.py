@@ -11,12 +11,31 @@ generation time.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+from functools import lru_cache
+
 import numpy as np
 
+from repro.ckks import instrument
 from repro.errors import ParameterError
 
 #: Largest prime bit width for which ``int64`` products cannot overflow.
 MAX_PRIME_BITS = 31
+
+#: Shift of the Shoup precomputed quotient: ``s' = floor(s·2^32 / q)``.
+SHOUP_SHIFT = 32
+
+#: Largest prime width admitted by the lazy ``[0, 2q)`` Shoup pipeline.
+#: The binding constraint is the Gentleman-Sande butterfly, which feeds
+#: ``x - y + 2q < 4q`` into the Shoup multiply: correctness of the
+#: ``[0, 2q)`` bound needs the multiplicand below ``2^32``, so ``4q ≤
+#: 2^32`` ⇒ ``q < 2^30``.  Wider primes (the 31-bit base prime) fall
+#: back to the exact ``%`` path.
+SHOUP_MAX_PRIME_BITS = 30
+SHOUP_MAX_PRIME = 1 << SHOUP_MAX_PRIME_BITS
+
+_SHIFT_U64 = np.uint64(SHOUP_SHIFT)
 
 
 def is_prime(n: int) -> bool:
@@ -243,6 +262,191 @@ def mod_mac_into(a, b, acc, q, out: np.ndarray,
     np.add(out, acc, out=out)
     np.greater_equal(out, q, out=mask)
     np.subtract(out, q, out=out, where=mask)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lazy-reduction Shoup/Harvey kernels.
+#
+# For primes ``q < 2^30`` the hardware-divide ``%`` in the hot kernels is
+# replaced by Shoup's precomputed-quotient multiply: with ``s' = floor(s ·
+# 2^32 / q)`` precomputed once per constant operand ``s``,
+#
+#     hi = (x · s') >> 32;   r = x·s − hi·q
+#
+# satisfies ``r ≡ x·s (mod q)`` and ``r ∈ [0, 2q)`` for any ``x < 2^32``
+# — a mul/shift/mul/sub pipeline with no division, exactly the datapath
+# of Anaheim's MMAC multiplier units (§IV).  Values are kept *lazily* in
+# ``[0, 2q)`` between butterfly passes; one conditional subtraction per
+# pass replaces the per-butterfly ``%``, and :func:`reduce_final_into`
+# folds back to ``[0, q)`` at the end, so results are bit-identical to
+# the strict path.  All kernels operate on ``uint64`` views of the
+# ``int64`` residue buffers (values never exceed ``2^62``, so the
+# reinterpretation is value-preserving).
+#
+# The 31-bit base/aux primes exceed the ``q < 2^30`` bound; a per-limb
+# dispatch table (:func:`shoup_segments`) routes those rows through the
+# exact ``%`` fallback so mixed RNS bases stay correct.
+# ---------------------------------------------------------------------------
+
+_lazy_enabled = True
+_lazy_lock = threading.Lock()
+
+
+def lazy_enabled() -> bool:
+    """Whether the lazy Shoup kernels are active (process-wide)."""
+    return _lazy_enabled
+
+
+def set_lazy_enabled(flag: bool) -> None:
+    """Enable/disable the lazy kernels (``False`` forces the ``%`` path
+    everywhere — the benchmark and the property tests use this to pit
+    the two paths against each other on identical inputs)."""
+    global _lazy_enabled
+    with _lazy_lock:
+        _lazy_enabled = bool(flag)
+
+
+@contextmanager
+def lazy_scope(flag: bool):
+    """Temporarily force the lazy kernels on or off."""
+    previous = lazy_enabled()
+    set_lazy_enabled(flag)
+    try:
+        yield
+    finally:
+        set_lazy_enabled(previous)
+
+
+def supports_shoup(q: int) -> bool:
+    """Whether prime ``q`` is narrow enough for the lazy pipeline."""
+    return q < SHOUP_MAX_PRIME
+
+
+@lru_cache(maxsize=None)
+def shoup_segments(basis: tuple) -> tuple:
+    """Contiguous ``(lo, hi, lazy)`` limb-row runs of an RNS basis.
+
+    Limb rows of an ``(L, N)`` matrix are grouped into maximal runs of
+    primes that share a dispatch path, so the batched kernels process
+    each run with one vectorized call instead of testing every limb.
+    """
+    segments = []
+    for i, q in enumerate(basis):
+        lazy = supports_shoup(q)
+        if segments and segments[-1][2] == lazy:
+            segments[-1][1] = i + 1
+        else:
+            segments.append([i, i + 1, lazy])
+    return tuple((lo, hi, lazy) for lo, hi, lazy in segments)
+
+
+def shoup_precompute(s, q):
+    """Shoup dual ``floor(s · 2^32 / q)`` of residues ``s ∈ [0, q)``.
+
+    Scalar ints return a Python int; arrays return ``uint64`` (``q`` may
+    be an ``(L, 1)`` modulus column broadcast against an ``(L, N)``
+    residue matrix).  Valid for any ``q < 2^31`` — duals of strict-path
+    limbs are computable (``s << 32 < 2^63``), merely unused.
+    """
+    if isinstance(s, (int, np.integer)):
+        return (int(s) << SHOUP_SHIFT) // int(q)
+    s = np.asarray(s).astype(np.uint64)
+    q = np.asarray(q).astype(np.uint64)
+    return (s << _SHIFT_U64) // q
+
+
+def shoup_mul(x, s, s_shoup, q) -> np.ndarray:
+    """Lazy product ``x·s mod q`` in ``[0, 2q)`` (pure; int64 result).
+
+    Requires ``q < 2^30``, ``s ∈ [0, q)``, ``x < 2^32``.
+    """
+    x = np.asarray(x).astype(np.uint64)
+    s = np.asarray(s).astype(np.uint64)
+    s_shoup = np.asarray(s_shoup).astype(np.uint64)
+    q = np.asarray(q).astype(np.uint64)
+    hi = (x * s_shoup) >> _SHIFT_U64
+    return (x * s - hi * q).astype(np.int64)
+
+
+def shoup_mul_into(x, s, s_shoup, q, out: np.ndarray,
+                   hi: np.ndarray) -> np.ndarray:
+    """``out[:] = x·s − ((x·s') >> 32)·q ∈ [0, 2q)`` — all ``uint64``.
+
+    ``hi`` is caller scratch of ``out``'s shape.  ``out`` may alias
+    ``x`` (``x`` is fully consumed before ``out`` is first written).
+    """
+    np.multiply(x, s_shoup, out=hi)
+    np.right_shift(hi, _SHIFT_U64, out=hi)
+    np.multiply(hi, q, out=hi)
+    np.multiply(x, s, out=out)
+    np.subtract(out, hi, out=out)
+    return out
+
+
+def lazy_add_into(a, b, two_q, out: np.ndarray,
+                  mask: np.ndarray) -> np.ndarray:
+    """``out[:] = a + b`` folded into ``[0, 2q)`` (operands in
+    ``[0, 2q)``) — the deferred-correction butterfly add: one
+    conditional subtraction of ``2q``, never a ``%``."""
+    np.add(a, b, out=out)
+    np.greater_equal(out, two_q, out=mask)
+    np.subtract(out, two_q, out=out, where=mask)
+    return out
+
+
+def lazy_sub_into(a, b, two_q, out: np.ndarray,
+                  mask: np.ndarray) -> np.ndarray:
+    """``out[:] = a − b + 2q`` folded into ``[0, 2q)`` (uint64: the
+    transient wrap of ``a − b`` is cancelled exactly by ``+ 2q``)."""
+    np.subtract(a, b, out=out)
+    np.add(out, two_q, out=out)
+    np.greater_equal(out, two_q, out=mask)
+    np.subtract(out, two_q, out=out, where=mask)
+    return out
+
+
+def reduce_final(a, q) -> np.ndarray:
+    """Map lazy values in ``[0, 2q)`` back to canonical ``[0, q)``."""
+    return np.where(a >= q, a - q, a)
+
+
+def reduce_final_into(a, q, mask: np.ndarray) -> np.ndarray:
+    """In-place ``[0, 2q) → [0, q)``: one conditional subtraction."""
+    np.greater_equal(a, q, out=mask)
+    np.subtract(a, q, out=a, where=mask)
+    return a
+
+
+def shoup_mod_mul_into(x, s, s_shoup, q_col, basis: tuple,
+                       out: np.ndarray) -> np.ndarray:
+    """``out[:] = (x * s) mod q`` per limb row, Shoup where possible.
+
+    ``x``/``s`` are ``(L, N)`` int64 residue matrices over ``basis``
+    with ``s_shoup`` the precomputed ``uint64`` dual of ``s``; rows of
+    31-bit primes fall back to the exact ``%``.  Output is canonical
+    ``[0, q)`` — bit-identical to :func:`mod_mul_into`.
+    """
+    segments = shoup_segments(basis)
+    if instrument.get_tracer() is not None:
+        lazy_rows = sum(hi - lo for lo, hi, lazy in segments if lazy)
+        if lazy_rows:
+            instrument.count("ckks.modmath.shoup", lazy_rows)
+        if len(basis) - lazy_rows:
+            instrument.count("ckks.modmath.strict_fallback",
+                             len(basis) - lazy_rows)
+    for lo, hi, lazy in segments:
+        if not lazy:
+            mod_mul_into(x[lo:hi], s[lo:hi], q_col[lo:hi], out[lo:hi])
+            continue
+        xu = x[lo:hi].view(np.uint64)
+        ou = out[lo:hi].view(np.uint64)
+        qu = q_col[lo:hi].view(np.uint64)
+        scratch = np.empty(ou.shape, dtype=np.uint64)
+        mask = np.empty(ou.shape, dtype=bool)
+        shoup_mul_into(xu, s[lo:hi].view(np.uint64), s_shoup[lo:hi],
+                       qu, out=ou, hi=scratch)
+        reduce_final_into(ou, qu, mask)
     return out
 
 

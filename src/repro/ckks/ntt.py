@@ -6,14 +6,31 @@ bit-reversed output) and the inverse uses Gentleman-Sande butterflies
 merged into the butterflies so no separate pre/post scaling by ``psi^i``
 is needed (the Longa-Naehrig formulation).
 
-All transforms are vectorized with numpy over arbitrary leading axes, so
-an ``(L, N)`` RNS polynomial is transformed limb-by-limb with one context
-per prime.
+Two butterfly kernels exist:
+
+* :class:`NttContext` — the per-limb reference, reducing every butterfly
+  with an exact ``%``.  It is deliberately kept divide-based: the
+  property tests use it as the oracle for the fast path.
+* :class:`BatchNttContext` — the hot path: all RNS limbs at once on
+  stacked ``(L, N)`` twiddle planes.  Limbs whose prime is below
+  ``2^30`` run Shoup/Harvey lazy-reduction butterflies (mul/shift/sub,
+  no hardware divide, values lazily in ``[0, 4q)``) and fold back to
+  canonical ``[0, q)`` once after the last pass; limbs of wider primes
+  (the 31-bit base prime) dispatch to the exact ``%`` butterfly
+  row-run by row-run, so mixed bases stay correct — and the output is
+  always bit-identical to the per-limb reference.
+
+Twiddle tables are built once per ``(degree, q)`` in a module-level LRU
+(:func:`_twiddle_tables`), so fixtures and tests constructing many
+per-limb oracles stop recomputing identical tables.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -21,16 +38,125 @@ from repro.ckks import instrument, modmath
 from repro.errors import ParameterError
 from repro.parallel import threads as limb_threads
 
+#: Bound on the module-level (degree, q) twiddle-table cache.  A
+#: paper-scale basis has ~70 primes and the tests sweep a few dozen
+#: more; 512 keeps every table of a long run resident while capping
+#: growth when serving sweeps many parameter sets.
+TWIDDLE_CACHE_SIZE = 512
 
-def bit_reverse_indices(n: int) -> np.ndarray:
-    """Return the bit-reversal permutation for length ``n`` (a power of 2)."""
+_twiddle_cache: OrderedDict = OrderedDict()
+_twiddle_lock = threading.Lock()
+
+_SHIFT = np.uint64(modmath.SHOUP_SHIFT)
+
+
+@lru_cache(maxsize=64)
+def _bit_reverse_cached(n: int) -> np.ndarray:
     bits = n.bit_length() - 1
     idx = np.arange(n, dtype=np.int64)
     rev = np.zeros(n, dtype=np.int64)
     for _ in range(bits):
         rev = (rev << 1) | (idx & 1)
         idx >>= 1
+    rev.flags.writeable = False
     return rev
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """The bit-reversal permutation for length ``n`` (a power of 2).
+
+    Cached per length (read-only array) — every :class:`NttContext` of
+    the same degree shares one permutation table.
+    """
+    return _bit_reverse_cached(n)
+
+
+@dataclass(frozen=True)
+class TwiddleTables:
+    """Immutable per-(degree, q) NTT constants shared across contexts."""
+
+    psi: int
+    psis: np.ndarray            # psi^bitrev(i), int64, read-only
+    inv_psis: np.ndarray        # psi^{-bitrev(i)}, int64, read-only
+    n_inv: int
+    psis_shoup: np.ndarray      # floor(psis · 2^32 / q), uint64
+    inv_psis_shoup: np.ndarray  # floor(inv_psis · 2^32 / q), uint64
+    n_inv_shoup: int
+
+
+def _twiddle_tables(degree: int, q: int) -> TwiddleTables:
+    """Twiddle planes for one ``(degree, q)``, from the module LRU.
+
+    Hits/misses/evictions are reported through
+    :mod:`repro.ckks.instrument` as ``ckks.ntt_tables.*``.
+    """
+    key = (degree, q)
+    with _twiddle_lock:
+        entry = _twiddle_cache.get(key)
+        if entry is not None:
+            _twiddle_cache.move_to_end(key)
+    if entry is not None:
+        instrument.count("ckks.ntt_tables.hit")
+        return entry
+    instrument.count("ckks.ntt_tables.miss")
+    psi = modmath.root_of_unity(2 * degree, q)
+    rev = bit_reverse_indices(degree)
+    psi_inv = modmath.mod_inverse(psi, q)
+    plain = np.empty(degree, dtype=np.int64)
+    plain_inv = np.empty(degree, dtype=np.int64)
+    acc = 1
+    acc_inv = 1
+    for i in range(degree):
+        plain[i] = acc
+        plain_inv[i] = acc_inv
+        acc = acc * psi % q
+        acc_inv = acc_inv * psi_inv % q
+    powers = plain[rev]
+    inv_powers = plain_inv[rev]
+    n_inv = modmath.mod_inverse(degree, q)
+    psis_shoup = modmath.shoup_precompute(powers, q)
+    inv_psis_shoup = modmath.shoup_precompute(inv_powers, q)
+    for table in (powers, inv_powers, psis_shoup, inv_psis_shoup):
+        table.flags.writeable = False
+    entry = TwiddleTables(
+        psi=psi, psis=powers, inv_psis=inv_powers, n_inv=n_inv,
+        psis_shoup=psis_shoup, inv_psis_shoup=inv_psis_shoup,
+        n_inv_shoup=modmath.shoup_precompute(n_inv, q))
+    with _twiddle_lock:
+        _twiddle_cache[key] = entry
+        _twiddle_cache.move_to_end(key)
+        while len(_twiddle_cache) > TWIDDLE_CACHE_SIZE:
+            _twiddle_cache.popitem(last=False)
+            instrument.count("ckks.ntt_tables.evicted")
+    return entry
+
+
+def twiddle_cache_info() -> dict:
+    """Size/bound of the twiddle-table cache (tests use it)."""
+    with _twiddle_lock:
+        return {"size": len(_twiddle_cache), "maxsize": TWIDDLE_CACHE_SIZE}
+
+
+def clear_twiddle_cache() -> None:
+    with _twiddle_lock:
+        _twiddle_cache.clear()
+
+
+def _owned_copy(array) -> np.ndarray:
+    """One fresh C-contiguous int64 copy of ``array``.
+
+    The transforms run in place, so a private buffer is always needed —
+    but ``ascontiguousarray(x).copy()`` copied *twice* whenever the
+    input was non-contiguous or non-int64; ``np.array(copy=True)``
+    allocates the contiguous destination and copies exactly once.
+    """
+    return np.array(array, dtype=np.int64, order="C", copy=True)
+
+
+def _clip_segments(segments: tuple, lo: int, hi: int) -> tuple:
+    """Dispatch runs intersected with row block ``[lo, hi)``, rebased."""
+    return tuple((max(slo, lo) - lo, min(shi, hi) - lo, lazy)
+                 for slo, shi, lazy in segments if slo < hi and shi > lo)
 
 
 class NttContext:
@@ -39,6 +165,9 @@ class NttContext:
     Requires ``q ≡ 1 (mod 2N)`` so that a primitive 2N-th root of unity
     ``psi`` exists — the same condition the paper exploits for its
     Montgomery reduction circuit (§VI-A).
+
+    This class reduces with the exact ``%`` on every butterfly; it is
+    the property-test oracle for :class:`BatchNttContext`'s lazy path.
     """
 
     def __init__(self, degree: int, q: int):
@@ -48,33 +177,21 @@ class NttContext:
             raise ParameterError(f"prime {q} is not NTT-friendly for N={degree}")
         self.degree = degree
         self.q = q
-        psi = modmath.root_of_unity(2 * degree, q)
-        rev = bit_reverse_indices(degree)
-        powers = np.empty(degree, dtype=np.int64)
-        inv_powers = np.empty(degree, dtype=np.int64)
-        psi_inv = modmath.mod_inverse(psi, q)
-        acc = 1
-        acc_inv = 1
-        plain = np.empty(degree, dtype=np.int64)
-        plain_inv = np.empty(degree, dtype=np.int64)
-        for i in range(degree):
-            plain[i] = acc
-            plain_inv[i] = acc_inv
-            acc = acc * psi % q
-            acc_inv = acc_inv * psi_inv % q
-        powers[:] = plain[rev]
-        inv_powers[:] = plain_inv[rev]
-        self.psi = psi
-        self.psis = powers          # psi^bitrev(i)
-        self.inv_psis = inv_powers  # psi^{-bitrev(i)}
-        self.n_inv = modmath.mod_inverse(degree, q)
+        tables = _twiddle_tables(degree, q)
+        self.psi = tables.psi
+        self.psis = tables.psis             # psi^bitrev(i)
+        self.inv_psis = tables.inv_psis     # psi^{-bitrev(i)}
+        self.n_inv = tables.n_inv
+        self.psis_shoup = tables.psis_shoup
+        self.inv_psis_shoup = tables.inv_psis_shoup
+        self.n_inv_shoup = tables.n_inv_shoup
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic NTT along the last axis (values in ``[0, q)``)."""
         n = self.degree
         if coeffs.shape[-1] != n:
             raise ParameterError("last axis must equal the ring degree")
-        a = np.ascontiguousarray(coeffs, dtype=np.int64).copy()
+        a = _owned_copy(coeffs)
         q = self.q
         t = n
         m = 1
@@ -94,7 +211,7 @@ class NttContext:
         n = self.degree
         if values.shape[-1] != n:
             raise ParameterError("last axis must equal the ring degree")
-        a = np.ascontiguousarray(values, dtype=np.int64).copy()
+        a = _owned_copy(values)
         q = self.q
         t = 1
         m = n
@@ -111,21 +228,156 @@ class NttContext:
         return a * self.n_inv % q
 
 
+# ---------------------------------------------------------------------------
+# Butterfly op builders.
+#
+# The batched transform compiles each (shape, row block, dispatch) into
+# a flat list of zero-argument closures over pre-sliced views — the hot
+# loop then only dispatches ufuncs, with no per-pass reshaping/slicing.
+#
+# Lazy kernels *stage* each pass: the strided even/odd butterfly lanes
+# of the work buffer are copied into contiguous uint64 scratch, all
+# arithmetic runs at full vector speed against twiddles pre-expanded to
+# one value per lane, and two strided writes put the results back.  Only
+# the four copies touch gappy memory — at the late passes (pair stride
+# 1–4) that is the difference between one long inner loop and thousands
+# of length-1 loops.  Every conditional correction is the branchless
+# unsigned fold ``r = min(r, r − k·q)`` (the subtraction wraps past
+# 2^64 when r < k·q, so ``min`` picks the unfolded value).
+# ---------------------------------------------------------------------------
+
+
+def _forward_lazy_ops(x, y, xs, ys, t1, s_p, ssh_p, q, two_q,
+                      xs_v, ys_v, t1_v) -> list:
+    """Harvey CT butterfly: entry ``x, y ∈ [0, 4q)``, exit ``∈ [0, 4q)``.
+
+    ``x`` is folded to ``[0, 2q)``, ``v = y·s`` Shoup-reduced to
+    ``[0, 2q)`` (valid because ``y < 4q ≤ 2^32``), then ``x' = x + v``
+    and ``y' = x − v + 2q``.
+    """
+    return [
+        lambda: np.copyto(xs_v, x),
+        lambda: np.copyto(ys_v, y),
+        lambda: np.subtract(xs, two_q, out=t1),
+        lambda: np.minimum(xs, t1, out=xs),
+        lambda: np.multiply(ys, ssh_p, out=t1),
+        lambda: np.right_shift(t1, _SHIFT, out=t1),
+        lambda: np.multiply(t1, q, out=t1),
+        lambda: np.multiply(ys, s_p, out=ys),
+        lambda: np.subtract(ys, t1, out=ys),
+        lambda: np.subtract(xs, ys, out=t1),
+        lambda: np.add(t1, two_q, out=t1),
+        lambda: np.copyto(y, t1_v),
+        lambda: np.add(xs, ys, out=xs),
+        lambda: np.copyto(x, xs_v),
+    ]
+
+
+def _inverse_lazy_ops(x, y, xs, ys, t1, t2, s_p, ssh_p, q, two_q,
+                      xs_v, ys_v) -> list:
+    """Harvey GS butterfly: entry ``x, y ∈ [0, 2q)``, exit ``∈ [0, 2q)``.
+
+    ``x' = x + y`` folded once; ``y' = (x − y + 2q)·s`` Shoup-reduced
+    (valid because ``x − y + 2q < 4q ≤ 2^32``).
+    """
+    return [
+        lambda: np.copyto(xs_v, x),
+        lambda: np.copyto(ys_v, y),
+        lambda: np.subtract(xs, ys, out=t1),
+        lambda: np.add(t1, two_q, out=t1),
+        lambda: np.add(xs, ys, out=xs),
+        lambda: np.subtract(xs, two_q, out=t2),
+        lambda: np.minimum(xs, t2, out=xs),
+        lambda: np.copyto(x, xs_v),
+        lambda: np.multiply(t1, ssh_p, out=t2),
+        lambda: np.right_shift(t2, _SHIFT, out=t2),
+        lambda: np.multiply(t2, q, out=t2),
+        lambda: np.multiply(t1, s_p, out=ys),
+        lambda: np.subtract(ys, t2, out=ys),
+        lambda: np.copyto(y, ys_v),
+    ]
+
+
+def _strict_ct_ops(x, y, s, q, u, v, mask) -> list:
+    """Exact-``%`` CT butterfly — identical math to the per-limb oracle."""
+    return [
+        lambda: np.copyto(u, x),
+        lambda: np.multiply(y, s, out=v),
+        lambda: np.remainder(v, q, out=v),
+        lambda: modmath.mod_add_into(u, v, q, out=x, mask=mask),
+        lambda: modmath.mod_sub_into(u, v, q, out=y, mask=mask),
+    ]
+
+
+def _strict_gs_ops(x, y, s, q, u, v, mask) -> list:
+    """Exact-``%`` GS butterfly — identical math to the per-limb oracle."""
+    return [
+        lambda: np.copyto(u, x),
+        lambda: np.copyto(v, y),
+        lambda: modmath.mod_add_into(u, v, q, out=x, mask=mask),
+        lambda: modmath.mod_sub_into(u, v, q, out=y, mask=mask),
+        lambda: np.multiply(y, s, out=y),
+        lambda: np.remainder(y, q, out=y),
+    ]
+
+
+def _forward_fold_ops(rows, scr, q, two_q) -> list:
+    """``[0, 4q) → [0, q)`` after the last forward pass (two folds)."""
+    return [
+        lambda: np.subtract(rows, two_q, out=scr),
+        lambda: np.minimum(rows, scr, out=rows),
+        lambda: np.subtract(rows, q, out=scr),
+        lambda: np.minimum(rows, scr, out=rows),
+    ]
+
+
+def _ninv_lazy_ops(rows, scr, s, s_sh, q) -> list:
+    """Final ``N^{-1}`` scaling of lazy rows in ``[0, 2q)`` → ``[0, q)``."""
+    return [
+        lambda: np.multiply(rows, s_sh, out=scr),
+        lambda: np.right_shift(scr, _SHIFT, out=scr),
+        lambda: np.multiply(scr, q, out=scr),
+        lambda: np.multiply(rows, s, out=rows),
+        lambda: np.subtract(rows, scr, out=rows),
+        lambda: np.subtract(rows, q, out=scr),
+        lambda: np.minimum(rows, scr, out=rows),
+    ]
+
+
+def _ninv_strict_ops(rows, s, q) -> list:
+    return [
+        lambda: np.multiply(rows, s, out=rows),
+        lambda: np.remainder(rows, q, out=rows),
+    ]
+
+
 class BatchNttContext:
     """Stacked NTT tables for a whole RNS basis.
 
     The per-prime :class:`NttContext` twiddle tables are stacked into
     ``(L, N)`` limb planes, with the per-limb modulus broadcast as an
     ``(L, 1)`` column, so *one* vectorized butterfly pass transforms all
-    limbs of a polynomial — replacing the Python loop over primes.  The
-    butterflies run through the allocation-free :mod:`modmath`
-    primitives against scratch buffers cached per input shape, so the
-    hot path allocates nothing beyond the output array.
+    limbs of a polynomial — replacing the Python loop over primes.
 
-    Each pass performs exactly the element-wise operations of the
-    per-limb reference, so results are bit-identical to running
-    :class:`NttContext` limb by limb (the property tests assert this).
+    Limb rows whose prime is below ``2^30`` use the Shoup/Harvey
+    lazy-reduction butterfly: the twiddle multiply is the precomputed
+    quotient pipeline ``hi = (x·s') >> 32; r = x·s − hi·q`` (no
+    division), values stay lazily above ``q`` across passes, and a
+    single fold after the last pass replaces the per-butterfly ``%``.
+    Wider primes dispatch per contiguous row run to the exact ``%``
+    butterfly (:func:`modmath.shoup_segments`).  Both paths land on the
+    canonical ``[0, q)`` residues, so results are bit-identical to
+    running :class:`NttContext` limb by limb for every mixed basis and
+    any thread count (the property tests assert this).
+
+    Each distinct (transform, shape, row block, dispatch) combination is
+    compiled once into an execution *plan* — a work buffer plus a flat
+    list of ufunc closures over pre-sliced views — so the per-call hot
+    loop does no reshaping, slicing, or Python-level bookkeeping.
     """
+
+    #: Bound on cached execution plans per context.
+    PLAN_CACHE_SIZE = 128
 
     def __init__(self, degree: int, basis: tuple, contexts=None):
         basis = tuple(basis)
@@ -137,21 +389,32 @@ class BatchNttContext:
         self.basis = basis
         limbs = len(basis)
         self.q_col = np.array(basis, dtype=np.int64).reshape(limbs, 1)
+        self.two_q_col = self.q_col * 2
         self.psis = np.stack([c.psis for c in contexts])          # (L, N)
         self.inv_psis = np.stack([c.inv_psis for c in contexts])  # (L, N)
+        self.psis_shoup = np.stack([c.psis_shoup for c in contexts])
+        self.inv_psis_shoup = np.stack([c.inv_psis_shoup for c in contexts])
         self.n_inv_col = np.array([c.n_inv for c in contexts],
                                   dtype=np.int64).reshape(limbs, 1)
+        self.n_inv_shoup_col = np.array(
+            [c.n_inv_shoup for c in contexts],
+            dtype=np.uint64).reshape(limbs, 1)
+        #: Contiguous (lo, hi, lazy) dispatch runs of the limb rows.
+        self.segments = modmath.shoup_segments(basis)
         self._scratch: dict = {}
         self._scratch_lock = threading.Lock()
+        self._plans: OrderedDict = OrderedDict()
 
     def _buffers(self, shape: tuple):
-        """(u, v, mask) scratch of ``shape``, reused across calls.
+        """(u, v, mask, hi) scratch of ``shape``, reused across calls.
 
         Keyed per **thread** as well as per shape: the threaded path
         runs one butterfly block per pool thread, and scratch slabs
         are written concurrently — a shared slab would race.  Pool
         threads are long-lived, so each thread's slabs are reused
-        across calls just like the serial path's.
+        across calls just like the serial path's.  ``hi`` holds the
+        Shoup high-product; the lazy kernels use ``uint64`` views of
+        the int64 slabs.
         """
         key = (threading.get_ident(), shape)
         with self._scratch_lock:
@@ -163,7 +426,8 @@ class BatchNttContext:
         if buffers is None:
             buffers = (np.empty(shape, dtype=np.int64),
                        np.empty(shape, dtype=np.int64),
-                       np.empty(shape, dtype=bool))
+                       np.empty(shape, dtype=bool),
+                       np.empty(shape, dtype=np.uint64))
             with self._scratch_lock:
                 self._scratch[key] = buffers
         return buffers
@@ -177,68 +441,164 @@ class BatchNttContext:
                 f"second-to-last axis has {array.shape[-2]} limbs; "
                 f"basis has {limbs}")
         instrument.count(f"ckks.batch_ntt.{kind}")
-        instrument.count("ckks.batch_ntt.limbs",
-                         limbs * int(np.prod(array.shape[:-2], dtype=np.int64)
-                                     or 1))
-        return np.ascontiguousarray(array, dtype=np.int64).copy()
+        if array.ndim == 2:
+            planes = 1
+        else:
+            planes = int(np.prod(array.shape[:-2], dtype=np.int64) or 1)
+        instrument.count("ckks.batch_ntt.limbs", limbs * planes)
+        return _owned_copy(array)
 
-    def _forward_passes(self, a: np.ndarray, psis: np.ndarray,
-                        q_col: np.ndarray) -> None:
-        """Cooley-Tukey passes in place on ``a`` (``(..., Lb, N)``), with
-        ``psis``/``q_col`` already sliced to the same limb rows.  Every
-        limb row is independent, so running a row block through these
-        passes produces exactly the values a whole-array pass would."""
-        n = self.degree
-        limbs = a.shape[-2]
-        lead = a.shape[:-2]
-        u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
-        q3 = q_col.reshape(limbs, 1, 1)
-        t = n
-        m = 1
-        while m < n:
-            t //= 2
-            b = a.reshape(lead + (limbs, m, 2, t))
-            s = psis[:, m:2 * m].reshape(limbs, m, 1)
-            shape = lead + (limbs, m, t)
-            u = u_buf.reshape(shape)
-            v = v_buf.reshape(shape)
-            mask = mask_buf.reshape(shape)
-            np.copyto(u, b[..., 0, :])
-            np.multiply(b[..., 1, :], s, out=v)
-            np.remainder(v, q3, out=v)
-            modmath.mod_add_into(u, v, q3, out=b[..., 0, :], mask=mask)
-            modmath.mod_sub_into(u, v, q3, out=b[..., 1, :], mask=mask)
-            m *= 2
+    def _dispatch_segments(self, a: np.ndarray) -> tuple:
+        """The active (lo, hi, lazy) runs, honouring the global lazy
+        switch, with the per-path limb counters bumped once per call."""
+        limbs = len(self.basis)
+        segments = (self.segments if modmath.lazy_enabled()
+                    else ((0, limbs, False),))
+        if instrument.get_tracer() is not None:
+            planes = int(np.prod(a.shape[:-2], dtype=np.int64) or 1)
+            lazy_rows = sum(hi - lo for lo, hi, lazy in segments if lazy)
+            if lazy_rows:
+                instrument.count("ckks.modmath.shoup", lazy_rows * planes)
+            if limbs - lazy_rows:
+                instrument.count("ckks.modmath.strict_fallback",
+                                 (limbs - lazy_rows) * planes)
+        return segments
 
-    def _inverse_passes(self, a: np.ndarray, inv_psis: np.ndarray,
-                        q_col: np.ndarray, n_inv_col: np.ndarray) -> None:
-        """Gentleman-Sande passes plus the final ``N^{-1}`` scaling, in
-        place on ``a`` (``(..., Lb, N)``) with row-sliced tables."""
+    def _plan(self, kind: str, shape: tuple, rlo: int, segments: tuple,
+              slabs: tuple):
+        key = (threading.get_ident(), kind, shape, rlo, segments)
+        with self._scratch_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+        if plan is None:
+            plan = self._build_plan(kind, shape, rlo, segments, slabs)
+            with self._scratch_lock:
+                self._plans[key] = plan
+                self._plans.move_to_end(key)
+                while len(self._plans) > self.PLAN_CACHE_SIZE:
+                    self._plans.popitem(last=False)
+        return plan
+
+    def _build_plan(self, kind: str, shape: tuple, rlo: int,
+                    segments: tuple, slabs: tuple):
+        """Compile one transform into (work buffer, closure list).
+
+        ``shape`` is the row block's ``(..., Lb, N)`` shape, ``rlo`` its
+        first absolute limb row, ``segments`` its rebased dispatch runs,
+        and ``slabs`` the :meth:`_buffers` scratch for its shape — the
+        same objects on every later call (``_buffers`` never replaces an
+        entry), so the compiled views stay valid.
+        """
         n = self.degree
-        limbs = a.shape[-2]
-        lead = a.shape[:-2]
-        u_buf, v_buf, mask_buf = self._buffers(lead + (limbs, n // 2))
-        q3 = q_col.reshape(limbs, 1, 1)
-        t = 1
-        m = n
-        while m > 1:
-            h = m // 2
-            b = a.reshape(lead + (limbs, h, 2, t))
-            s = inv_psis[:, h:2 * h].reshape(limbs, h, 1)
-            shape = lead + (limbs, h, t)
-            u = u_buf.reshape(shape)
-            v = v_buf.reshape(shape)
-            mask = mask_buf.reshape(shape)
-            np.copyto(u, b[..., 0, :])
-            np.copyto(v, b[..., 1, :])
-            modmath.mod_add_into(u, v, q3, out=b[..., 0, :], mask=mask)
-            modmath.mod_sub_into(u, v, q3, out=b[..., 1, :], mask=mask)
-            np.multiply(b[..., 1, :], s, out=b[..., 1, :])
-            np.remainder(b[..., 1, :], q3, out=b[..., 1, :])
-            t *= 2
-            m = h
-        np.multiply(a, n_inv_col, out=a)
-        np.remainder(a, q_col, out=a)
+        half = n // 2
+        limbs = shape[-2]
+        lead = shape[:-2]
+        rows_all = slice(rlo, rlo + limbs)
+        w = np.empty(shape, dtype=np.int64)
+        wu = w.view(np.uint64)
+        u_buf, v_buf, mask_buf, hi_buf = slabs
+        scr = np.empty(shape, dtype=np.uint64)
+        q3 = self.q_col[rows_all].reshape(limbs, 1, 1)
+        q_rows = self.q_col[rows_all]
+        q_rows_u = q_rows.view(np.uint64)
+        two_q_rows_u = self.two_q_col[rows_all].view(np.uint64)
+        forward = kind == "forward"
+        psis = (self.psis if forward else self.inv_psis)[rows_all]
+        psis_u = psis.view(np.uint64)
+        shoup = (self.psis_shoup if forward
+                 else self.inv_psis_shoup)[rows_all]
+        stages = []
+        if forward:
+            t, m = n, 1
+            while m < n:
+                t //= 2
+                stages.append((m, t))
+                m *= 2
+        else:
+            t, m = 1, n
+            while m > 1:
+                m //= 2
+                stages.append((m, t))
+                t *= 2
+        # Contiguous uint64 staging per lazy segment, shared by all
+        # passes of the plan (each pass moves seg·N/2 lane values).
+        stage: dict = {}
+        for lo, hi, lazy in segments:
+            if lazy:
+                s_shape = lead + (hi - lo, half)
+                stage[lo] = tuple(np.empty(s_shape, dtype=np.uint64)
+                                  for _ in range(4))
+        ops: list = []
+        for m, t in stages:
+            b = w.reshape(lead + (limbs, m, 2, t))
+            bu = wu.reshape(lead + (limbs, m, 2, t))
+            s3 = lead + (limbs, m, t)
+            u3 = u_buf.reshape(s3)
+            v3 = v_buf.reshape(s3)
+            m3 = mask_buf.reshape(s3)
+            for lo, hi, lazy in segments:
+                seg = hi - lo
+                lane = lead + (seg, m, t)
+                if lazy:
+                    xs, ys, t1, t2 = stage[lo]
+                    # One twiddle per lane: each of the m twiddles
+                    # repeats across its t-element pair run.
+                    s_p = np.repeat(psis_u[lo:hi, m:2 * m], t, axis=1)
+                    ssh_p = np.repeat(shoup[lo:hi, m:2 * m], t, axis=1)
+                    common = dict(
+                        x=bu[..., lo:hi, :, 0, :],
+                        y=bu[..., lo:hi, :, 1, :],
+                        xs=xs, ys=ys, t1=t1,
+                        s_p=s_p, ssh_p=ssh_p,
+                        q=q_rows_u[lo:hi], two_q=two_q_rows_u[lo:hi],
+                        xs_v=xs.reshape(lane), ys_v=ys.reshape(lane))
+                    if forward:
+                        ops += _forward_lazy_ops(
+                            t1_v=t1.reshape(lane), **common)
+                    else:
+                        ops += _inverse_lazy_ops(t2=t2, **common)
+                else:
+                    build = _strict_ct_ops if forward else _strict_gs_ops
+                    ops += build(
+                        x=b[..., lo:hi, :, 0, :],
+                        y=b[..., lo:hi, :, 1, :],
+                        s=psis[lo:hi, m:2 * m].reshape(seg, m, 1),
+                        q=q3[lo:hi],
+                        u=u3[..., lo:hi, :, :],
+                        v=v3[..., lo:hi, :, :],
+                        mask=m3[..., lo:hi, :, :])
+        # Epilogue: lazy rows fold to canonical [0, q); the inverse
+        # additionally scales every row by N^{-1}.
+        for lo, hi, lazy in segments:
+            if forward:
+                if lazy:
+                    ops += _forward_fold_ops(
+                        wu[..., lo:hi, :], scr[..., lo:hi, :],
+                        q_rows_u[lo:hi], two_q_rows_u[lo:hi])
+            elif lazy:
+                ops += _ninv_lazy_ops(
+                    wu[..., lo:hi, :], scr[..., lo:hi, :],
+                    self.n_inv_col[rows_all].view(np.uint64)[lo:hi],
+                    self.n_inv_shoup_col[rows_all][lo:hi],
+                    q_rows_u[lo:hi])
+            else:
+                ops += _ninv_strict_ops(
+                    w[..., lo:hi, :], self.n_inv_col[rows_all][lo:hi],
+                    q_rows[lo:hi])
+        return w, ops
+
+    def _run(self, a: np.ndarray, kind: str, rlo: int, rhi: int,
+             segments: tuple) -> None:
+        """Transform limb rows ``[rlo, rhi)`` of ``a`` in place."""
+        rows = a[..., rlo:rhi, :]
+        slabs = self._buffers(rows.shape[:-2] + (rhi - rlo,
+                                                 self.degree // 2))
+        w, ops = self._plan(kind, rows.shape, rlo, segments, slabs)
+        np.copyto(w, rows)
+        for op in ops:
+            op()
+        np.copyto(rows, w)
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic NTT of every limb plane (axes ``(..., L, N)``).
@@ -250,28 +610,29 @@ class BatchNttContext:
         contiguous views).
         """
         a = self._prepare(coeffs, "forward")
+        segments = self._dispatch_segments(a)
         if a.ndim == 2:
             def work(lo: int, hi: int) -> None:
-                self._forward_passes(a[lo:hi], self.psis[lo:hi],
-                                     self.q_col[lo:hi])
+                self._run(a, "forward", lo, hi,
+                          _clip_segments(segments, lo, hi))
             if limb_threads.run_blocks(len(self.basis), work) > 1:
                 instrument.count("ckks.batch_ntt.threaded")
         else:
-            self._forward_passes(a, self.psis, self.q_col)
+            self._run(a, "forward", 0, len(self.basis), segments)
         return a
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT of every limb plane."""
         a = self._prepare(values, "inverse")
+        segments = self._dispatch_segments(a)
         if a.ndim == 2:
             def work(lo: int, hi: int) -> None:
-                self._inverse_passes(a[lo:hi], self.inv_psis[lo:hi],
-                                     self.q_col[lo:hi], self.n_inv_col[lo:hi])
+                self._run(a, "inverse", lo, hi,
+                          _clip_segments(segments, lo, hi))
             if limb_threads.run_blocks(len(self.basis), work) > 1:
                 instrument.count("ckks.batch_ntt.threaded")
         else:
-            self._inverse_passes(a, self.inv_psis, self.q_col,
-                                 self.n_inv_col)
+            self._run(a, "inverse", 0, len(self.basis), segments)
         return a
 
 

@@ -8,7 +8,7 @@ the paper uses (§II-A).  Polynomials can live in coefficient or NTT
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
@@ -62,6 +62,13 @@ class RnsPolynomial:
     coeffs: np.ndarray
     basis: tuple
     is_ntt: bool = False
+    #: Cached Shoup dual ``floor(coeffs · 2^32 / q)`` (uint64), computed
+    #: by :meth:`ensure_shoup` for constant operands that are multiplied
+    #: many times (plaintext diagonals, monomials, key limbs).  Never
+    #: recomputed on mutation — only set on polynomials used as
+    #: immutable cached constants.
+    shoup: np.ndarray | None = field(default=None, repr=False,
+                                     compare=False)
 
     def __post_init__(self):
         if self.coeffs.ndim != 2:
@@ -133,7 +140,20 @@ class RnsPolynomial:
         return RnsPolynomial(out, self.basis, is_ntt=False)
 
     def copy(self) -> "RnsPolynomial":
-        return RnsPolynomial(self.coeffs.copy(), self.basis, self.is_ntt)
+        return RnsPolynomial(self.coeffs.copy(), self.basis, self.is_ntt,
+                             self.shoup)
+
+    def ensure_shoup(self) -> "RnsPolynomial":
+        """Precompute and cache the Shoup dual of every limb.
+
+        Residue rows whose prime exceeds the lazy bound get a dual too
+        (it is computable for any ``q < 2^31``) — the per-limb dispatch
+        simply never reads those rows.  Returns ``self`` for chaining.
+        """
+        if self.shoup is None:
+            self.shoup = modmath.shoup_precompute(
+                self.coeffs, modulus_column(self.basis))
+        return self
 
     # -- Element-wise arithmetic ----------------------------------------------
 
@@ -184,7 +204,21 @@ class RnsPolynomial:
             raise ParameterError("polynomial mult requires NTT form")
         q_col = modulus_column(self.basis)
         out = np.empty_like(self.coeffs)
-        modmath.mod_mul_into(self.coeffs, other.coeffs, q_col, out)
+        # A precomputed Shoup dual on either operand turns the per-limb
+        # ``%`` into the divide-free mul/shift/sub pipeline (lazy rows
+        # only; wide primes still take the exact path) — bit-identical
+        # either way.
+        const, plain = None, None
+        if modmath.lazy_enabled():
+            if other.shoup is not None:
+                const, plain = other, self
+            elif self.shoup is not None:
+                const, plain = self, other
+        if const is not None:
+            modmath.shoup_mod_mul_into(plain.coeffs, const.coeffs,
+                                       const.shoup, q_col, self.basis, out)
+        else:
+            modmath.mod_mul_into(self.coeffs, other.coeffs, q_col, out)
         if _fault_guard.ACTIVE is not None:
             _fault_guard.ACTIVE.elementwise(
                 "mul", (self.coeffs, other.coeffs), out, q_col,
@@ -220,7 +254,9 @@ class RnsPolynomial:
             rows = [index[q] for q in basis]
         except KeyError as exc:
             raise ParameterError(f"prime {exc} not in source basis") from exc
-        return RnsPolynomial(self.coeffs[rows].copy(), tuple(basis), self.is_ntt)
+        dual = None if self.shoup is None else self.shoup[rows].copy()
+        return RnsPolynomial(self.coeffs[rows].copy(), tuple(basis),
+                             self.is_ntt, dual)
 
     def concat(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Stack limbs of two polynomials over disjoint bases."""

@@ -5,10 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ckks import modmath
+from repro.ckks import instrument, modmath
 from repro.ckks.ntt import (NttContext, bit_reverse_indices,
-                            negacyclic_convolution)
+                            clear_twiddle_cache, negacyclic_convolution,
+                            twiddle_cache_info)
 from repro.errors import ParameterError
+from repro.obs.tracer import Tracer
 
 PRIME = modmath.generate_primes(1, 256, bits=28)[0]
 
@@ -99,3 +101,68 @@ class TestNegacyclicMultiplication:
         b = rng.integers(0, q, 32, dtype=np.int64)
         via_ntt = small.inverse(small.forward(a) * small.forward(b) % q)
         assert np.array_equal(via_ntt, negacyclic_convolution(a, b, q))
+
+
+class TestTwiddleCache:
+    def test_contexts_share_cached_tables(self):
+        """Rebuilding a context for the same (degree, q) is a cache hit."""
+        clear_twiddle_cache()
+        tracer = Tracer()
+        old = instrument.get_tracer()
+        instrument.set_tracer(tracer)
+        try:
+            first = NttContext(64, modmath.generate_primes(1, 64)[0])
+            second = NttContext(64, first.q)
+        finally:
+            instrument.set_tracer(old)
+        assert tracer.counters["ckks.ntt_tables.miss"] == 1
+        assert tracer.counters["ckks.ntt_tables.hit"] == 1
+        assert first.psis is second.psis
+        assert twiddle_cache_info()["size"] == 1
+
+    def test_distinct_primes_get_distinct_tables(self):
+        clear_twiddle_cache()
+        q1, q2 = modmath.generate_primes(2, 64)
+        tracer = Tracer()
+        old = instrument.get_tracer()
+        instrument.set_tracer(tracer)
+        try:
+            NttContext(64, q1)
+            NttContext(64, q2)
+        finally:
+            instrument.set_tracer(old)
+        assert tracer.counters["ckks.ntt_tables.miss"] == 2
+        assert "ckks.ntt_tables.hit" not in tracer.counters
+
+    def test_cached_tables_are_read_only(self):
+        ctx = NttContext(64, modmath.generate_primes(1, 64)[0])
+        with pytest.raises(ValueError):
+            ctx.psis[0] = 1
+
+
+class TestInputLayouts:
+    """forward/inverse must copy exactly once, never alias the input."""
+
+    def test_non_contiguous_input(self, ctx):
+        rng = np.random.default_rng(11)
+        wide = rng.integers(0, ctx.q, size=(256, 2), dtype=np.int64)
+        column = wide[:, 0]
+        assert not column.flags.c_contiguous
+        assert np.array_equal(ctx.forward(column),
+                              ctx.forward(column.copy()))
+
+    def test_input_not_mutated(self, ctx):
+        rng = np.random.default_rng(12)
+        a = rng.integers(0, ctx.q, 256, dtype=np.int64)
+        saved = a.copy()
+        out = ctx.forward(a)
+        assert np.array_equal(a, saved)
+        assert out is not a
+        roundtrip = ctx.inverse(out)
+        assert np.array_equal(out, ctx.forward(a))    # out not aliased
+        assert np.array_equal(roundtrip, a)
+
+    def test_non_int64_input_accepted(self, ctx):
+        small = np.arange(256, dtype=np.int32)
+        assert np.array_equal(ctx.forward(small),
+                              ctx.forward(small.astype(np.int64)))
